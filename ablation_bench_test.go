@@ -1,0 +1,144 @@
+package catalyzer
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// reports the virtual boot latency of one configuration so the cost of a
+// technique is visible in isolation (the bench-form of Figure 12), plus
+// the sfork variants and the reconnection policies.
+
+import (
+	"testing"
+
+	"catalyzer/internal/core"
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/image"
+	"catalyzer/internal/sandbox"
+	"catalyzer/internal/vfs"
+	"catalyzer/internal/workload"
+)
+
+func ablationRootFS(name string) *vfs.FSServer {
+	spec := workload.MustGet(name)
+	root := vfs.NewTree()
+	root.Add("/app/wrapper", vfs.File{Size: int64(spec.TaskImagePages) * 4096})
+	for _, c := range spec.Conns {
+		root.Add(c.Path, vfs.File{Size: 4096})
+	}
+	return vfs.NewFSServer(root)
+}
+
+func ablationImage(b *testing.B, name string) *image.Image {
+	b.Helper()
+	m := sandbox.NewMachine(costmodel.Default())
+	s, _, err := sandbox.BootCold(m, workload.MustGet(name), ablationRootFS(name), sandbox.GVisorOptions(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := s.BuildImage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Execute(); err != nil {
+		b.Fatal(err)
+	}
+	if s.Cache.Len() > 0 {
+		img.IOCache = s.Cache
+	}
+	return img
+}
+
+func benchRestoreFlags(b *testing.B, flags core.Flags) {
+	img := ablationImage(b, "java-specjbb")
+	var last Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sandbox.NewMachine(costmodel.Default())
+		c := core.New(m)
+		_, _, tl, err := c.BootRestore(img, ablationRootFS("java-specjbb"), nil, nil, img.IOCache, flags)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tl.Total()
+	}
+	b.ReportMetric(float64(last), "virtual-boot-ns")
+}
+
+func BenchmarkAblationNoTechniques(b *testing.B) { benchRestoreFlags(b, core.Flags{}) }
+func BenchmarkAblationOverlayOnly(b *testing.B) {
+	benchRestoreFlags(b, core.Flags{OverlayMemory: true})
+}
+func BenchmarkAblationOverlaySeparated(b *testing.B) {
+	benchRestoreFlags(b, core.Flags{OverlayMemory: true, SeparatedState: true})
+}
+func BenchmarkAblationFullCatalyzer(b *testing.B) { benchRestoreFlags(b, core.AllFlags()) }
+
+func BenchmarkAblationSforkPlain(b *testing.B) {
+	m := sandbox.NewMachine(costmodel.Default())
+	c := core.New(m)
+	tmpl, err := c.MakeTemplate(workload.MustGet("java-specjbb"), ablationRootFS("java-specjbb"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, tl, err := tmpl.Sfork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tl.Total()
+		b.StopTimer()
+		s.Release()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(last), "virtual-boot-ns")
+}
+
+func BenchmarkAblationSforkASLR(b *testing.B) {
+	m := sandbox.NewMachine(costmodel.Default())
+	c := core.New(m)
+	tmpl, err := c.MakeTemplate(workload.MustGet("java-specjbb"), ablationRootFS("java-specjbb"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, tl, err := tmpl.SforkRandomized()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tl.Total()
+		b.StopTimer()
+		s.Release()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(last), "virtual-boot-ns")
+}
+
+// Reconnection-policy ablation over the SPECjbb connection set.
+func benchReconnect(b *testing.B, mode string) {
+	img := ablationImage(b, "java-specjbb")
+	var last Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sandbox.NewMachine(costmodel.Default())
+		start := m.Now()
+		switch mode {
+		case "eager":
+			vfs.RestoreEager(m.Env, img.Kernel.ConnRecords)
+		case "cached":
+			vfs.RestoreWithCache(m.Env, img.Kernel.ConnRecords, img.IOCache)
+		case "lazy":
+			vfs.RestoreLazy(m.Env, img.Kernel.ConnRecords)
+		}
+		last = m.Now() - start
+	}
+	b.ReportMetric(float64(last), "virtual-ns")
+}
+
+func BenchmarkAblationReconnectEager(b *testing.B)  { benchReconnect(b, "eager") }
+func BenchmarkAblationReconnectCached(b *testing.B) { benchReconnect(b, "cached") }
+func BenchmarkAblationReconnectLazy(b *testing.B)   { benchReconnect(b, "lazy") }

@@ -1,0 +1,302 @@
+// Package catalyzer is the public API of the Catalyzer reproduction: a
+// serverless sandbox system that boots function instances from
+// initialized state instead of initializing them on the critical path
+// (init-less booting, ASPLOS '20).
+//
+// A Client owns one simulated host machine. Deploy registers a function
+// (by the name of a workload in the built-in registry) and prepares its
+// offline artifacts — the func-image with its partially-deserialized
+// metadata and I/O cache, the shared base memory mapping, and the
+// template sandbox for fork boot. Invoke then serves a request through
+// any boot strategy:
+//
+//	c := catalyzer.NewClient()
+//	if err := c.Deploy("java-specjbb"); err != nil { ... }
+//	inv, err := c.Invoke("java-specjbb", catalyzer.ForkBoot)
+//	fmt.Println(inv.BootLatency, inv.ExecLatency)
+//
+// Latencies are deterministic virtual time derived from the work each
+// boot performs; see DESIGN.md for the calibration methodology.
+package catalyzer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/platform"
+	"catalyzer/internal/sandbox"
+	"catalyzer/internal/simtime"
+	"catalyzer/internal/workload"
+)
+
+// Duration is virtual time; it aliases time.Duration for formatting.
+type Duration = simtime.Duration
+
+// BootKind selects how an instance is started.
+type BootKind string
+
+const (
+	// ColdBoot restores a new sandbox from the func-image with
+	// on-demand restore (Catalyzer-restore).
+	ColdBoot BootKind = "cold"
+	// WarmBoot specializes a cached virtualization Zygote and shares
+	// the running instances' base memory mapping (Catalyzer-Zygote).
+	WarmBoot BootKind = "warm"
+	// ForkBoot sforks the function's template sandbox (Catalyzer-sfork).
+	ForkBoot BootKind = "fork"
+
+	// Baselines, for comparison studies.
+	BaselineGVisor        BootKind = "gvisor"
+	BaselineGVisorRestore BootKind = "gvisor-restore"
+	BaselineDocker        BootKind = "docker"
+	BaselineFireCracker   BootKind = "firecracker"
+	BaselineHyper         BootKind = "hyper"
+	BaselineNative        BootKind = "native"
+)
+
+var kindToSystem = map[BootKind]platform.System{
+	ColdBoot:              platform.CatalyzerRestore,
+	WarmBoot:              platform.CatalyzerZygote,
+	ForkBoot:              platform.CatalyzerSfork,
+	BaselineGVisor:        platform.GVisor,
+	BaselineGVisorRestore: platform.GVisorRestore,
+	BaselineDocker:        platform.Docker,
+	BaselineFireCracker:   platform.FireCracker,
+	BaselineHyper:         platform.HyperContainer,
+	BaselineNative:        platform.Native,
+}
+
+// Option configures a Client.
+type Option func(*config)
+
+type config struct {
+	cost *costmodel.Model
+}
+
+// WithServerMachine runs the client on the paper's 96-core server
+// machine model instead of the 8-core workstation.
+func WithServerMachine() Option {
+	return func(c *config) { c.cost = costmodel.Server() }
+}
+
+// WithCostModel supplies a custom cost model.
+func WithCostModel(m *costmodel.Model) Option {
+	return func(c *config) { c.cost = m }
+}
+
+// Client is a handle to one simulated serverless host. Methods are safe
+// for concurrent use: the simulated machine is single-threaded by design
+// (one virtual clock), so invocations serialize on an internal mutex.
+type Client struct {
+	mu    sync.Mutex
+	p     *platform.Platform
+	stats *statsCollector
+}
+
+// NewClient creates a client on a fresh machine.
+func NewClient(opts ...Option) *Client {
+	cfg := config{cost: costmodel.Default()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Client{p: platform.New(cfg.cost), stats: newStatsCollector()}
+}
+
+// Functions lists the deployable workload names.
+func Functions() []string { return workload.Names() }
+
+// Deploy registers a function and prepares all of its offline artifacts
+// (func-image, I/O cache, template sandbox). Deploy is idempotent.
+func (c *Client) Deploy(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.p.PrepareTemplate(name)
+	return err
+}
+
+// DeployCustom registers a user-defined function from its JSON workload
+// document (see internal/workload.SpecDoc for the format) and prepares
+// its offline artifacts. The name must not collide with a built-in
+// workload.
+func (c *Client) DeployCustom(doc []byte) (string, error) {
+	spec, err := workload.ParseSpec(doc)
+	if err != nil {
+		return "", err
+	}
+	if err := workload.RegisterCustom(spec); err != nil {
+		return "", err
+	}
+	if err := c.Deploy(spec.Name); err != nil {
+		workload.Unregister(spec.Name)
+		return "", err
+	}
+	return spec.Name, nil
+}
+
+// Train derives and deploys the user-guided pre-initialization variant
+// of a deployed function (§6.7): the given fraction (0..1) of per-request
+// preparation work is warmed at training time and captured in the
+// variant's artifacts. It returns the variant's name
+// ("<name>@pretrained"), which Invoke accepts like any function.
+func (c *Client) Train(name string, fraction float64) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, err := c.p.PrepareTrained(name, fraction)
+	if err != nil {
+		return "", err
+	}
+	return f.Spec.Name, nil
+}
+
+// Invocation reports one served request.
+type Invocation struct {
+	Function    string
+	Kind        BootKind
+	BootLatency Duration
+	ExecLatency Duration
+	// Phases is the boot's per-step breakdown (Figure 2 style).
+	Phases []Phase
+}
+
+// Phase is one named boot step.
+type Phase struct {
+	Name     string
+	Duration Duration
+}
+
+// Total is the end-to-end latency.
+func (i *Invocation) Total() Duration { return i.BootLatency + i.ExecLatency }
+
+// Invoke boots an instance with the given strategy, executes one
+// request, and tears the instance down.
+func (c *Client) Invoke(name string, kind BootKind) (*Invocation, error) {
+	sys, ok := kindToSystem[kind]
+	if !ok {
+		return nil, fmt.Errorf("catalyzer: unknown boot kind %q", kind)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, err := c.p.Invoke(name, sys)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.observe(kind, r.BootLatency)
+	return invocationOf(r, kind), nil
+}
+
+func invocationOf(r *platform.Result, kind BootKind) *Invocation {
+	inv := &Invocation{
+		Function:    r.Function,
+		Kind:        kind,
+		BootLatency: r.BootLatency,
+		ExecLatency: r.ExecLatency,
+	}
+	for _, ph := range r.Phases {
+		inv.Phases = append(inv.Phases, Phase{Name: ph.Name, Duration: ph.Duration})
+	}
+	return inv
+}
+
+// Instance is a running function instance kept alive after its first
+// request (auto-scaling and memory studies).
+type Instance struct {
+	inv *Invocation
+	s   *sandbox.Sandbox
+}
+
+// Invocation returns the boot/first-request report.
+func (i *Instance) Invocation() *Invocation { return i.inv }
+
+// Execute serves another request on the running instance.
+func (i *Instance) Execute() (Duration, error) { return i.s.Execute() }
+
+// RSS returns the instance's resident set size in bytes.
+func (i *Instance) RSS() uint64 { return i.s.AS.RSS() }
+
+// PSS returns the instance's proportional set size in bytes.
+func (i *Instance) PSS() float64 { return i.s.AS.PSS() }
+
+// Release tears the instance down.
+func (i *Instance) Release() { i.s.Release() }
+
+// Start boots an instance, serves one request, and keeps it running.
+func (c *Client) Start(name string, kind BootKind) (*Instance, error) {
+	sys, ok := kindToSystem[kind]
+	if !ok {
+		return nil, fmt.Errorf("catalyzer: unknown boot kind %q", kind)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, err := c.p.InvokeKeep(name, sys)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.observe(kind, r.BootLatency)
+	return &Instance{inv: invocationOf(r, kind), s: r.Sandbox}, nil
+}
+
+// BurstReport summarizes how a burst of simultaneous requests drains.
+type BurstReport struct {
+	Makespan Duration // time until the last response
+	P50      Duration
+	P99      Duration
+	Requests int
+	Cores    int
+}
+
+// Burst serves n simultaneous requests for a deployed function with the
+// given boot strategy on a machine with the given core count, reporting
+// how the burst drains (§6.6's auto-scaling scenario). Instances are
+// released afterwards.
+func (c *Client) Burst(name string, kind BootKind, n, cores int) (*BurstReport, error) {
+	sys, ok := kindToSystem[kind]
+	if !ok {
+		return nil, fmt.Errorf("catalyzer: unknown boot kind %q", kind)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, err := c.p.SimulateBurst(name, sys, n, cores)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range r.Requests {
+		c.stats.observe(kind, q.Boot)
+	}
+	return &BurstReport{
+		Makespan: r.Makespan(),
+		P50:      r.CompletionPercentile(50),
+		P99:      r.CompletionPercentile(99),
+		Requests: len(r.Requests),
+		Cores:    cores,
+	}, nil
+}
+
+// Running returns the number of live instances on the machine.
+func (c *Client) Running() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.M.Live()
+}
+
+// Now returns the machine's virtual clock reading.
+func (c *Client) Now() Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.M.Now()
+}
+
+// Kinds returns every boot kind, Catalyzer paths first.
+func Kinds() []BootKind {
+	out := []BootKind{ForkBoot, WarmBoot, ColdBoot,
+		BaselineGVisorRestore, BaselineGVisor, BaselineDocker,
+		BaselineFireCracker, BaselineHyper, BaselineNative}
+	return out
+}
+
+// SortByBootLatency orders invocations fastest-boot first (reporting
+// helper for examples).
+func SortByBootLatency(invs []*Invocation) {
+	sort.Slice(invs, func(i, j int) bool { return invs[i].BootLatency < invs[j].BootLatency })
+}

@@ -1,0 +1,81 @@
+// Command catalyzer-bench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	catalyzer-bench                # run every table and figure
+//	catalyzer-bench fig11 table2   # run selected experiments
+//	catalyzer-bench -ext           # also run the extension experiments
+//	catalyzer-bench -list          # list experiment ids
+//
+// Each experiment prints a text table whose rows mirror what the paper
+// reports (Figures 1-16, Tables 2-3), with the paper's reference numbers
+// attached as notes. Latencies are deterministic virtual time (see
+// internal/simtime); re-runs produce identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"catalyzer/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	ext := flag.Bool("ext", false, "include the extension experiments")
+	format := flag.String("format", "text", "output format: text | json | csv")
+	flag.Parse()
+
+	pick := experiments.All
+	if *ext {
+		pick = experiments.AllWithExtensions
+	}
+	if *list {
+		for _, g := range pick() {
+			fmt.Println(g.ID)
+		}
+		return
+	}
+
+	gens := pick()
+	if args := flag.Args(); len(args) > 0 {
+		gens = gens[:0]
+		for _, id := range args {
+			g, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			gens = append(gens, g)
+		}
+	}
+
+	for _, g := range gens {
+		t, err := g.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", g.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			t.Fprint(os.Stdout)
+		case "json":
+			data, err := t.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+		case "csv":
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			if err := t.CSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command catalyzer-load replays a synthetic request trace against a
+// simulated serverless machine and reports boot-latency distributions —
+// the load-testing companion to catalyzerd.
+//
+//	catalyzer-load -requests 500 -policy router
+//	catalyzer-load -policy fixed -system catalyzer-sfork
+//	catalyzer-load -policy cache -cache-cap 4
+//
+// Policies:
+//
+//	router   adaptive cold→warm→fork promotion (§6.9)
+//	fixed    every request through -system
+//	cache    bounded keep-warm instance cache over gVisor cold boots (§2.2)
+//
+// The trace is deterministic (harmonic function popularity, seeded), so
+// runs are reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/platform"
+)
+
+func main() {
+	var (
+		requests = flag.Int("requests", 300, "trace length")
+		seed     = flag.Uint64("seed", 2020, "trace seed")
+		policy   = flag.String("policy", "router", "router | fixed | cache")
+		system   = flag.String("system", string(platform.CatalyzerSfork), "system for -policy fixed")
+		cacheCap = flag.Int("cache-cap", 3, "instance capacity for -policy cache")
+		fns      = flag.String("functions", strings.Join(defaultFunctions, ","), "comma-separated workload names")
+		server   = flag.Bool("server-machine", false, "use the 96-core server cost model")
+		cmFile   = flag.String("costmodel", "", "JSON calibration file (see costmodel.ToJSON)")
+	)
+	flag.Parse()
+
+	cost := costmodel.Default()
+	if *server {
+		cost = costmodel.Server()
+	}
+	if *cmFile != "" {
+		data, err := os.ReadFile(*cmFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cost, err = costmodel.FromJSON(data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cfg := platform.TrafficConfig{
+		Functions: strings.Split(*fns, ","),
+		Requests:  *requests,
+		Seed:      *seed,
+	}
+	trace, err := platform.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := platform.New(cost)
+	metrics := platform.NewMetrics(*policy)
+
+	switch *policy {
+	case "router":
+		router := platform.NewRouter(p, platform.DefaultRouterConfig())
+		for _, name := range trace.Requests {
+			r, err := router.Invoke(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			metrics.Observe(r)
+		}
+	case "fixed":
+		sys := platform.System(*system)
+		for _, name := range trace.Requests {
+			if sys == platform.CatalyzerSfork {
+				if _, err := p.PrepareTemplate(name); err != nil {
+					log.Fatal(err)
+				}
+			} else if _, err := p.PrepareImage(name); err != nil {
+				log.Fatal(err)
+			}
+			r, err := p.Invoke(name, sys)
+			if err != nil {
+				log.Fatal(err)
+			}
+			metrics.Observe(r)
+		}
+	case "cache":
+		kw := platform.NewKeepWarmCache(p, *cacheCap, platform.GVisor)
+		defer kw.Release()
+		for _, name := range trace.Requests {
+			boot, _, err := kw.Invoke(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			metrics.ObserveDuration(boot)
+		}
+		defer func() {
+			fmt.Printf("cache: %d hits, %d misses\n", kw.Hits, kw.Misses)
+		}()
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	fmt.Printf("trace: %d requests over %d functions (seed %d)\n",
+		len(trace.Requests), len(cfg.Functions), *seed)
+	fmt.Println(metrics)
+	if *policy == "router" {
+		fmt.Printf("boot mix: %v\n", metrics.BootMix())
+	}
+	fmt.Printf("machine: %d live instances, virtual clock %v\n", p.M.Live(), p.M.Now())
+}
+
+var defaultFunctions = []string{
+	"deathstar-text", "deathstar-media", "deathstar-composepost",
+	"deathstar-uniqueid", "deathstar-timeline",
+	"c-hello", "python-hello", "nodejs-hello",
+}

@@ -1,0 +1,188 @@
+// Command catalyzerd runs the gateway daemon of §2.1 as an HTTP service:
+// it accepts "invoke function" requests, boots sandboxes through the
+// configured strategy, and reports per-invocation latency breakdowns.
+//
+//	catalyzerd -addr :8080
+//
+// Endpoints:
+//
+//	POST /deploy?fn=<workload>            prepare func-image + template
+//	POST /invoke?fn=<workload>&boot=fork  serve one request (boot: cold|warm|fork|gvisor|...)
+//	GET  /functions                       list deployable workloads
+//	GET  /stats                           machine stats (live instances, virtual clock)
+//
+// The daemon serves real HTTP over net/http; the sandboxes behind it run
+// on the simulated machine, so responses carry virtual-time latencies.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"catalyzer"
+)
+
+// server exposes a Client over HTTP. The Client is internally
+// synchronized, so handlers need no additional locking.
+type server struct {
+	client *catalyzer.Client
+}
+
+type invokeResponse struct {
+	Function string             `json:"function"`
+	Boot     string             `json:"boot"`
+	BootMS   float64            `json:"boot_ms"`
+	ExecMS   float64            `json:"exec_ms"`
+	TotalMS  float64            `json:"total_ms"`
+	PhasesMS map[string]float64 `json:"phases_ms"`
+}
+
+func (s *server) deploy(w http.ResponseWriter, r *http.Request) {
+	fn := r.URL.Query().Get("fn")
+	if fn == "" {
+		http.Error(w, "missing fn parameter", http.StatusBadRequest)
+		return
+	}
+	if err := s.client.Deploy(fn); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	fmt.Fprintf(w, "deployed %s\n", fn)
+}
+
+func (s *server) invoke(w http.ResponseWriter, r *http.Request) {
+	fn := r.URL.Query().Get("fn")
+	boot := r.URL.Query().Get("boot")
+	if boot == "" {
+		boot = string(catalyzer.ForkBoot)
+	}
+	if fn == "" {
+		http.Error(w, "missing fn parameter", http.StatusBadRequest)
+		return
+	}
+	inv, err := s.client.Invoke(fn, catalyzer.BootKind(boot))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := invokeResponse{
+		Function: inv.Function,
+		Boot:     string(inv.Kind),
+		BootMS:   float64(inv.BootLatency) / 1e6,
+		ExecMS:   float64(inv.ExecLatency) / 1e6,
+		TotalMS:  float64(inv.Total()) / 1e6,
+		PhasesMS: map[string]float64{},
+	}
+	for _, ph := range inv.Phases {
+		resp.PhasesMS[ph.Name] += float64(ph.Duration) / 1e6
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+// deployCustom registers a user-defined function from the JSON workload
+// document in the request body.
+func (s *server) deployCustom(w http.ResponseWriter, r *http.Request) {
+	doc, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	name, err := s.client.DeployCustom(doc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "deployed custom function %s\n", name)
+}
+
+// train prepares a function's pre-initialized variant (§6.7).
+func (s *server) train(w http.ResponseWriter, r *http.Request) {
+	fn := r.URL.Query().Get("fn")
+	if fn == "" {
+		http.Error(w, "missing fn parameter", http.StatusBadRequest)
+		return
+	}
+	fraction := 0.5
+	if v := r.URL.Query().Get("fraction"); v != "" {
+		if _, err := fmt.Sscanf(v, "%f", &fraction); err != nil {
+			http.Error(w, "bad fraction", http.StatusBadRequest)
+			return
+		}
+	}
+	name, err := s.client.Train(fn, fraction)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "trained variant %s\n", name)
+}
+
+func (s *server) functions(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(catalyzer.Functions())
+}
+
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	type kindStats struct {
+		Count  int     `json:"count"`
+		MeanMS float64 `json:"mean_ms"`
+		P50MS  float64 `json:"p50_ms"`
+		P99MS  float64 `json:"p99_ms"`
+		MaxMS  float64 `json:"max_ms"`
+	}
+	out := map[string]kindStats{}
+	for kind, st := range s.client.Stats() {
+		out[string(kind)] = kindStats{
+			Count:  st.Count,
+			MeanMS: float64(st.MeanBoot) / 1e6,
+			P50MS:  float64(st.P50Boot) / 1e6,
+			P99MS:  float64(st.P99Boot) / 1e6,
+			MaxMS:  float64(st.MaxBoot) / 1e6,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"live_instances":   s.client.Running(),
+		"virtual_clock_ms": float64(s.client.Now()) / 1e6,
+	})
+}
+
+// Handler builds the HTTP mux (exported shape for tests).
+func Handler(c *catalyzer.Client) http.Handler {
+	s := &server{client: c}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /deploy", s.deploy)
+	mux.HandleFunc("POST /deploy-custom", s.deployCustom)
+	mux.HandleFunc("POST /train", s.train)
+	mux.HandleFunc("POST /invoke", s.invoke)
+	mux.HandleFunc("GET /functions", s.functions)
+	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	server := flag.Bool("server-machine", false, "use the 96-core server cost model")
+	flag.Parse()
+
+	var opts []catalyzer.Option
+	if *server {
+		opts = append(opts, catalyzer.WithServerMachine())
+	}
+	c := catalyzer.NewClient(opts...)
+	log.Printf("catalyzerd listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, Handler(c)))
+}

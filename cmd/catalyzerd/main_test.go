@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"catalyzer"
+	"catalyzer/internal/workload"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler(catalyzer.NewClient()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, srv *httptest.Server, path string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestDeployAndInvoke(t *testing.T) {
+	srv := newTestServer(t)
+
+	if resp := post(t, srv, "/deploy?fn=c-hello"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+	resp := post(t, srv, "/invoke?fn=c-hello&boot=fork")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke status = %d", resp.StatusCode)
+	}
+	var body invokeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Function != "c-hello" || body.Boot != "fork" {
+		t.Fatalf("body = %+v", body)
+	}
+	if body.BootMS <= 0 || body.BootMS >= 1 {
+		t.Fatalf("fork boot = %.3fms, want sub-millisecond", body.BootMS)
+	}
+	if body.TotalMS < body.BootMS+body.ExecMS-0.001 {
+		t.Fatalf("total %.3f != boot %.3f + exec %.3f", body.TotalMS, body.BootMS, body.ExecMS)
+	}
+	if len(body.PhasesMS) == 0 {
+		t.Fatal("no phases reported")
+	}
+}
+
+func TestInvokeDefaultsToFork(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv, "/deploy?fn=c-hello")
+	resp := post(t, srv, "/invoke?fn=c-hello")
+	var body invokeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Boot != string(catalyzer.ForkBoot) {
+		t.Fatalf("default boot = %s", body.Boot)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	srv := newTestServer(t)
+	if resp := post(t, srv, "/deploy"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("deploy without fn = %d", resp.StatusCode)
+	}
+	if resp := post(t, srv, "/deploy?fn=not-a-function"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deploy unknown fn = %d", resp.StatusCode)
+	}
+	if resp := post(t, srv, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invoke before deploy = %d", resp.StatusCode)
+	}
+	if resp := post(t, srv, "/invoke"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invoke without fn = %d", resp.StatusCode)
+	}
+	post(t, srv, "/deploy?fn=c-hello")
+	if resp := post(t, srv, "/invoke?fn=c-hello&boot=nonsense"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invoke bogus boot = %d", resp.StatusCode)
+	}
+}
+
+func TestFunctionsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/functions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fns []string
+	if err := json.NewDecoder(resp.Body).Decode(&fns); err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) < 25 {
+		t.Fatalf("functions = %d", len(fns))
+	}
+	found := false
+	for _, f := range fns {
+		if f == "java-specjbb" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("java-specjbb missing from /functions")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv, "/deploy?fn=c-hello")
+	post(t, srv, "/invoke?fn=c-hello&boot=fork")
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["virtual_clock_ms"] <= 0 {
+		t.Fatalf("stats = %v", stats)
+	}
+	// Templates stay alive; transient request instances are released.
+	if stats["live_instances"] < 1 {
+		t.Fatalf("live = %v, want template running", stats["live_instances"])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv, "/deploy?fn=c-hello")
+	post(t, srv, "/invoke?fn=c-hello&boot=fork")
+	post(t, srv, "/invoke?fn=c-hello&boot=fork")
+	post(t, srv, "/invoke?fn=c-hello&boot=cold")
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]struct {
+		Count  int     `json:"count"`
+		MeanMS float64 `json:"mean_ms"`
+		P99MS  float64 `json:"p99_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["fork"].Count != 2 || out["cold"].Count != 1 {
+		t.Fatalf("metrics = %+v", out)
+	}
+	if out["fork"].MeanMS <= 0 || out["fork"].MeanMS >= out["cold"].MeanMS {
+		t.Fatalf("fork mean %.3f vs cold mean %.3f", out["fork"].MeanMS, out["cold"].MeanMS)
+	}
+}
+
+func TestDeployCustomAndTrain(t *testing.T) {
+	srv := newTestServer(t)
+	doc := `{
+	  "name": "daemon-custom-fn", "language": "c",
+	  "configKB": 4, "taskImagePages": 400, "rootMounts": 1,
+	  "initComputeMS": 2, "initSyscalls": 200, "initMmaps": 20,
+	  "initFiles": 8, "initFilePages": 100, "initHeapPages": 300,
+	  "kernelObjects": 3500, "kernelThreads": 10, "kernelTimers": 4,
+	  "conns": {"total": 6, "hot": 4, "sockets": 1},
+	  "execComputeUS": 400, "execSyscalls": 50, "execPages": 40,
+	  "execConns": 2
+	}`
+	resp, err := http.Post(srv.URL+"/deploy-custom", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy-custom status = %d", resp.StatusCode)
+	}
+	defer workload.Unregister("daemon-custom-fn")
+	inv := post(t, srv, "/invoke?fn=daemon-custom-fn&boot=fork")
+	if inv.StatusCode != http.StatusOK {
+		t.Fatalf("invoke custom = %d", inv.StatusCode)
+	}
+
+	// Training the built-in function produces an invocable variant.
+	post(t, srv, "/deploy?fn=deathstar-text")
+	tr := post(t, srv, "/train?fn=deathstar-text&fraction=0.5")
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("train status = %d", tr.StatusCode)
+	}
+	defer workload.Unregister("deathstar-text@pretrained")
+	got := post(t, srv, "/invoke?fn=deathstar-text@pretrained&boot=fork")
+	if got.StatusCode != http.StatusOK {
+		t.Fatalf("invoke trained = %d", got.StatusCode)
+	}
+	// Bad inputs rejected.
+	if r := post(t, srv, "/train"); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("train without fn = %d", r.StatusCode)
+	}
+	if r := post(t, srv, "/train?fn=deathstar-text&fraction=nope"); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("train bad fraction = %d", r.StatusCode)
+	}
+	badDoc, err := http.Post(srv.URL+"/deploy-custom", "application/json", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badDoc.Body.Close()
+	if badDoc.StatusCode != http.StatusBadRequest {
+		t.Fatalf("deploy-custom junk = %d", badDoc.StatusCode)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/deploy?fn=c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET /deploy accepted")
+	}
+	body := strings.NewReader("")
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/stats", body)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("DELETE /stats accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Command funcimage builds and inspects func-images — the checkpoint
+// artifacts Catalyzer boots from (§2.2, §5).
+//
+// Usage:
+//
+//	funcimage build <workload> [-o file.cimg]     # offline func-image compilation
+//	funcimage build -spec spec.json [-o file]     # build from a custom workload document
+//	funcimage inspect <file.cimg>                 # print image sections
+//	funcimage list                                # list buildable workloads
+//	funcimage push <file.cimg> -registry URL      # upload to an image registry
+//	funcimage pull <name> -registry URL [-o file] # fetch from a registry
+//	funcimage serve -dir DIR [-addr :8081]        # run an image registry
+//
+// Build performs the paper's offline pipeline: boot the function in a
+// gVisor-style sandbox up to its func-entry point, capture the guest
+// kernel in both serialization formats, record the memory section
+// geometry, profile one execution to learn the I/O cache, and write the
+// binary image.
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/image"
+	"catalyzer/internal/sandbox"
+	"catalyzer/internal/vfs"
+	"catalyzer/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = build(os.Args[2:])
+	case "inspect":
+		err = inspect(os.Args[2:])
+	case "push":
+		err = push(os.Args[2:])
+	case "pull":
+		err = pull(os.Args[2:])
+	case "serve":
+		err = serve(os.Args[2:])
+	case "list":
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "funcimage:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: funcimage <command>
+  build <workload> [-o file.cimg]
+  build -spec spec.json [-o file.cimg]
+  inspect <file.cimg>
+  push <file.cimg> -registry URL
+  pull <name> -registry URL [-o file.cimg]
+  serve -dir DIR [-addr :8081]
+  list`)
+	os.Exit(2)
+}
+
+// flagValue extracts "-name value" from args.
+func flagValue(args []string, name string) (string, bool) {
+	for i := 0; i < len(args)-1; i++ {
+		if args[i] == name {
+			return args[i+1], true
+		}
+	}
+	return "", false
+}
+
+func rootFSFor(spec *workload.Spec) *vfs.FSServer {
+	root := vfs.NewTree()
+	root.Add("/app/wrapper", vfs.File{Size: int64(spec.TaskImagePages) * 4096})
+	root.Add("/var/log/"+spec.Name+".log", vfs.File{LogFile: true})
+	for _, c := range spec.Conns {
+		root.Add(c.Path, vfs.File{Size: 4096})
+	}
+	return vfs.NewFSServer(root)
+}
+
+func build(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	var spec *workload.Spec
+	var err error
+	if specFile, ok := flagValue(args, "-spec"); ok {
+		doc, err := os.ReadFile(specFile)
+		if err != nil {
+			return err
+		}
+		spec, err = workload.ParseSpec(doc)
+		if err != nil {
+			return err
+		}
+		if regErr := workload.RegisterCustom(spec); regErr != nil {
+			return regErr
+		}
+		defer workload.Unregister(spec.Name)
+	} else {
+		spec, err = workload.Registry(args[0])
+		if err != nil {
+			return err
+		}
+	}
+	name := spec.Name
+	out := name + ".cimg"
+	if v, ok := flagValue(args, "-o"); ok {
+		out = v
+	}
+	m := sandbox.NewMachine(costmodel.Default())
+	s, tl, bootErr := sandbox.BootCold(m, spec, rootFSFor(spec), sandbox.GVisorOptions(m))
+	if bootErr != nil {
+		return bootErr
+	}
+	img, err := s.BuildImage()
+	if err != nil {
+		return err
+	}
+	if _, err := s.Execute(); err != nil {
+		return err
+	}
+	if s.Cache.Len() > 0 {
+		img.IOCache = s.Cache
+	}
+	data, err := img.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("built %s (%d bytes) from %s\n", out, len(data), name)
+	fmt.Printf("  offline initialization: %v (virtual)\n", tl.Total())
+	fmt.Printf("  memory section: %d pages (%d MB)\n", img.Mem.Pages, img.Mem.Bytes()>>20)
+	fmt.Printf("  metadata objects: %d bytes, relations: %d\n",
+		img.MetadataBytes(), len(img.Kernel.Records.Relations))
+	fmt.Printf("  io connections: %d (cache: %d entries, %d bytes)\n",
+		len(img.Kernel.ConnRecords), cacheLen(img), img.IOCacheBytes())
+	return nil
+}
+
+func cacheLen(img *image.Image) int {
+	if img.IOCache == nil {
+		return 0
+	}
+	return img.IOCache.Len()
+}
+
+func inspect(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	img, err := image.Decode(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("func-image %s\n", args[0])
+	fmt.Printf("  function:   %s (%s)\n", img.Name, img.Language)
+	fmt.Printf("  entry:      %s\n", img.Entry)
+	fmt.Printf("  memory:     %d pages / %d MB (seed %#x)\n", img.Mem.Pages, img.Mem.Bytes()>>20, img.Mem.Seed)
+	fmt.Printf("  baseline:   %d bytes (flate, one-by-one records)\n", len(img.Kernel.Baseline))
+	fmt.Printf("  records:    %d bytes, %d objects, %d relations\n",
+		len(img.Kernel.Records.Region), len(img.Kernel.Records.Index), len(img.Kernel.Records.Relations))
+	fmt.Printf("  critical:   %d objects recovered on the critical path\n", img.Kernel.CriticalCount)
+	fmt.Printf("  conns:      %d records\n", len(img.Kernel.ConnRecords))
+	fmt.Printf("  io cache:   %d entries / %d bytes\n", cacheLen(img), img.IOCacheBytes())
+	return nil
+}
+
+func push(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	registry, ok := flagValue(args, "-registry")
+	if !ok {
+		return fmt.Errorf("push requires -registry URL")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	img, err := image.Decode(data)
+	if err != nil {
+		return err
+	}
+	cache, err := image.NewStore(cacheDir())
+	if err != nil {
+		return err
+	}
+	client := image.NewRegistryClient(registry, cache)
+	if err := client.Push(img); err != nil {
+		return err
+	}
+	fmt.Printf("pushed %s (%d bytes) to %s\n", img.Name, len(data), registry)
+	return nil
+}
+
+func pull(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	name := args[0]
+	registry, ok := flagValue(args, "-registry")
+	if !ok {
+		return fmt.Errorf("pull requires -registry URL")
+	}
+	out := name + ".cimg"
+	if v, okOut := flagValue(args, "-o"); okOut {
+		out = v
+	}
+	cache, err := image.NewStore(cacheDir())
+	if err != nil {
+		return err
+	}
+	client := image.NewRegistryClient(registry, cache)
+	img, err := client.Fetch(name)
+	if err != nil {
+		return err
+	}
+	data, err := img.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("pulled %s (%d bytes) to %s\n", name, len(data), out)
+	return nil
+}
+
+func serve(args []string) error {
+	dir, ok := flagValue(args, "-dir")
+	if !ok {
+		return fmt.Errorf("serve requires -dir DIR")
+	}
+	addr := ":8081"
+	if v, okAddr := flagValue(args, "-addr"); okAddr {
+		addr = v
+	}
+	store, err := image.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("image registry on %s serving %s\n", addr, dir)
+	return http.ListenAndServe(addr, image.NewRegistryServer(store).Handler())
+}
+
+// cacheDir returns the client-side image cache location.
+func cacheDir() string {
+	if v := os.Getenv("FUNCIMAGE_CACHE"); v != "" {
+		return v
+	}
+	home, err := os.UserHomeDir()
+	if err != nil {
+		return ".funcimage-cache"
+	}
+	return home + "/.cache/funcimage"
+}

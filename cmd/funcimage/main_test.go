@@ -1,0 +1,162 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"catalyzer/internal/image"
+	"catalyzer/internal/workload"
+)
+
+func TestBuildAndInspectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fn.cimg")
+	if err := build([]string{"c-nginx", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := image.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.MustGet("c-nginx")
+	if img.Name != "c-nginx" {
+		t.Fatalf("image name = %s", img.Name)
+	}
+	if img.Mem.Pages != uint64(spec.InitHeapPages) {
+		t.Fatalf("memory pages = %d, want %d", img.Mem.Pages, spec.InitHeapPages)
+	}
+	if len(img.Kernel.Records.Index) != spec.KernelObjects {
+		t.Fatalf("objects = %d, want %d", len(img.Kernel.Records.Index), spec.KernelObjects)
+	}
+	if img.IOCache == nil || img.IOCache.Len() != spec.HotConns() {
+		t.Fatalf("io cache = %v", img.IOCache)
+	}
+	if err := inspect([]string{out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildUnknownWorkload(t *testing.T) {
+	if err := build([]string{"no-such-workload", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Fatal("build of unknown workload succeeded")
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	if err := inspect([]string{filepath.Join(t.TempDir(), "missing.cimg")}); err == nil {
+		t.Fatal("inspect of missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cimg")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspect([]string{bad}); err == nil {
+		t.Fatal("inspect of corrupt file succeeded")
+	}
+}
+
+func TestBuildFromSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "fn.json")
+	doc := `{
+	  "name": "spec-built-fn", "language": "c",
+	  "configKB": 4, "taskImagePages": 500, "rootMounts": 1,
+	  "initComputeMS": 2, "initSyscalls": 300, "initMmaps": 30,
+	  "initFiles": 10, "initFilePages": 200, "initHeapPages": 400,
+	  "kernelObjects": 4000, "kernelThreads": 12, "kernelTimers": 4,
+	  "conns": {"total": 8, "hot": 5, "sockets": 1},
+	  "execComputeUS": 500, "execSyscalls": 60, "execPages": 50,
+	  "execConns": 2
+	}`
+	if err := os.WriteFile(specPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "fn.cimg")
+	if err := build([]string{"-spec", specPath, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := image.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Name != "spec-built-fn" || img.Mem.Pages != 400 {
+		t.Fatalf("image = %s/%d pages", img.Name, img.Mem.Pages)
+	}
+	// The custom registration is cleaned up after the build.
+	if _, err := workload.Registry("spec-built-fn"); err == nil {
+		t.Fatal("custom spec leaked into the registry")
+	}
+}
+
+func TestPushPullAgainstRegistry(t *testing.T) {
+	t.Setenv("FUNCIMAGE_CACHE", filepath.Join(t.TempDir(), "cache"))
+	storeDir := t.TempDir()
+	store, err := image.NewStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(image.NewRegistryServer(store).Handler())
+	defer srv.Close()
+
+	dir := t.TempDir()
+	built := filepath.Join(dir, "c-hello.cimg")
+	if err := build([]string{"c-hello", "-o", built}); err != nil {
+		t.Fatal(err)
+	}
+	if err := push([]string{built, "-registry", srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	pulled := filepath.Join(dir, "pulled.cimg")
+	if err := pull([]string{"c-hello", "-registry", srv.URL, "-o", pulled}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(pulled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("pulled image differs from pushed image")
+	}
+	// Missing flags are rejected.
+	if err := push([]string{built}); err == nil {
+		t.Fatal("push without -registry succeeded")
+	}
+	if err := pull([]string{"c-hello"}); err == nil {
+		t.Fatal("pull without -registry succeeded")
+	}
+	if err := serve([]string{}); err == nil {
+		t.Fatal("serve without -dir succeeded")
+	}
+}
+
+func TestBuildDefaultOutput(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := build([]string{"c-hello"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("c-hello.cimg"); err != nil {
+		t.Fatalf("default output missing: %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+package catalyzer_test
+
+import (
+	"fmt"
+
+	"catalyzer"
+)
+
+// The basic flow: deploy once (offline initialization), then fork-boot
+// instances in about a millisecond. Virtual time is deterministic, so the
+// output is stable.
+func Example() {
+	client := catalyzer.NewClient()
+	if err := client.Deploy("java-specjbb"); err != nil {
+		panic(err)
+	}
+	inv, err := client.Invoke("java-specjbb", catalyzer.ForkBoot)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("boot:", inv.BootLatency)
+	// Output:
+	// boot: 1.653ms
+}
+
+// Comparing boot strategies on the same function.
+func Example_bootKinds() {
+	client := catalyzer.NewClient()
+	if err := client.Deploy("c-hello"); err != nil {
+		panic(err)
+	}
+	for _, kind := range []catalyzer.BootKind{
+		catalyzer.BaselineGVisor, catalyzer.ColdBoot, catalyzer.WarmBoot, catalyzer.ForkBoot,
+	} {
+		inv, err := client.Invoke("c-hello", kind)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s %v\n", kind, inv.BootLatency)
+	}
+	// Output:
+	// gvisor 130.6ms
+	// cold 27.928795ms
+	// warm 1.626795ms
+	// fork 703µs
+}
+
+// Keeping instances running and observing page sharing.
+func Example_instances() {
+	client := catalyzer.NewClient()
+	if err := client.Deploy("deathstar-text"); err != nil {
+		panic(err)
+	}
+	a, err := client.Start("deathstar-text", catalyzer.ForkBoot)
+	if err != nil {
+		panic(err)
+	}
+	b, err := client.Start("deathstar-text", catalyzer.ForkBoot)
+	if err != nil {
+		panic(err)
+	}
+	defer a.Release()
+	defer b.Release()
+	fmt.Println("rss equal:", a.RSS() == b.RSS())
+	fmt.Println("pss below rss:", a.PSS() < float64(a.RSS()))
+	// Output:
+	// rss equal: true
+	// pss below rss: true
+}

@@ -1,0 +1,3 @@
+module catalyzer
+
+go 1.22

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/sandbox"
+	"catalyzer/internal/workload"
+)
+
+func TestSforkRandomizedLayouts(t *testing.T) {
+	m := sandbox.NewMachine(costmodel.Default())
+	c := New(m)
+	tmpl, err := c.MakeTemplate(workload.MustGet("deathstar-text"), newRootFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := tmpl.SforkRandomized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := tmpl.SforkRandomized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layouts differ between children and from the template.
+	if a.HeapStart() == b.HeapStart() {
+		t.Fatalf("siblings share heap base %#x: ASLR ineffective", a.HeapStart())
+	}
+	if a.HeapStart() == tmpl.Sandbox().HeapStart() && b.HeapStart() == tmpl.Sandbox().HeapStart() {
+		t.Fatal("children inherited the template layout")
+	}
+	// Contents are intact at the new addresses.
+	want, err := tmpl.Sandbox().AS.Read(tmpl.Sandbox().HeapStart() + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.AS.Read(a.HeapStart() + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("relocated page content = %#x, want %#x", got, want)
+	}
+	// Isolation still holds after relocation.
+	if err := a.AS.Write(a.HeapStart()+5, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.AS.Read(b.HeapStart() + 5); got != want {
+		t.Fatal("write leaked across randomized siblings")
+	}
+	// Execution works on the relocated layout.
+	if _, err := a.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Execute(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSforkRandomizedCostsMore(t *testing.T) {
+	m := sandbox.NewMachine(costmodel.Default())
+	c := New(m)
+	tmpl, err := c.MakeTemplate(workload.MustGet("c-hello"), newRootFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plain, err := tmpl.Sfork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rand, err := tmpl.SforkRandomized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rand.Total() <= plain.Total() {
+		t.Fatalf("randomized sfork (%v) not dearer than plain (%v)", rand.Total(), plain.Total())
+	}
+	// Still well under the warm-boot regime.
+	if rand.Total() > 3*plain.Total() {
+		t.Fatalf("randomization overhead too large: %v vs %v", rand.Total(), plain.Total())
+	}
+}
+
+func TestASLRDeltaDeterministicAndBounded(t *testing.T) {
+	seen := map[uint64]bool{}
+	for n := uint64(0); n < 200; n++ {
+		d := aslrDelta(n)
+		if d >= maxASLRDeltaPages {
+			t.Fatalf("delta %d out of range", d)
+		}
+		if d != aslrDelta(n) {
+			t.Fatal("delta not deterministic")
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct deltas in 200 forks", len(seen))
+	}
+}
+
+func TestTemplateRefresh(t *testing.T) {
+	m := sandbox.NewMachine(costmodel.Default())
+	c := New(m)
+	tmpl, err := c.MakeTemplate(workload.MustGet("c-hello"), newRootFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, _, err := tmpl.Sfork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.Forks() != 1 {
+		t.Fatalf("Forks = %d", tmpl.Forks())
+	}
+	sigBefore := tmpl.Sandbox().Kernel.Signature()
+	if err := tmpl.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.Forks() != 0 {
+		t.Fatal("Refresh did not reset fork counter")
+	}
+	// Refreshed template holds equivalent state and still forks.
+	if tmpl.Sandbox().Kernel.Signature() != sigBefore {
+		t.Fatal("refreshed template kernel state diverged")
+	}
+	next, _, err := tmpl.Sfork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-refresh children keep working: their pages are self-referenced.
+	if _, err := child.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := next.Execute(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSforkFromReleasedTemplateFails(t *testing.T) {
+	m := sandbox.NewMachine(costmodel.Default())
+	c := New(m)
+	tmpl, err := c.MakeTemplate(workload.MustGet("c-hello"), newRootFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl.Sandbox().Release()
+	if _, _, err := tmpl.Sfork(); err == nil {
+		t.Fatal("sfork from released template succeeded")
+	}
+	if _, _, err := tmpl.SforkRandomized(); err == nil {
+		t.Fatal("randomized sfork from released template succeeded")
+	}
+}

@@ -1,0 +1,269 @@
+// Package core implements Catalyzer itself — the paper's contribution.
+//
+// Three boot paths (Figure 7):
+//
+//   - Cold boot: restore a new sandbox from a func-image with on-demand
+//     restore (§3): overlay memory maps the image directly, separated
+//     state recovery replaces one-by-one deserialization, I/O
+//     reconnection is deferred to first use.
+//   - Warm boot: the same restore, but starting from a cached
+//     virtualization sandbox Zygote (§3.4) and sharing the running
+//     instances' base memory mapping; the I/O cache re-connects the
+//     deterministic connections on the critical path.
+//   - Fork boot: sfork a running template sandbox (§4) — transient
+//     single-thread fork of the Go runtime, CoW address-space clone,
+//     stateless overlay rootFS, namespace-preserved identity.
+//
+// Each path returns the booted Sandbox plus a phase timeline; latency is
+// emergent from the work performed.
+package core
+
+import (
+	"fmt"
+
+	"catalyzer/internal/guest"
+	"catalyzer/internal/image"
+	"catalyzer/internal/sandbox"
+	"catalyzer/internal/simtime"
+	"catalyzer/internal/vfs"
+	"catalyzer/internal/workload"
+)
+
+// Flags select which of Catalyzer's on-demand restore techniques are
+// active. All true is Catalyzer; progressively enabling them reproduces
+// the Figure 12 ablation.
+type Flags struct {
+	// OverlayMemory maps the func-image's memory section directly
+	// (Base-EPT + CoW) instead of loading every page (§3.1).
+	OverlayMemory bool
+	// SeparatedState restores kernel metadata by map+parallel-fixup
+	// instead of one-by-one deserialization (§3.2).
+	SeparatedState bool
+	// LazyIO defers I/O re-do operations to first use, with the I/O
+	// cache reconnecting deterministic connections in warm boots (§3.3).
+	LazyIO bool
+}
+
+// AllFlags is full Catalyzer.
+func AllFlags() Flags { return Flags{OverlayMemory: true, SeparatedState: true, LazyIO: true} }
+
+// Catalyzer is the engine bound to one machine. Creating it applies the
+// host-side tunings the paper describes (§6.7): the KVM allocation cache
+// (PML is already disabled for baselines too).
+type Catalyzer struct {
+	M *sandbox.Machine
+}
+
+// New returns a Catalyzer engine on m.
+func New(m *sandbox.Machine) *Catalyzer {
+	m.KVM.AllocCache = true
+	return &Catalyzer{M: m}
+}
+
+// Zygote is a generalized virtualization sandbox prepared offline: base
+// configuration parsed, sandbox and I/O processes started, Sentry booted,
+// VM and VCPUs created, base rootfs mounted (§3.4). It carries no
+// function-specific state and can specialize into any function's sandbox.
+type Zygote struct {
+	c    *Catalyzer
+	used bool
+}
+
+// NewZygote builds a Zygote, charging its construction to the current
+// (offline) clock.
+func (c *Catalyzer) NewZygote() *Zygote {
+	env := c.M.Env
+	env.ChargeN(env.Cost.ConfigParsePerKB, 2) // base configuration
+	env.Charge(env.Cost.HostForkExec)
+	env.Charge(env.Cost.HostForkExec)
+	env.Charge(env.Cost.SentryBoot)
+	vm := c.M.KVM.CreateVM()
+	vm.AddVCPU()
+	_ = vm.SetMemoryRegion(1 << 16)
+	env.Charge(env.Cost.MountFS) // base rootfs
+	return &Zygote{c: c}
+}
+
+// ZygotePool caches ready Zygotes; the platform refills it off the
+// critical path.
+type ZygotePool struct {
+	c     *Catalyzer
+	ready []*Zygote
+}
+
+// NewZygotePool builds a pool of n Zygotes (offline).
+func NewZygotePool(c *Catalyzer, n int) *ZygotePool {
+	p := &ZygotePool{c: c}
+	p.Fill(n)
+	return p
+}
+
+// Fill tops the pool up to n ready Zygotes.
+func (p *ZygotePool) Fill(n int) {
+	for len(p.ready) < n {
+		p.ready = append(p.ready, p.c.NewZygote())
+	}
+}
+
+// Take removes a Zygote, or returns nil if the pool is empty (the caller
+// falls back to a cold boot).
+func (p *ZygotePool) Take() *Zygote {
+	if len(p.ready) == 0 {
+		return nil
+	}
+	z := p.ready[len(p.ready)-1]
+	p.ready = p.ready[:len(p.ready)-1]
+	return z
+}
+
+// Ready returns the number of cached Zygotes.
+func (p *ZygotePool) Ready() int { return len(p.ready) }
+
+// BootRestore is Catalyzer's restore-based boot. With zygote == nil it is
+// a cold boot (Catalyzer-restore): the sandbox is constructed on the
+// critical path. With a Zygote it is a warm boot (Catalyzer-Zygote):
+// construction happened offline and only specialization remains. mapping
+// is the function's shared base memory mapping; nil makes the boot
+// establish it (map-file), non-nil shares it (§3.1). cache is the
+// function's I/O cache, used when LazyIO is on.
+func (c *Catalyzer) BootRestore(img *image.Image, fs *vfs.FSServer, zygote *Zygote, mapping *image.Mapping, cache *vfs.IOCache, flags Flags) (*sandbox.Sandbox, *image.Mapping, *simtime.Timeline, error) {
+	if err := img.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	spec, err := workload.Registry(img.Name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if zygote != nil && zygote.used {
+		return nil, nil, nil, fmt.Errorf("core: zygote already specialized")
+	}
+
+	m := c.M
+	env := m.Env
+	if flags.OverlayMemory {
+		// Overlay memory demand-pages against the shared mapping; only
+		// the metadata copy and the CoW working set become private.
+		if err := m.AdmitPages(spec.ExecPages + 64); err != nil {
+			return nil, nil, nil, err
+		}
+	} else if err := m.AdmitPages(spec.TaskImagePages + spec.InitHeapPages); err != nil {
+		return nil, nil, nil, err
+	}
+	tl := simtime.NewTimeline(env.Clock)
+	s := sandbox.NewRestoredShell(m, spec, catalyzerOptions(m), fs)
+
+	if zygote == nil {
+		// Cold boot: construct the sandbox now.
+		var cfgErr error
+		tl.Measure(sandbox.PhaseParseConfig, func() {
+			cfgErr = sandbox.ParseConfig(m, spec)
+		})
+		if cfgErr != nil {
+			return nil, nil, nil, cfgErr
+		}
+		tl.Measure(sandbox.PhaseBootProcess, func() {
+			env.Charge(env.Cost.HostForkExec)
+			env.Charge(env.Cost.HostForkExec)
+			env.ChargeN(env.Cost.InstanceInterference, m.Live()-1)
+		})
+		tl.Record(sandbox.PhaseSentryBoot, env.Cost.SentryBoot)
+		tl.Measure(sandbox.PhaseCreateKernel, func() {
+			vm := m.KVM.CreateVM()
+			vm.AddVCPU()
+			_ = vm.SetMemoryRegion(uint64(spec.TaskImagePages + spec.InitHeapPages))
+			s.SetVM(vm)
+		})
+		tl.Measure(sandbox.PhaseMountRootFS, func() {
+			env.ChargeN(env.Cost.MountFS, 1+spec.RootMounts)
+		})
+	} else {
+		// Warm boot: specialize the cached Zygote.
+		zygote.used = true
+		tl.Measure(sandbox.PhaseZygoteSpecialize, func() {
+			env.Charge(env.Cost.ZygoteSpecialize)
+			env.ChargeN(env.Cost.ZygoteImportBinary, importedBinaries(spec))
+			env.Charge(env.Cost.MountFS) // app rootfs mount
+			env.ChargeN(env.Cost.InstanceInterferenceLight, m.Live()-1)
+		})
+	}
+
+	env.Charge(env.Cost.RestoreTaskCreate)
+
+	// Application memory.
+	var memErr error
+	if flags.OverlayMemory {
+		tl.Measure(sandbox.PhaseMapImage, func() {
+			if mapping == nil {
+				mapping = image.NewMapping(env, m.Frames, img.Mem)
+			} else {
+				mapping = mapping.Share(env)
+			}
+			memErr = s.MapImageHeap(mapping)
+		})
+	} else {
+		tl.Measure(sandbox.PhaseLoadAppMemory, func() {
+			memErr = s.LoadAllHeap(img)
+		})
+	}
+	if memErr != nil {
+		return nil, nil, nil, memErr
+	}
+
+	// Guest-kernel state.
+	var k *guest.Kernel
+	var kErr error
+	tl.Measure(sandbox.PhaseRecoverKernel, func() {
+		if flags.SeparatedState {
+			k, kErr = guest.RestoreSeparated(env, img.Kernel)
+		} else {
+			k, kErr = guest.RestoreBaseline(env, img.Kernel)
+		}
+	})
+	if kErr != nil {
+		return nil, nil, nil, fmt.Errorf("core: restore: %w", kErr)
+	}
+
+	// I/O connections, plus the persistent log descriptor (the one
+	// read-write grant, §4.2).
+	var ioErr error
+	tl.Measure(sandbox.PhaseReconnectIO, func() {
+		switch {
+		case !flags.LazyIO:
+			k.Conns = vfs.RestoreEager(env, img.Kernel.ConnRecords)
+		case cache != nil:
+			k.Conns = vfs.RestoreWithCache(env, img.Kernel.ConnRecords, cache)
+		default:
+			k.Conns = vfs.RestoreLazy(env, img.Kernel.ConnRecords)
+		}
+		s.SetKernel(k)
+		ioErr = s.AcquireLogGrant()
+	})
+	if ioErr != nil {
+		return nil, nil, nil, ioErr
+	}
+
+	tl.Record(sandbox.PhaseSendRPC, env.Cost.RPCSend)
+	s.AtEntry = true
+	return s, mapping, tl, nil
+}
+
+// importedBinaries estimates the function-specific binaries/libraries a
+// Zygote imports during specialization (§3.4): roughly one bundle per 20
+// initialization files.
+func importedBinaries(spec *workload.Spec) int {
+	n := spec.InitFiles / 20
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func catalyzerOptions(m *sandbox.Machine) sandbox.Options {
+	return sandbox.Options{
+		Profile:     sandbox.GVisorProfile(m.Env.Cost),
+		SentryBoot:  true,
+		HardwareVM:  true,
+		GuestKernel: true,
+		VCPUs:       1,
+	}
+}

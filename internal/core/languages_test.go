@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/sandbox"
+	"catalyzer/internal/simtime"
+	"catalyzer/internal/workload"
+)
+
+// TestLanguageTemplatesForAllLanguages builds one runtime template per
+// supported language and boots its hello function (§4.3: "a single Java
+// runtime template is sufficient to boost our internal functions").
+func TestLanguageTemplatesForAllLanguages(t *testing.T) {
+	cases := []struct {
+		lang workload.Language
+		fn   string
+	}{
+		{workload.C, "c-hello"},
+		{workload.Java, "java-hello"},
+		{workload.Python, "python-hello"},
+		{workload.Ruby, "ruby-hello"},
+		{workload.Node, "nodejs-hello"},
+	}
+	for _, c := range cases {
+		m := sandbox.NewMachine(costmodel.Default())
+		cat := New(m)
+		lt, err := cat.MakeLanguageTemplate(c.lang, newRootFS())
+		if err != nil {
+			t.Fatalf("%s: %v", c.lang, err)
+		}
+		s, tl, err := lt.BootFunction(workload.MustGet(c.fn))
+		if err != nil {
+			t.Fatalf("%s: %v", c.lang, err)
+		}
+		// Language templates land between fork boot and full cold boot.
+		if tl.Total() < 500*simtime.Microsecond || tl.Total() > 60*simtime.Millisecond {
+			t.Errorf("%s template boot = %v", c.lang, tl.Total())
+		}
+		if _, err := s.Execute(); err != nil {
+			t.Fatalf("%s: execute: %v", c.lang, err)
+		}
+	}
+	m := sandbox.NewMachine(costmodel.Default())
+	if _, err := New(m).MakeLanguageTemplate(workload.Language("cobol"), newRootFS()); err == nil {
+		t.Fatal("unknown language template accepted")
+	}
+}
+
+func TestLanguageTemplateFasterThanNativeAndGVisor(t *testing.T) {
+	// Table 2's relationships: template < native < gVisor.
+	m := sandbox.NewMachine(costmodel.Default())
+	cat := New(m)
+	lt, err := cat.MakeLanguageTemplate(workload.Java, newRootFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tl, err := lt.BootFunction(workload.MustGet("java-hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := sandbox.NewMachine(costmodel.Default())
+	_, tlNative, err := sandbox.BootCold(mn, workload.MustGet("java-hello"), newRootFS(), sandbox.Options{
+		Profile: sandbox.NativeProfile(mn.Env.Cost),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Java template sandbox can even boost the startup latency better
+	// than the native (3.0x and 3.7x faster)" (§6.2).
+	ratio := float64(tlNative.Total()) / float64(tl.Total())
+	if ratio < 2 || ratio > 6 {
+		t.Fatalf("native/template = %.1fx, paper ~3x", ratio)
+	}
+}
+
+func TestWarmBootWithoutCacheFallsBackToLazy(t *testing.T) {
+	img := buildImage(t, "java-specjbb")
+	m := sandbox.NewMachine(costmodel.Default())
+	c := New(m)
+	z := c.NewZygote()
+	// No I/O cache supplied: every connection stays pending.
+	s, _, _, err := c.BootRestore(img, newRootFS(), z, nil, nil, AllFlags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kernel.Conns.PendingCount() != len(img.Kernel.ConnRecords) {
+		t.Fatalf("pending = %d, want all %d", s.Kernel.Conns.PendingCount(), len(img.Kernel.ConnRecords))
+	}
+	// Execution then pays the lazy re-dos for the connections it uses.
+	before := m.Env.Now()
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	execD := m.Env.Now() - before
+	if execD < m.Env.Cost.ConnReconnect { // at least one lazy reconnect happened
+		t.Fatalf("exec %v paid no lazy reconnects", execD)
+	}
+	if s.Kernel.Conns.LazyReconnects == 0 {
+		t.Fatal("no lazy reconnects recorded")
+	}
+}
+
+func TestEagerFlagRestoresEverythingUpFront(t *testing.T) {
+	img := buildImage(t, "c-nginx")
+	m := sandbox.NewMachine(costmodel.Default())
+	c := New(m)
+	s, _, _, err := c.BootRestore(img, newRootFS(), nil, nil, img.IOCache,
+		Flags{OverlayMemory: true, SeparatedState: true, LazyIO: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kernel.Conns.PendingCount() != 0 {
+		t.Fatal("eager flag left pending conns")
+	}
+	if s.Kernel.Conns.EagerReconnects != len(img.Kernel.ConnRecords) {
+		t.Fatalf("eager reconnects = %d", s.Kernel.Conns.EagerReconnects)
+	}
+}

@@ -1,0 +1,88 @@
+package costmodel
+
+import (
+	"testing"
+
+	"catalyzer/internal/simtime"
+)
+
+func TestDefaultCalibrationAnchors(t *testing.T) {
+	m := Default()
+	// Each assertion pins a constant to the paper measurement its doc
+	// comment cites, so recalibration is an explicit, reviewed act.
+	cases := []struct {
+		name  string
+		got   simtime.Duration
+		paper simtime.Duration
+		tol   float64 // fraction
+	}{
+		// Figure 2: 0.319ms for both processes.
+		{"fork+exec both processes", 2 * m.HostForkExec, 319 * simtime.Microsecond, 0.25},
+		// §3.2: 37,838 objects in >50ms of the 56.7ms recover step.
+		{"decode 37838 objects", 37838 * m.ObjectDecode, 55 * simtime.Millisecond, 0.15},
+		// Figure 2: 200MB (51,200 pages) in 128.8ms.
+		{"load 51200 pages", 51200 * m.PageDecompressCopy, 128800 * simtime.Microsecond, 0.05},
+		// Figure 2: ~100 connections in 79.2ms.
+		{"reconnect 100 conns", 100 * m.ConnReconnect, 79 * simtime.Millisecond, 0.10},
+		// Figure 2: 8000-page JVM task image in 19.9ms.
+		{"read 8000 pages", 8000 * m.PageReadGVisor, 19889 * simtime.Microsecond, 0.05},
+		// Figure 2: 4KB config in 1.369ms.
+		{"parse 4KB config", 4 * m.ConfigParsePerKB, 1369 * simtime.Microsecond, 0.05},
+	}
+	for _, c := range cases {
+		lo := float64(c.paper) * (1 - c.tol)
+		hi := float64(c.paper) * (1 + c.tol)
+		if float64(c.got) < lo || float64(c.got) > hi {
+			t.Errorf("%s = %v, want %v ±%.0f%%", c.name, c.got, c.paper, 100*c.tol)
+		}
+	}
+}
+
+func TestOptimizationRatios(t *testing.T) {
+	m := Default()
+	if r := float64(m.SetMemRegionPML) / float64(m.SetMemRegionNoPML); r < 8 || r > 12 {
+		t.Errorf("PML ratio = %.1f, Figure 16-c shows ~10x", r)
+	}
+	if r := float64(m.KvcallocCold) / float64(m.KvcallocCached); r < 5 {
+		t.Errorf("kvcalloc ratio = %.1f, Figure 16-b shows >5x", r)
+	}
+	if m.ConnReconnectCached >= m.ConnReconnect {
+		t.Error("cached reconnect not cheaper than cold re-do")
+	}
+	if m.ConnReconnectLazy >= m.ConnReconnectCached {
+		t.Error("lazy tag not cheaper than cached reconnect")
+	}
+	if m.PointerFixup >= m.ObjectDecode {
+		t.Error("pointer fixup not cheaper than object decode")
+	}
+	if m.SyscallGVisor <= m.SyscallNative {
+		t.Error("gVisor syscall not dearer than native")
+	}
+	if m.MmapGVisor <= 10*m.MmapNative {
+		t.Error("gVisor mmap should dominate managed-runtime init")
+	}
+}
+
+func TestServerModel(t *testing.T) {
+	d, s := Default(), Server()
+	if s.NCPU != 96 || d.NCPU != 8 {
+		t.Fatalf("NCPU: server=%d default=%d", s.NCPU, d.NCPU)
+	}
+	// Per-op costs are slightly higher (lower clock)...
+	if s.ObjectDecode <= d.ObjectDecode {
+		t.Error("server per-op cost not scaled")
+	}
+	// ...but parallel stages win: fixing up SPECjbb's relation table.
+	relations := 41000
+	defaultPar := (time(relations) * d.PointerFixup) / time(d.NCPU)
+	serverPar := (time(relations) * s.PointerFixup) / time(s.NCPU)
+	if serverPar >= defaultPar {
+		t.Errorf("server parallel fixup %v not faster than workstation %v", serverPar, defaultPar)
+	}
+	// Default is not mutated by deriving Server.
+	if d.SyscallGVisor != Default().SyscallGVisor {
+		t.Error("Server() mutated the default model")
+	}
+}
+
+func time(n int) simtime.Duration { return simtime.Duration(n) }

@@ -1,0 +1,67 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Default()
+	data, err := ToJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *orig {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, orig)
+	}
+	// Server model too.
+	data, err = ToJSON(Server())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NCPU != 96 {
+		t.Fatalf("server NCPU = %d", got.NCPU)
+	}
+}
+
+func TestFromJSONValidation(t *testing.T) {
+	if _, err := FromJSON([]byte("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := FromJSON([]byte(`{"ncpu":0}`)); err == nil {
+		t.Fatal("zero ncpu accepted")
+	}
+}
+
+func TestJSONIsEditable(t *testing.T) {
+	data, err := ToJSON(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The document carries readable nanosecond fields.
+	for _, field := range []string{"objectDecodeNS", "pointerFixupNS", "sentryBootNS", "ncpu"} {
+		if !strings.Contains(string(data), field) {
+			t.Fatalf("document missing %s", field)
+		}
+	}
+	// An edited document loads with the change applied.
+	edited := strings.Replace(string(data), `"objectDecodeNS": 1500`, `"objectDecodeNS": 3000`, 1)
+	if edited == string(data) {
+		t.Fatal("edit did not apply (field format changed?)")
+	}
+	m, err := FromJSON([]byte(edited))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ObjectDecode != 2*Default().ObjectDecode {
+		t.Fatalf("edited ObjectDecode = %v", m.ObjectDecode)
+	}
+}

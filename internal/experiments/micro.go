@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"catalyzer/internal/host"
+	"catalyzer/internal/platform"
+	"catalyzer/internal/simenv"
+	"catalyzer/internal/simtime"
+)
+
+// Fig16a regenerates Figure 16-a: the effect of the fine-grained
+// func-entry point. Moving the entry point after in-function preparation
+// logic captures that work in the func-image, cutting execution latency
+// ~3x for both the C memory-read microbenchmark and Java SPECjbb.
+func Fig16a() (*Table, error) {
+	t := &Table{
+		ID:      "fig16a",
+		Title:   "Fine-grained func-entry point: normalized execution latency",
+		Columns: []string{"workload", "variant", "execution", "normalized"},
+	}
+	pairs := [][2]string{
+		{"c-memread", "c-memread-late"},
+		{"java-specjbb", "java-specjbb-late"},
+	}
+	for _, pair := range pairs {
+		var base simtime.Duration
+		for i, name := range pair {
+			p, err := prepared(defaultCost(), name)
+			if err != nil {
+				return nil, err
+			}
+			r, err := p.Invoke(name, platform.CatalyzerSfork)
+			if err != nil {
+				return nil, err
+			}
+			variant := "baseline"
+			if i == 1 {
+				variant = "catalyzer(fine-grained)"
+			} else {
+				base = r.ExecLatency
+			}
+			t.AddRow(pair[0], variant, ms(r.ExecLatency),
+				fmt.Sprintf("%.2f", float64(r.ExecLatency)/float64(base)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: execution latency reduced by 3x for both C-mem-read-16K (360.6us) and Java SPECjbb (2643.8ms)",
+	)
+	return t, nil
+}
+
+// Fig16b regenerates Figure 16-b: kvcalloc latency with and without the
+// dedicated KVM allocation cache, across 1-6 invocations.
+func Fig16b() (*Table, error) {
+	t := &Table{
+		ID:      "fig16b",
+		Title:   "KVM allocation cache: cumulative kvcalloc latency",
+		Columns: []string{"invocations", "baseline-kvm", "kvm-cache"},
+	}
+	for n := 1; n <= 6; n++ {
+		run := func(cache bool) simtime.Duration {
+			env := simenv.New(defaultCost())
+			k := host.NewKVM(env)
+			k.AllocCache = cache
+			for i := 0; i < n; i++ {
+				k.Kvcalloc()
+			}
+			return env.Now()
+		}
+		t.AddRow(fmt.Sprintf("%d", n), us(run(false)), us(run(true)))
+	}
+	t.Notes = append(t.Notes, "paper: baseline 250-450us per invocation; cache <50us")
+	return t, nil
+}
+
+// Fig16c regenerates Figure 16-c: set_memory_region ioctl latency with
+// PML enabled (KVM default) versus disabled, across 1-11 requests.
+func Fig16c() (*Table, error) {
+	t := &Table{
+		ID:      "fig16c",
+		Title:   "set_memory_region latency: PML default vs disabled",
+		Columns: []string{"ioctl-requests", "default(PML)", "disable-PML"},
+	}
+	for n := 1; n <= 11; n++ {
+		run := func(pml bool) simtime.Duration {
+			env := simenv.New(defaultCost())
+			k := host.NewKVM(env)
+			k.PML = pml
+			vm := k.CreateVM()
+			start := env.Now()
+			for i := 0; i < n; i++ {
+				if err := vm.SetMemoryRegion(4096); err != nil {
+					panic(err)
+				}
+			}
+			return env.Now() - start
+		}
+		t.AddRow(fmt.Sprintf("%d", n), us(run(true)), us(run(false)))
+	}
+	t.Notes = append(t.Notes, "paper: disabling PML reduces memory-region setup latency ~10x (5-8ms saved per boot)")
+	return t, nil
+}
+
+// Fig16d regenerates Figure 16-d: per-dup latency over a sequence of 40
+// dup syscalls on a nearly full fdtable, showing the expansion bursts and
+// the flat lazy-dup alternative.
+func Fig16d() (*Table, error) {
+	t := &Table{
+		ID:      "fig16d",
+		Title:   "dup latency across 40 calls (fdtable expansion bursts)",
+		Columns: []string{"call", "dup", "lazy-dup"},
+	}
+	envD := simenv.New(defaultCost())
+	ftD := host.NewFDTable(envD)
+	envL := simenv.New(defaultCost())
+	ftL := host.NewFDTable(envL)
+	// Pre-fill near the first expansion boundary.
+	for ftD.Used() < 60 {
+		ftD.Alloc()
+	}
+	for ftL.Used() < 60 {
+		ftL.Alloc()
+	}
+	var burst simtime.Duration
+	for i := 1; i <= 40; i++ {
+		before := envD.Now()
+		if _, err := ftD.Dup(0); err != nil {
+			return nil, err
+		}
+		d := envD.Now() - before
+		if d > burst {
+			burst = d
+		}
+		before = envL.Now()
+		if _, err := ftL.LazyDup(0); err != nil {
+			return nil, err
+		}
+		l := envL.Now() - before
+		t.AddRow(fmt.Sprintf("%d", i), us(d), us(l))
+	}
+	ftL.DrainDeferred() // background work, off the measured path
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("worst dup burst = %s (paper: up to 30ms on fdtable expansion); lazy dup stays flat", ms(burst)),
+	)
+	return t, nil
+}

@@ -1,0 +1,173 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) from the simulated systems. Each generator runs the
+// relevant workloads through the platform and returns a Table whose rows
+// mirror what the paper reports; cmd/catalyzer-bench prints them and the
+// root-level benchmarks wrap them in testing.B targets.
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simtime"
+)
+
+// Table is one regenerated artifact.
+type Table struct {
+	ID      string // experiment id: fig11, table2, ...
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	printRow(t.Columns)
+	fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*(len(widths)-1)))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// JSON renders the table as a machine-readable document.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes}, "", "  ")
+}
+
+// CSV writes the table as CSV (header row first; notes omitted).
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// ms formats a duration in milliseconds with sensible precision.
+func ms(d simtime.Duration) string {
+	v := float64(d) / float64(simtime.Millisecond)
+	switch {
+	case v < 0.01:
+		return fmt.Sprintf("%.4fms", v)
+	case v < 10:
+		return fmt.Sprintf("%.2fms", v)
+	default:
+		return fmt.Sprintf("%.1fms", v)
+	}
+}
+
+// us formats a duration in microseconds.
+func us(d simtime.Duration) string {
+	return fmt.Sprintf("%.1fus", float64(d)/float64(simtime.Microsecond))
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+func kb(n int) string { return fmt.Sprintf("%.1fKB", float64(n)/1024) }
+
+func mb(b float64) string { return fmt.Sprintf("%.1fMB", b/(1<<20)) }
+
+// defaultCost is the experimental-machine model; serverCost the Ant
+// Financial server (§6.1).
+func defaultCost() *costmodel.Model { return costmodel.Default() }
+func serverCost() *costmodel.Model  { return costmodel.Server() }
+
+// Generator produces one artifact.
+type Generator struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Generator {
+	return []Generator{
+		{"fig1", Fig1},
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig6", Fig6},
+		{"fig11", Fig11},
+		{"table2", Table2},
+		{"fig12", Fig12},
+		{"fig13a", Fig13a},
+		{"fig13b", Fig13b},
+		{"fig13c", Fig13c},
+		{"fig14", Fig14},
+		{"table3", Table3},
+		{"fig15", Fig15},
+		{"fig16a", Fig16a},
+		{"fig16b", Fig16b},
+		{"fig16c", Fig16c},
+		{"fig16d", Fig16d},
+	}
+}
+
+// ByID returns the generator with the given id, searching the paper
+// artifacts and the extensions.
+func ByID(id string) (Generator, error) {
+	for _, g := range AllWithExtensions() {
+		if g.ID == id {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

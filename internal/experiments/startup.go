@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"catalyzer/internal/core"
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/platform"
+	"catalyzer/internal/sandbox"
+	"catalyzer/internal/simtime"
+	"catalyzer/internal/workload"
+)
+
+// prepared builds a platform with the given functions' offline artifacts
+// (func-images, I/O caches, templates).
+func prepared(cost *costmodel.Model, names ...string) (*platform.Platform, error) {
+	p := platform.New(cost)
+	for _, n := range names {
+		if _, err := p.PrepareTemplate(n); err != nil {
+			return nil, fmt.Errorf("prepare %s: %w", n, err)
+		}
+	}
+	return p, nil
+}
+
+// Fig1 regenerates Figure 1: the CDF of the execution/overall latency
+// ratio across the 14 end-to-end functions, for gVisor cold boots versus
+// Catalyzer fork boots.
+func Fig1() (*Table, error) {
+	names := workload.EndToEndWorkloads()
+	type point struct {
+		fn    string
+		ratio float64
+	}
+	ratios := map[platform.System][]point{}
+	for _, sys := range []platform.System{platform.GVisor, platform.CatalyzerSfork} {
+		p, err := prepared(defaultCost(), names...)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			r, err := p.Invoke(n, sys)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sys, n, err)
+			}
+			ratios[sys] = append(ratios[sys], point{n, float64(r.ExecLatency) / float64(r.Total())})
+		}
+		sort.Slice(ratios[sys], func(i, j int) bool { return ratios[sys][i].ratio < ratios[sys][j].ratio })
+	}
+
+	t := &Table{
+		ID:      "fig1",
+		Title:   "CDF of Execution/Overall latency ratio (14 functions)",
+		Columns: []string{"cdf", "gvisor-fn", "gvisor-ratio", "catalyzer-fn", "catalyzer-ratio"},
+	}
+	g, c := ratios[platform.GVisor], ratios[platform.CatalyzerSfork]
+	under30 := 0
+	for i := range g {
+		if g[i].ratio < 0.30 {
+			under30++
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", float64(i+1)/float64(len(g))),
+			g[i].fn, pct(g[i].ratio),
+			c[i].fn, pct(c[i].ratio),
+		)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("gVisor max ratio = %s (paper: 65.54%%)", pct(g[len(g)-1].ratio)),
+		fmt.Sprintf("%d/14 gVisor functions below 30%% (paper: 12/14)", under30),
+	)
+	return t, nil
+}
+
+// Fig2 regenerates Figure 2: the per-step latency of gVisor's boot and
+// restore paths for Java SPECjbb.
+func Fig2() (*Table, error) {
+	p, err := prepared(defaultCost(), "java-specjbb")
+	if err != nil {
+		return nil, err
+	}
+	boot, err := p.Boot("java-specjbb", platform.GVisor)
+	if err != nil {
+		return nil, err
+	}
+	boot.Sandbox.Release()
+	restore, err := p.Boot("java-specjbb", platform.GVisorRestore)
+	if err != nil {
+		return nil, err
+	}
+	restore.Sandbox.Release()
+
+	t := &Table{
+		ID:      "fig2",
+		Title:   "Boot process of gVisor (Java SPECjbb), per-step latency",
+		Columns: []string{"path", "step", "latency"},
+	}
+	for _, ph := range boot.Phases {
+		t.AddRow("boot", ph.Name, ms(ph.Duration))
+	}
+	t.AddRow("boot", "TOTAL", ms(boot.BootLatency))
+	for _, ph := range restore.Phases {
+		t.AddRow("restore", ph.Name, ms(ph.Duration))
+	}
+	t.AddRow("restore", "TOTAL", ms(restore.BootLatency))
+	t.Notes = append(t.Notes,
+		"paper: parse 1.369ms, boot process 0.319ms, create kernel 0.757ms, task image 19.889ms, app init 1850ms",
+		"paper restore: recover kernel 56.723ms, load app memory 128.805ms, reconnect I/O 79.180ms",
+	)
+	return t, nil
+}
+
+// fig4Systems are the sandboxes of the startup-distribution study.
+var fig4Systems = []platform.System{platform.Docker, platform.GVisor, platform.FireCracker, platform.HyperContainer}
+
+// Fig4 regenerates Figure 4: the sandbox vs application split of startup
+// latency across four sandboxes and four workloads.
+func Fig4() (*Table, error) {
+	names := []string{"java-hello", "java-specjbb", "python-hello", "python-django"}
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Startup latency distribution (sandbox vs application share)",
+		Columns: []string{"workload", "system", "total", "sandbox", "application", "app-share"},
+	}
+	for _, n := range names {
+		p, err := prepared(defaultCost(), n)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range fig4Systems {
+			r, err := p.Boot(n, sys)
+			if err != nil {
+				return nil, err
+			}
+			r.Sandbox.Release()
+			app := phaseSum(r, sandbox.PhaseAppInit)
+			sb := r.BootLatency - app
+			t.AddRow(n, string(sys), ms(r.BootLatency), ms(sb), ms(app),
+				pct(float64(app)/float64(r.BootLatency)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: application init dominates for Java SPECjbb; sandbox init dominates for Python Hello",
+	)
+	return t, nil
+}
+
+// Fig6 regenerates Figure 6: gVisor vs gVisor-restore startup latency
+// with the sandbox/application split, across six workloads.
+func Fig6() (*Table, error) {
+	names := []string{"c-hello", "c-nginx", "java-hello", "java-specjbb", "python-hello", "python-django"}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Startup latency of gVisor and gVisor-restore",
+		Columns: []string{"workload", "system", "sandbox", "application", "total"},
+	}
+	for _, n := range names {
+		p, err := prepared(defaultCost(), n)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range []platform.System{platform.GVisor, platform.GVisorRestore} {
+			r, err := p.Boot(n, sys)
+			if err != nil {
+				return nil, err
+			}
+			r.Sandbox.Release()
+			app := phaseSum(r, sandbox.PhaseAppInit, sandbox.PhaseRecoverKernel,
+				sandbox.PhaseLoadAppMemory, sandbox.PhaseReconnectIO)
+			t.AddRow(n, string(sys), ms(r.BootLatency-app), ms(app), ms(r.BootLatency))
+		}
+	}
+	t.Notes = append(t.Notes, "paper: gVisor-restore achieves 2x-5x speedup over gVisor but still >100ms")
+	return t, nil
+}
+
+// Fig11 regenerates Figure 11: startup latency of every system across
+// the ten hello/app workloads.
+func Fig11() (*Table, error) {
+	systems := platform.Systems()
+	cols := []string{"workload"}
+	for _, s := range systems {
+		cols = append(cols, string(s))
+	}
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Startup latency across systems (Figure 11)",
+		Columns: cols,
+	}
+	for _, n := range workload.Figure11Workloads {
+		p, err := prepared(defaultCost(), n)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{n}
+		for _, sys := range systems {
+			// The paper does not evaluate Ruby on FireCracker: "the
+			// official kernel provided by FireCracker does not support
+			// Ruby yet" (§6.2).
+			if sys == platform.FireCracker && workload.MustGet(n).Language == workload.Ruby {
+				row = append(row, "n/a")
+				continue
+			}
+			r, err := p.Boot(n, sys)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sys, n, err)
+			}
+			r.Sandbox.Release()
+			row = append(row, ms(r.BootLatency))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: Catalyzer-sfork <1ms best case (C-hello 0.97ms), Catalyzer-Zygote 5-14ms, Catalyzer-restore ≈ Zygote+30ms",
+	)
+	return t, nil
+}
+
+// Table2 regenerates Table 2: cold boot of a lightweight Java function
+// natively, under gVisor, and from the Java language-runtime template.
+func Table2() (*Table, error) {
+	p, err := prepared(defaultCost(), "java-hello")
+	if err != nil {
+		return nil, err
+	}
+	native, err := p.Boot("java-hello", platform.Native)
+	if err != nil {
+		return nil, err
+	}
+	native.Sandbox.Release()
+	gv, err := p.Boot("java-hello", platform.GVisor)
+	if err != nil {
+		return nil, err
+	}
+	gv.Sandbox.Release()
+
+	m := sandbox.NewMachine(defaultCost())
+	c := core.New(m)
+	fsRoot := platformRootFS("java-hello")
+	lt, err := c.MakeLanguageTemplate(workload.Java, fsRoot)
+	if err != nil {
+		return nil, err
+	}
+	s, tl, err := lt.BootFunction(workload.MustGet("java-hello"))
+	if err != nil {
+		return nil, err
+	}
+	s.Release()
+
+	t := &Table{
+		ID:      "table2",
+		Title:   "Cold boot with Java runtime templates",
+		Columns: []string{"system", "cold boot"},
+	}
+	t.AddRow("Native", ms(native.BootLatency))
+	t.AddRow("gVisor", ms(gv.BootLatency))
+	t.AddRow("Java template", ms(tl.Total()))
+	t.Notes = append(t.Notes, "paper: Native 89.4ms, gVisor 659.1ms, Java template 29.3ms")
+	return t, nil
+}
+
+func phaseSum(r *platform.Result, names ...string) simtime.Duration {
+	var sum simtime.Duration
+	for _, ph := range r.Phases {
+		for _, n := range names {
+			if ph.Name == n {
+				sum += ph.Duration
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,214 @@
+// Package gort models the Golang runtime threading structure that makes
+// multi-threaded sandbox fork hard (§4.1): most OS kernels only support
+// single-thread fork, so Catalyzer modifies the Go runtime to support a
+// *transient single-thread* state — runtime threads (GC, preemption)
+// save their contexts and terminate, blocking threads notice a time-out
+// and terminate, scheduling threads collapse to m0 — after which the
+// process can be forked and the child expands back to multi-threaded.
+package gort
+
+import (
+	"fmt"
+
+	"catalyzer/internal/simenv"
+)
+
+// ThreadKind classifies threads the way §4.1 does.
+type ThreadKind uint8
+
+const (
+	// M0 is the primordial scheduling thread that survives the merge.
+	M0 ThreadKind = iota
+	// RuntimeThread provides GC, preemption and other background work;
+	// long-running and transparent to the developer.
+	RuntimeThread
+	// SchedulingThread is an additional M implementing the Go routine
+	// scheduler.
+	SchedulingThread
+	// BlockingThread is an OS thread dedicated to a goroutine blocked in
+	// a syscall (e.g. accept).
+	BlockingThread
+)
+
+func (k ThreadKind) String() string {
+	switch k {
+	case M0:
+		return "m0"
+	case RuntimeThread:
+		return "runtime"
+	case SchedulingThread:
+		return "scheduling"
+	case BlockingThread:
+		return "blocking"
+	default:
+		return fmt.Sprintf("ThreadKind(%d)", uint8(k))
+	}
+}
+
+// ThreadState is a thread's lifecycle state across the merge protocol.
+type ThreadState uint8
+
+const (
+	Running ThreadState = iota
+	// Merged: the context is saved in memory and the OS thread has
+	// terminated itself.
+	Merged
+)
+
+// Thread is one OS thread of the sandbox process.
+type Thread struct {
+	ID      int
+	Kind    ThreadKind
+	Name    string
+	Context uint64 // register/stack state token, verified across sfork
+	State   ThreadState
+}
+
+// Runtime models the sandbox process's Go runtime thread set.
+type Runtime struct {
+	env     *simenv.Env
+	nextID  int
+	threads []*Thread
+	merged  bool
+}
+
+// New creates a runtime with m0, the standard runtime threads, and
+// nsched additional scheduling threads.
+func New(env *simenv.Env, nsched int) *Runtime {
+	r := &Runtime{env: env}
+	r.spawn(M0, "m0", m0token())
+	for _, name := range []string{"gc-bg", "gc-scavenge", "sysmon"} {
+		r.spawn(RuntimeThread, name, hash(name))
+	}
+	for i := 0; i < nsched; i++ {
+		r.spawn(SchedulingThread, fmt.Sprintf("m%d", i+1), hash(fmt.Sprintf("m%d", i+1)))
+	}
+	return r
+}
+
+func (r *Runtime) spawn(kind ThreadKind, name string, ctx uint64) *Thread {
+	r.nextID++
+	t := &Thread{ID: r.nextID, Kind: kind, Name: name, Context: ctx, State: Running}
+	r.threads = append(r.threads, t)
+	return t
+}
+
+// SpawnBlocking dedicates an OS thread to a blocked goroutine.
+func (r *Runtime) SpawnBlocking(name string) (*Thread, error) {
+	if r.merged {
+		return nil, fmt.Errorf("gort: cannot spawn %q in transient single-thread state", name)
+	}
+	return r.spawn(BlockingThread, name, hash(name)), nil
+}
+
+// Threads returns all threads (running and merged).
+func (r *Runtime) Threads() []*Thread {
+	out := make([]*Thread, len(r.threads))
+	copy(out, r.threads)
+	return out
+}
+
+// RunningCount returns the number of live OS threads.
+func (r *Runtime) RunningCount() int {
+	n := 0
+	for _, t := range r.threads {
+		if t.State == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// IsSingleThreaded reports whether the process is in the transient
+// single-thread state (only m0 running).
+func (r *Runtime) IsSingleThreaded() bool {
+	return r.merged && r.RunningCount() == 1
+}
+
+// EnterTransientSingleThread performs the merge protocol: runtime threads
+// save their contexts and terminate; blocking threads notice the request
+// at their next time-out and terminate; scheduling threads collapse to
+// one. Only m0 remains running. The cost is dominated by the worst-case
+// blocking-thread time-out, which is why template generation happens
+// offline.
+func (r *Runtime) EnterTransientSingleThread() error {
+	if r.merged {
+		return fmt.Errorf("gort: already in transient single-thread state")
+	}
+	blockingWaited := false
+	for _, t := range r.threads {
+		if t.Kind == M0 {
+			continue
+		}
+		if t.Kind == BlockingThread && !blockingWaited {
+			// Blocking threads poll the merge request via their
+			// time-outs; they all notice within one time-out window.
+			r.env.Charge(r.env.Cost.BlockingThreadTimeout)
+			blockingWaited = true
+		}
+		r.env.Charge(r.env.Cost.ThreadMergeSave)
+		t.State = Merged
+	}
+	r.merged = true
+	return nil
+}
+
+// CloneForChild produces the child process's runtime at sfork time. The
+// parent must be in the transient single-thread state (the host kernel
+// only forks single-threaded processes correctly). Saved contexts are
+// inherited byte-for-byte via the forked address space.
+func (r *Runtime) CloneForChild() (*Runtime, error) {
+	if !r.IsSingleThreaded() {
+		return nil, fmt.Errorf("gort: sfork requires the transient single-thread state (%d threads running)", r.RunningCount())
+	}
+	child := &Runtime{env: r.env, nextID: r.nextID, merged: true}
+	for _, t := range r.threads {
+		ct := *t
+		child.threads = append(child.threads, &ct)
+	}
+	return child, nil
+}
+
+// Expand restores the merged threads after sfork: every saved context is
+// re-attached to a fresh OS thread. It reports the number of threads
+// restored.
+func (r *Runtime) Expand() (int, error) {
+	if !r.merged {
+		return 0, fmt.Errorf("gort: expand outside transient single-thread state")
+	}
+	restored := 0
+	for _, t := range r.threads {
+		if t.State != Merged {
+			continue
+		}
+		r.env.Charge(r.env.Cost.SforkThreadExpand)
+		t.State = Running
+		restored++
+	}
+	r.merged = false
+	return restored, nil
+}
+
+// ContextSignature folds every thread context into one token; equal
+// signatures before merge and after expand prove context preservation.
+func (r *Runtime) ContextSignature() uint64 {
+	var sig uint64 = 1469598103934665603
+	for _, t := range r.threads {
+		sig ^= t.Context + uint64(t.ID)*1099511628211
+		sig *= 1099511628211
+	}
+	return sig
+}
+
+// hash derives a deterministic context token from a name.
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// m0token is the deterministic context token for the primordial thread.
+func m0token() uint64 { return hash("m0-context") }

@@ -1,0 +1,172 @@
+package gort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simenv"
+	"catalyzer/internal/simtime"
+)
+
+func newEnv() *simenv.Env { return simenv.New(costmodel.Default()) }
+
+func TestNewRuntimeShape(t *testing.T) {
+	r := New(newEnv(), 3)
+	// m0 + 3 runtime + 3 scheduling.
+	if got := r.RunningCount(); got != 7 {
+		t.Fatalf("RunningCount = %d, want 7", got)
+	}
+	if r.IsSingleThreaded() {
+		t.Fatal("fresh runtime reports single-threaded")
+	}
+}
+
+func TestMergeProtocol(t *testing.T) {
+	env := newEnv()
+	r := New(env, 2)
+	if _, err := r.SpawnBlocking("accept-loop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SpawnBlocking("epoll-wait"); err != nil {
+		t.Fatal(err)
+	}
+	before := env.Now()
+	if err := r.EnterTransientSingleThread(); err != nil {
+		t.Fatal(err)
+	}
+	cost := env.Now() - before
+	if !r.IsSingleThreaded() {
+		t.Fatalf("not single-threaded after merge: %d running", r.RunningCount())
+	}
+	// One blocking time-out window + per-thread saves.
+	nMerged := len(r.Threads()) - 1
+	want := env.Cost.BlockingThreadTimeout + simtime.Duration(nMerged)*env.Cost.ThreadMergeSave
+	if cost != want {
+		t.Fatalf("merge cost = %v, want %v", cost, want)
+	}
+	if err := r.EnterTransientSingleThread(); err == nil {
+		t.Fatal("double merge succeeded")
+	}
+	if _, err := r.SpawnBlocking("late"); err == nil {
+		t.Fatal("spawn during merged state succeeded")
+	}
+}
+
+func TestMergeWithoutBlockingThreadsSkipsTimeout(t *testing.T) {
+	env := newEnv()
+	r := New(env, 1)
+	if err := r.EnterTransientSingleThread(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() >= env.Cost.BlockingThreadTimeout {
+		t.Fatalf("merge without blocking threads charged a timeout window: %v", env.Now())
+	}
+}
+
+func TestCloneRequiresSingleThread(t *testing.T) {
+	r := New(newEnv(), 1)
+	if _, err := r.CloneForChild(); err == nil {
+		t.Fatal("CloneForChild succeeded on multi-threaded runtime")
+	}
+}
+
+func TestSforkCloneExpandPreservesContexts(t *testing.T) {
+	env := newEnv()
+	r := New(env, 2)
+	if _, err := r.SpawnBlocking("accept"); err != nil {
+		t.Fatal(err)
+	}
+	sigBefore := r.ContextSignature()
+	if err := r.EnterTransientSingleThread(); err != nil {
+		t.Fatal(err)
+	}
+	child, err := r.CloneForChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := child.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(r.Threads()) - 1; restored != want {
+		t.Fatalf("restored %d threads, want %d", restored, want)
+	}
+	if child.ContextSignature() != sigBefore {
+		t.Fatal("thread contexts not preserved across merge/sfork/expand")
+	}
+	if child.RunningCount() != len(r.Threads()) {
+		t.Fatalf("child running = %d, want %d", child.RunningCount(), len(r.Threads()))
+	}
+	// Template stays merged and can fork again.
+	if !r.IsSingleThreaded() {
+		t.Fatal("template left transient single-thread state")
+	}
+	if _, err := r.CloneForChild(); err != nil {
+		t.Fatalf("second sfork from template failed: %v", err)
+	}
+}
+
+func TestExpandOutsideMergedFails(t *testing.T) {
+	r := New(newEnv(), 1)
+	if _, err := r.Expand(); err != nil {
+		// expected
+	} else {
+		t.Fatal("Expand on running runtime succeeded")
+	}
+}
+
+func TestChildIndependentOfTemplate(t *testing.T) {
+	env := newEnv()
+	r := New(env, 1)
+	if err := r.EnterTransientSingleThread(); err != nil {
+		t.Fatal(err)
+	}
+	child, err := r.CloneForChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := child.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating child thread state must not leak into the template.
+	child.Threads()[0].Context = 999
+	if r.ContextSignature() == child.ContextSignature() {
+		t.Fatal("child thread mutation visible in template")
+	}
+}
+
+// Property: for any number of scheduling and blocking threads, the merge
+// protocol always reaches exactly one running thread, and clone+expand
+// restores the full count with an identical context signature.
+func TestMergeExpandProperty(t *testing.T) {
+	f := func(nsched, nblock uint8) bool {
+		env := newEnv()
+		r := New(env, int(nsched%8))
+		for i := 0; i < int(nblock%8); i++ {
+			if _, err := r.SpawnBlocking("b"); err != nil {
+				return false
+			}
+		}
+		total := len(r.Threads())
+		sig := r.ContextSignature()
+		if err := r.EnterTransientSingleThread(); err != nil {
+			return false
+		}
+		if r.RunningCount() != 1 {
+			return false
+		}
+		child, err := r.CloneForChild()
+		if err != nil {
+			return false
+		}
+		restored, err := child.Expand()
+		if err != nil {
+			return false
+		}
+		return restored == total-1 && child.ContextSignature() == sig && child.RunningCount() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package guest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/serial"
+	"catalyzer/internal/simenv"
+	"catalyzer/internal/vfs"
+)
+
+func newEnv() *simenv.Env { return simenv.New(costmodel.Default()) }
+
+func buildKernel(env *simenv.Env, appObjects int) *Kernel {
+	k := NewKernel(env, 42, 1500)
+	// Application init creates the bulk of the graph.
+	k.CreateObjects(KindThread, 30)
+	k.CreateObjects(KindTimer, 20)
+	k.CreateObjects(KindFD, 100)
+	if appObjects > 150 {
+		k.CreateObjects(KindMisc, appObjects-150)
+	}
+	k.Conns.Open(vfs.ConnFile, "/etc/app.conf")
+	k.Conns.Open(vfs.ConnSocket, "/run/db.sock")
+	return k
+}
+
+func TestNewKernelShape(t *testing.T) {
+	env := newEnv()
+	k := NewKernel(env, 7, 1500)
+	if k.ObjectCount() != 1500 {
+		t.Fatalf("ObjectCount = %d, want 1500", k.ObjectCount())
+	}
+	if k.KindCount(KindTask) != 1 || k.KindCount(KindThread) != 4 {
+		t.Fatalf("base kinds: tasks=%d threads=%d", k.KindCount(KindTask), k.KindCount(KindThread))
+	}
+	if got := env.Now(); got != 1500*env.Cost.GuestKernelObjectInit {
+		t.Fatalf("init cost = %v, want %v", got, 1500*env.Cost.GuestKernelObjectInit)
+	}
+}
+
+func TestKernelDeterministic(t *testing.T) {
+	a := buildKernel(newEnv(), 5000)
+	b := buildKernel(newEnv(), 5000)
+	if a.Signature() != b.Signature() {
+		t.Fatal("same seed produced different kernels")
+	}
+	c := NewKernel(newEnv(), 43, 1500)
+	if a.Signature() == c.Signature() {
+		t.Fatal("different seeds produced identical kernels")
+	}
+}
+
+func TestCriticalCount(t *testing.T) {
+	k := buildKernel(newEnv(), 1000)
+	want := k.KindCount(KindTask) + k.KindCount(KindThread) + k.KindCount(KindTimer)
+	if k.CriticalCount() != want {
+		t.Fatalf("CriticalCount = %d, want %d", k.CriticalCount(), want)
+	}
+	if !IsCritical(KindTask) || !IsCritical(KindThread) || !IsCritical(KindTimer) {
+		t.Fatal("critical kinds misclassified")
+	}
+	if IsCritical(KindFD) || IsCritical(KindMisc) {
+		t.Fatal("non-critical kinds misclassified")
+	}
+}
+
+func TestMountCreatesObjectAndCharges(t *testing.T) {
+	env := newEnv()
+	k := NewKernel(env, 1, 100)
+	before := env.Now()
+	tree := vfs.NewTree()
+	tree.Add("/x", vfs.File{Size: 1})
+	if err := k.Mount(vfs.Mount{Target: "/", FSType: "rootfs", Tree: tree}); err != nil {
+		t.Fatal(err)
+	}
+	if k.KindCount(KindMount) != 1 {
+		t.Fatalf("mount object count = %d", k.KindCount(KindMount))
+	}
+	if env.Now()-before < env.Cost.MountFS {
+		t.Fatal("mount did not charge MountFS")
+	}
+	if _, ok := k.Mounts.Resolve("/x"); !ok {
+		t.Fatal("mounted file not resolvable")
+	}
+}
+
+func TestMountsSurviveRestore(t *testing.T) {
+	env := newEnv()
+	k := NewKernel(env, 5, 300)
+	tree := vfs.NewTree()
+	tree.Add("/etc/app.conf", vfs.File{Size: 2048, Token: 7})
+	tree.Add("/var/log/app.log", vfs.File{LogFile: true})
+	if err := k.Mount(vfs.Mount{Target: "/", FSType: "rootfs", Tree: tree}); err != nil {
+		t.Fatal(err)
+	}
+	sub := vfs.NewTree()
+	sub.Add("/data.bin", vfs.File{Size: 4096, Token: 9})
+	if err := k.Mount(vfs.Mount{Target: "/mnt/data", FSType: "bind", Tree: sub}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := k.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, restore := range map[string]func() (*Kernel, error){
+		"baseline":  func() (*Kernel, error) { return RestoreBaseline(newEnv(), cp) },
+		"separated": func() (*Kernel, error) { return RestoreSeparated(newEnv(), cp) },
+	} {
+		r, err := restore()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f, ok := r.Mounts.Resolve("/etc/app.conf")
+		if !ok || f.Token != 7 {
+			t.Fatalf("%s: /etc/app.conf = %+v,%v", name, f, ok)
+		}
+		f, ok = r.Mounts.Resolve("/mnt/data/data.bin")
+		if !ok || f.Token != 9 {
+			t.Fatalf("%s: bind mount lost: %+v,%v", name, f, ok)
+		}
+		log, ok := r.Mounts.Resolve("/var/log/app.log")
+		if !ok || !log.LogFile {
+			t.Fatalf("%s: log flag lost", name)
+		}
+	}
+}
+
+func TestBaselineRestoreRoundTrip(t *testing.T) {
+	env := newEnv()
+	k := buildKernel(env, 3000)
+	cp, err := k.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := newEnv()
+	r, err := RestoreBaseline(env2, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Signature() != k.Signature() {
+		t.Fatal("baseline restore changed kernel state")
+	}
+	if r.ObjectCount() != k.ObjectCount() {
+		t.Fatalf("restored %d objects, want %d", r.ObjectCount(), k.ObjectCount())
+	}
+	// Conn table starts empty; boot paths attach per policy.
+	if r.Conns.Len() != 0 {
+		t.Fatalf("restored kernel has %d conns before policy attach", r.Conns.Len())
+	}
+	r.Conns = vfs.RestoreEager(newEnv(), cp.ConnRecords)
+	if r.Conns.PendingCount() != 0 || r.Conns.Len() != 2 {
+		t.Fatalf("conns pending=%d len=%d", r.Conns.PendingCount(), r.Conns.Len())
+	}
+}
+
+func TestSeparatedRestoreRoundTrip(t *testing.T) {
+	env := newEnv()
+	k := buildKernel(env, 3000)
+	cp, err := k.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSeparated(newEnv(), cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Signature() != k.Signature() {
+		t.Fatal("separated restore changed kernel state")
+	}
+}
+
+func TestSeparatedFasterThanBaseline(t *testing.T) {
+	env := newEnv()
+	k := buildKernel(env, 37838-150) // SPECjbb-scale graph
+	cp, err := k.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	envB := newEnv()
+	if _, err := RestoreBaseline(envB, cp); err != nil {
+		t.Fatal(err)
+	}
+	envS := newEnv()
+	if _, err := RestoreSeparated(envS, cp); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(envB.Now()) / float64(envS.Now())
+	// Figure 12: separated object loading reduces kernel recovery ~6-7x;
+	// add eager-vs-lazy conn work and the full-path gap is larger.
+	if ratio < 4 {
+		t.Fatalf("separated restore only %.1fx faster (baseline %v vs %v)", ratio, envB.Now(), envS.Now())
+	}
+}
+
+func TestSeparatedRestoreDoesNotMutateCheckpoint(t *testing.T) {
+	env := newEnv()
+	k := buildKernel(env, 1000)
+	cp, err := k.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := append([]byte(nil), cp.Records.Region...)
+	if _, err := RestoreSeparated(newEnv(), cp); err != nil {
+		t.Fatal(err)
+	}
+	if string(region) != string(cp.Records.Region) {
+		t.Fatal("restore mutated the shared checkpoint image")
+	}
+	// Restore twice: both must succeed identically (double restore).
+	r1, err := RestoreSeparated(newEnv(), cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RestoreSeparated(newEnv(), cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Signature() != r2.Signature() {
+		t.Fatal("double restore diverged")
+	}
+}
+
+func TestRestoreBaselineCorruptImage(t *testing.T) {
+	env := newEnv()
+	k := buildKernel(env, 500)
+	cp, err := k.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Checkpoint{Baseline: cp.Baseline[:len(cp.Baseline)/3], Records: cp.Records}
+	if _, err := RestoreBaseline(newEnv(), bad); err == nil {
+		t.Fatal("truncated baseline restored successfully")
+	}
+}
+
+func TestRecordBytesPerObjectCalibration(t *testing.T) {
+	env := newEnv()
+	k := buildKernel(env, 37838-150)
+	cp, err := k.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perObject := float64(len(cp.Records.Region)) / float64(k.ObjectCount())
+	// Table 3: 680.6 KB metadata for 37,838 objects => ~18.4 B/object.
+	if perObject < 14 || perObject > 23 {
+		t.Fatalf("record bytes/object = %.1f, want ~18 (Table 3 calibration)", perObject)
+	}
+}
+
+// Property: capture/restore is lossless for any kernel size, in both
+// formats, and restored kernels re-capture to identical checkpoints.
+func TestCaptureRestoreProperty(t *testing.T) {
+	f := func(seed uint16, extra uint16) bool {
+		env := newEnv()
+		k := NewKernel(env, uint64(seed)+1, 200)
+		k.CreateObjects(KindMisc, int(extra%2000))
+		k.Conns.Open(vfs.ConnFile, "/f")
+		cp, err := k.Capture()
+		if err != nil {
+			return false
+		}
+		rb, err := RestoreBaseline(newEnv(), cp)
+		if err != nil {
+			return false
+		}
+		rs, err := RestoreSeparated(newEnv(), cp)
+		if err != nil {
+			return false
+		}
+		if rb.Signature() != k.Signature() || rs.Signature() != k.Signature() {
+			return false
+		}
+		cp2, err := rs.Capture()
+		if err != nil {
+			return false
+		}
+		return serial.Equal(
+			mustDecode(cp.Baseline),
+			mustDecode(cp2.Baseline),
+		)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustDecode(b []byte) []serial.Object {
+	objs, _, err := serial.DecodeBaseline(b)
+	if err != nil {
+		panic(err)
+	}
+	return objs
+}

@@ -1,0 +1,107 @@
+package guest
+
+import (
+	"fmt"
+	"sort"
+
+	"catalyzer/internal/host"
+	"catalyzer/internal/simenv"
+	"catalyzer/internal/simtime"
+)
+
+// Dispatcher is the guest kernel's syscall entry layer. Every syscall a
+// handler issues passes through it: the per-syscall sandbox cost is
+// charged, per-name counts are kept, and — for sandboxes derived from a
+// template — the Table 1 classification is enforced: denied syscalls
+// were removed from template sandboxes, so invoking one is an error at
+// runtime, not a silent state divergence (§4).
+type Dispatcher struct {
+	env  *simenv.Env
+	cost simtime.Duration
+	// Template enforces the template-sandbox syscall policy.
+	Template bool
+
+	counts map[string]int
+	total  int
+}
+
+// NewDispatcher builds a dispatcher charging cost per syscall.
+func NewDispatcher(env *simenv.Env, cost simtime.Duration, template bool) *Dispatcher {
+	return &Dispatcher{env: env, cost: cost, Template: template, counts: make(map[string]int)}
+}
+
+// Invoke issues one syscall.
+func (d *Dispatcher) Invoke(name string) error {
+	return d.InvokeN(name, 1)
+}
+
+// InvokeN issues n identical syscalls.
+func (d *Dispatcher) InvokeN(name string, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if d.Template {
+		if err := host.CheckTemplateSyscall(name); err != nil {
+			return fmt.Errorf("guest: %w", err)
+		}
+	} else if host.Classify(name).Category == "Unknown" {
+		return fmt.Errorf("guest: unknown syscall %q", name)
+	}
+	d.env.ChargeN(d.cost, n)
+	d.counts[name] += n
+	d.total += n
+	return nil
+}
+
+// Total returns the number of syscalls dispatched.
+func (d *Dispatcher) Total() int { return d.total }
+
+// Count returns how many times one syscall was issued.
+func (d *Dispatcher) Count(name string) int { return d.counts[name] }
+
+// Names returns the dispatched syscall names, sorted.
+func (d *Dispatcher) Names() []string {
+	out := make([]string, 0, len(d.counts))
+	for n := range d.counts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExecMix is the representative handler syscall mix used by the sandbox
+// execution path: weights sum to 100 and every name is allowed in
+// template sandboxes, so fork-booted and restore-booted instances issue
+// the same sequence.
+var ExecMix = []struct {
+	Name   string
+	Weight int
+}{
+	{"read", 30},
+	{"write", 20},
+	{"epoll_pwait", 15},
+	{"sendmsg", 10},
+	{"recvmsg", 10},
+	{"futex", 10},
+	{"clock_gettime", 5},
+}
+
+// DispatchExecMix issues total syscalls distributed over ExecMix,
+// rounding leftovers onto the first entry.
+func (d *Dispatcher) DispatchExecMix(total int) error {
+	if total <= 0 {
+		return nil
+	}
+	issued := 0
+	for _, m := range ExecMix {
+		n := total * m.Weight / 100
+		if err := d.InvokeN(m.Name, n); err != nil {
+			return err
+		}
+		issued += n
+	}
+	if rest := total - issued; rest > 0 {
+		return d.InvokeN(ExecMix[0].Name, rest)
+	}
+	return nil
+}

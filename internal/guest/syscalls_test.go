@@ -1,0 +1,92 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+
+	"catalyzer/internal/simtime"
+)
+
+func TestDispatcherChargesAndCounts(t *testing.T) {
+	env := newEnv()
+	d := NewDispatcher(env, 4*simtime.Microsecond, false)
+	if err := d.Invoke("read"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InvokeN("write", 9); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := env.Now(), 10*4*simtime.Microsecond; got != want {
+		t.Fatalf("charged %v, want %v", got, want)
+	}
+	if d.Total() != 10 || d.Count("read") != 1 || d.Count("write") != 9 {
+		t.Fatalf("counts: total=%d read=%d write=%d", d.Total(), d.Count("read"), d.Count("write"))
+	}
+	names := d.Names()
+	if len(names) != 2 || names[0] != "read" || names[1] != "write" {
+		t.Fatalf("Names = %v", names)
+	}
+	if err := d.InvokeN("read", 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 10 {
+		t.Fatal("zero-count invoke changed totals")
+	}
+}
+
+func TestDispatcherTemplateEnforcement(t *testing.T) {
+	env := newEnv()
+	d := NewDispatcher(env, simtime.Microsecond, true)
+	if err := d.Invoke("getpid"); err != nil {
+		t.Fatalf("handled syscall rejected: %v", err)
+	}
+	if err := d.Invoke("futex"); err != nil {
+		t.Fatalf("allowed syscall rejected: %v", err)
+	}
+	err := d.Invoke("fork")
+	if err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("fork in template sandbox: %v", err)
+	}
+	if d.Count("fork") != 0 {
+		t.Fatal("denied syscall counted")
+	}
+}
+
+func TestDispatcherUnknownSyscall(t *testing.T) {
+	d := NewDispatcher(newEnv(), simtime.Microsecond, false)
+	if err := d.Invoke("made_up"); err == nil {
+		t.Fatal("unknown syscall accepted")
+	}
+}
+
+func TestExecMixSafeForTemplates(t *testing.T) {
+	total := 0
+	for _, m := range ExecMix {
+		total += m.Weight
+	}
+	if total != 100 {
+		t.Fatalf("ExecMix weights sum to %d", total)
+	}
+	d := NewDispatcher(newEnv(), simtime.Microsecond, true)
+	if err := d.DispatchExecMix(1000); err != nil {
+		t.Fatalf("exec mix rejected in template sandbox: %v", err)
+	}
+	if d.Total() != 1000 {
+		t.Fatalf("dispatched %d, want 1000", d.Total())
+	}
+	// Distribution follows the weights.
+	if d.Count("read") < 300 || d.Count("read") > 310 {
+		t.Fatalf("read count = %d", d.Count("read"))
+	}
+	if err := d.DispatchExecMix(0); err != nil {
+		t.Fatal(err)
+	}
+	// Odd totals still dispatch exactly.
+	d2 := NewDispatcher(newEnv(), simtime.Microsecond, false)
+	if err := d2.DispatchExecMix(7); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Total() != 7 {
+		t.Fatalf("dispatched %d, want 7", d2.Total())
+	}
+}

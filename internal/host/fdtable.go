@@ -1,0 +1,147 @@
+package host
+
+import (
+	"fmt"
+
+	"catalyzer/internal/simenv"
+)
+
+// initialFDCapacity is the fdtable size a fresh process starts with; the
+// kernel doubles it whenever an allocation would overflow, which is the
+// source of the dup/dup2 tail latency in Figure 16-d.
+const initialFDCapacity = 64
+
+// FDTable models a process's file descriptor table. Descriptors are
+// opaque ints; the table tracks occupancy, capacity, and the expansion
+// bursts that motivate the paper's lazy-dup optimization (§6.7).
+type FDTable struct {
+	env      *simenv.Env
+	capacity int
+	used     map[int]bool
+
+	Expansions  int // number of table-doubling events
+	DeferredDup int // lazy dups whose self-duplicate is still pending
+}
+
+// NewFDTable returns a table with the standard descriptors 0..2 occupied.
+func NewFDTable(env *simenv.Env) *FDTable {
+	t := &FDTable{env: env, capacity: initialFDCapacity, used: make(map[int]bool)}
+	for fd := 0; fd < 3; fd++ {
+		t.used[fd] = true
+	}
+	return t
+}
+
+// lowestFree returns the lowest unoccupied descriptor.
+func (t *FDTable) lowestFree() int {
+	for fd := 0; ; fd++ {
+		if !t.used[fd] {
+			return fd
+		}
+	}
+}
+
+// ensure grows the table until fd fits, charging the expansion burst:
+// FDTableExpandBase plus a per-existing-slot copy cost. The cost grows
+// with the table, matching the up-to-30 ms bursts of Figure 16-d.
+func (t *FDTable) ensure(fd int) {
+	for fd >= t.capacity {
+		t.env.Charge(t.env.Cost.FDTableExpandBase)
+		t.env.ChargeN(t.env.Cost.FDTableSlot, t.capacity)
+		t.capacity *= 2
+		t.Expansions++
+	}
+}
+
+// Alloc claims and returns the lowest free descriptor.
+func (t *FDTable) Alloc() int {
+	fd := t.lowestFree()
+	t.ensure(fd)
+	t.used[fd] = true
+	return fd
+}
+
+// Dup duplicates fd into the lowest free slot, charging the base cost and
+// any expansion burst this allocation triggers.
+func (t *FDTable) Dup(fd int) (int, error) {
+	if !t.used[fd] {
+		return 0, fmt.Errorf("host: dup of closed fd %d", fd)
+	}
+	t.env.Charge(t.env.Cost.DupBase)
+	return t.Alloc(), nil
+}
+
+// Dup2 duplicates oldfd onto newfd, expanding as needed.
+func (t *FDTable) Dup2(oldfd, newfd int) (int, error) {
+	if !t.used[oldfd] {
+		return 0, fmt.Errorf("host: dup2 of closed fd %d", oldfd)
+	}
+	if newfd < 0 {
+		return 0, fmt.Errorf("host: dup2 to negative fd %d", newfd)
+	}
+	t.env.Charge(t.env.Cost.DupBase)
+	t.ensure(newfd)
+	t.used[newfd] = true
+	return newfd, nil
+}
+
+// LazyDup is the Gofer-side optimization (§6.7): it returns an available
+// descriptor immediately and defers the Gofer's own duplicate off the
+// critical path, so the caller never pays an expansion burst.
+func (t *FDTable) LazyDup(fd int) (int, error) {
+	if !t.used[fd] {
+		return 0, fmt.Errorf("host: lazy dup of closed fd %d", fd)
+	}
+	t.env.Charge(t.env.Cost.DupBase)
+	newfd := t.lowestFree()
+	if newfd >= t.capacity {
+		// The expansion is deferred off the critical path; the slot is
+		// handed out immediately.
+		t.DeferredDup++
+	}
+	t.used[newfd] = true
+	return newfd, nil
+}
+
+// DrainDeferred performs the deferred table expansions (off the critical
+// path: callers invoke it outside measured sections).
+func (t *FDTable) DrainDeferred() {
+	if t.DeferredDup == 0 {
+		return
+	}
+	t.DeferredDup = 0
+	max := -1
+	for fd := range t.used {
+		if fd > max {
+			max = fd
+		}
+	}
+	if max >= 0 {
+		t.ensure(max)
+	}
+}
+
+// Close releases fd.
+func (t *FDTable) Close(fd int) error {
+	if !t.used[fd] {
+		return fmt.Errorf("host: close of closed fd %d", fd)
+	}
+	delete(t.used, fd)
+	return nil
+}
+
+// Used returns the number of occupied descriptors.
+func (t *FDTable) Used() int { return len(t.used) }
+
+// Capacity returns the current table capacity.
+func (t *FDTable) Capacity() int { return t.capacity }
+
+// Clone returns a copy of the table for a forked child; inherited
+// descriptors keep their numbers.
+func (t *FDTable) Clone() *FDTable {
+	c := &FDTable{env: t.env, capacity: t.capacity, used: make(map[int]bool, len(t.used))}
+	for fd := range t.used {
+		c.used[fd] = true
+	}
+	return c
+}

@@ -1,0 +1,353 @@
+package host
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simenv"
+)
+
+func newEnv() *simenv.Env { return simenv.New(costmodel.Default()) }
+
+func TestClassifyTable1(t *testing.T) {
+	cases := []struct {
+		name  string
+		class SyscallClass
+	}{
+		{"clone", Handled},
+		{"getpid", Handled},
+		{"mmap", Handled},
+		{"munmap", Handled},
+		{"listen", Handled},
+		{"accept", Handled},
+		{"write", Handled},
+		{"openat", Handled},
+		{"futex", Allowed},
+		{"nanosleep", Allowed},
+		{"epoll_pwait", Allowed},
+		{"sched_getaffinity", Allowed},
+		{"fork", Denied},
+		{"execve", Denied},
+		{"ptrace", Denied},
+		{"made_up_syscall", Denied}, // allowlist semantics
+	}
+	for _, c := range cases {
+		if got := Classify(c.name).Class; got != c.class {
+			t.Errorf("Classify(%s) = %v, want %v", c.name, got, c.class)
+		}
+	}
+}
+
+func TestHandledSyscallsHaveHandlers(t *testing.T) {
+	for _, info := range Table() {
+		if info.Class == Handled && info.Handler == "" {
+			t.Errorf("handled syscall %s has no handler", info.Name)
+		}
+		if info.Class == Allowed && info.Category == "" {
+			t.Errorf("allowed syscall %s has no category", info.Name)
+		}
+	}
+}
+
+// TestTable1Coverage checks the classification table covers every syscall
+// the paper's Table 1 lists.
+func TestTable1Coverage(t *testing.T) {
+	paperTable1 := []string{
+		// Proc
+		"capget", "clone", "getpid", "gettid", "arch_prctl", "prctl",
+		"rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "seccomp",
+		"sigaltstack", "sched_getaffinity",
+		// VFS
+		"poll", "ioctl", "memfd_create", "ftruncate", "mount", "pivot_root",
+		"umount", "epoll_create1", "epoll_ctl", "epoll_pwait", "eventfd2",
+		"fcntl", "chdir", "close", "dup", "dup2", "lseek", "openat",
+		// File
+		"newfstat", "newfstatat", "mkdirat", "write", "read", "readlinkat", "pread64",
+		// Network
+		"sendmsg", "shutdown", "recvmsg", "getsockopt", "listen", "accept",
+		// Mem
+		"mmap", "munmap",
+		// Misc
+		"setgid", "setuid", "getrandom", "nanosleep", "futex", "getgroups",
+		"clock_gettime", "getrlimit", "setsid",
+	}
+	for _, name := range paperTable1 {
+		if got := Classify(name); got.Class == Denied {
+			t.Errorf("Table 1 syscall %s classified as denied", name)
+		}
+	}
+}
+
+func TestCheckTemplateSyscall(t *testing.T) {
+	if err := CheckTemplateSyscall("getpid"); err != nil {
+		t.Fatalf("getpid rejected: %v", err)
+	}
+	err := CheckTemplateSyscall("fork")
+	var denied *ErrDeniedSyscall
+	if !errors.As(err, &denied) || denied.Name != "fork" {
+		t.Fatalf("fork: got %v, want ErrDeniedSyscall", err)
+	}
+}
+
+func TestFDTableAllocAndClose(t *testing.T) {
+	env := newEnv()
+	ft := NewFDTable(env)
+	if got := ft.Alloc(); got != 3 {
+		t.Fatalf("first Alloc = %d, want 3 (0-2 are std)", got)
+	}
+	if err := ft.Close(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.Alloc(); got != 3 {
+		t.Fatalf("Alloc after close = %d, want 3 (lowest free)", got)
+	}
+	if err := ft.Close(99); err == nil {
+		t.Fatal("close of unopened fd succeeded")
+	}
+}
+
+func TestDupExpansionBurst(t *testing.T) {
+	env := newEnv()
+	ft := NewFDTable(env)
+	// Fill to one below capacity.
+	for ft.Used() < ft.Capacity() {
+		ft.Alloc()
+	}
+	before := env.Now()
+	if _, err := ft.Dup(0); err != nil {
+		t.Fatal(err)
+	}
+	burst := env.Now() - before
+	min := env.Cost.FDTableExpandBase
+	if burst < min {
+		t.Fatalf("expansion dup cost %v below burst floor %v", burst, min)
+	}
+	if ft.Expansions != 1 {
+		t.Fatalf("Expansions = %d, want 1", ft.Expansions)
+	}
+	// Subsequent dup is cheap again.
+	before = env.Now()
+	if _, err := ft.Dup(0); err != nil {
+		t.Fatal(err)
+	}
+	if cheap := env.Now() - before; cheap != env.Cost.DupBase {
+		t.Fatalf("post-expansion dup cost %v, want %v", cheap, env.Cost.DupBase)
+	}
+}
+
+func TestLazyDupAvoidsBurst(t *testing.T) {
+	env := newEnv()
+	ft := NewFDTable(env)
+	for ft.Used() < ft.Capacity() {
+		ft.Alloc()
+	}
+	before := env.Now()
+	fd, err := ft.LazyDup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := env.Now() - before; cost != env.Cost.DupBase {
+		t.Fatalf("lazy dup cost %v, want %v (no burst)", cost, env.Cost.DupBase)
+	}
+	if fd != 64 {
+		t.Fatalf("lazy dup fd = %d, want 64", fd)
+	}
+	if ft.DeferredDup != 1 {
+		t.Fatalf("DeferredDup = %d, want 1", ft.DeferredDup)
+	}
+	ft.DrainDeferred()
+	if ft.DeferredDup != 0 || ft.Capacity() < 128 {
+		t.Fatalf("after drain: deferred=%d capacity=%d", ft.DeferredDup, ft.Capacity())
+	}
+}
+
+func TestDup2AndErrors(t *testing.T) {
+	env := newEnv()
+	ft := NewFDTable(env)
+	if _, err := ft.Dup2(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft.Dup(42); err == nil {
+		t.Fatal("dup of closed fd succeeded")
+	}
+	if _, err := ft.Dup2(42, 1); err == nil {
+		t.Fatal("dup2 of closed fd succeeded")
+	}
+	if _, err := ft.Dup2(0, -1); err == nil {
+		t.Fatal("dup2 to negative fd succeeded")
+	}
+	if _, err := ft.LazyDup(42); err == nil {
+		t.Fatal("lazy dup of closed fd succeeded")
+	}
+}
+
+func TestFDTableCloneIndependent(t *testing.T) {
+	env := newEnv()
+	ft := NewFDTable(env)
+	a := ft.Alloc()
+	child := ft.Clone()
+	if err := child.Close(a); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Used() != 4 {
+		t.Fatalf("parent Used = %d after child close, want 4", ft.Used())
+	}
+}
+
+func TestKVMPMLCost(t *testing.T) {
+	envPML := newEnv()
+	k := NewKVM(envPML)
+	vm := k.CreateVM()
+	base := envPML.Now()
+	if err := vm.SetMemoryRegion(1000); err != nil {
+		t.Fatal(err)
+	}
+	pmlCost := envPML.Now() - base
+
+	envNo := newEnv()
+	k2 := NewKVM(envNo)
+	k2.PML = false
+	vm2 := k2.CreateVM()
+	base = envNo.Now()
+	if err := vm2.SetMemoryRegion(1000); err != nil {
+		t.Fatal(err)
+	}
+	noPMLCost := envNo.Now() - base
+
+	if pmlCost < 5*noPMLCost {
+		t.Fatalf("PML %v vs no-PML %v: expected ~10x gap (Figure 16-c)", pmlCost, noPMLCost)
+	}
+	if err := vm2.SetMemoryRegion(0); err == nil {
+		t.Fatal("empty region accepted")
+	}
+}
+
+func TestKvcallocCache(t *testing.T) {
+	env := newEnv()
+	k := NewKVM(env)
+	k.Kvcalloc()
+	cold := env.Now()
+	k.AllocCache = true
+	k.Kvcalloc()
+	cached := env.Now() - cold
+	if cached >= cold {
+		t.Fatalf("cached kvcalloc %v not cheaper than cold %v", cached, cold)
+	}
+	if k.KvcallocCold != 1 || k.KvcallocCached != 1 {
+		t.Fatalf("counters cold=%d cached=%d", k.KvcallocCold, k.KvcallocCached)
+	}
+}
+
+func TestVMAccounting(t *testing.T) {
+	env := newEnv()
+	k := NewKVM(env)
+	vm := k.CreateVM()
+	vm.AddVCPU()
+	vm.AddVCPU()
+	if vm.VCPUs() != 2 {
+		t.Fatalf("VCPUs = %d", vm.VCPUs())
+	}
+	if err := vm.SetMemoryRegion(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.SetMemoryRegion(200); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Regions() != 2 || vm.GuestPages() != 300 {
+		t.Fatalf("regions=%d pages=%d", vm.Regions(), vm.GuestPages())
+	}
+}
+
+func TestPIDNamespaceStableAcrossRebind(t *testing.T) {
+	ns := NewPIDNamespace()
+	vpid := ns.Register(12345)
+	if vpid != 1 {
+		t.Fatalf("first vpid = %d, want 1", vpid)
+	}
+	child := ns.Clone()
+	// sfork: same vpid, new host process.
+	if err := child.Rebind(vpid, 54321); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := child.HostPID(vpid); h != 54321 {
+		t.Fatalf("child host pid = %d", h)
+	}
+	if h, _ := ns.HostPID(vpid); h != 12345 {
+		t.Fatalf("template host pid mutated: %d", h)
+	}
+	if err := child.Rebind(99, 1); err == nil {
+		t.Fatal("rebind of unknown vpid succeeded")
+	}
+}
+
+func TestNamespacesCloneForCharges(t *testing.T) {
+	env := newEnv()
+	n := NewNamespaces()
+	n.PID.Register(100)
+	c := n.CloneFor(env)
+	if env.Now() != env.Cost.NamespaceSetup {
+		t.Fatalf("clone cost = %v, want %v", env.Now(), env.Cost.NamespaceSetup)
+	}
+	if c.Creds != n.Creds {
+		t.Fatal("credentials not preserved")
+	}
+}
+
+// Property: any sequence of Alloc/Dup keeps Used <= accounted allocations
+// and capacity a power-of-two multiple of 64; expansion count matches
+// capacity growth.
+func TestFDTableInvariantProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		env := newEnv()
+		ft := NewFDTable(env)
+		for _, isDup := range ops {
+			if isDup {
+				if _, err := ft.Dup(0); err != nil {
+					return false
+				}
+			} else {
+				ft.Alloc()
+			}
+		}
+		cap := ft.Capacity()
+		for cap > initialFDCapacity {
+			if cap%2 != 0 {
+				return false
+			}
+			cap /= 2
+		}
+		wantCap := initialFDCapacity
+		for i := 0; i < ft.Expansions; i++ {
+			wantCap *= 2
+		}
+		return cap == initialFDCapacity && ft.Capacity() == wantCap && ft.Used() <= ft.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lazy dup never charges more than DupBase per call, regardless
+// of table pressure.
+func TestLazyDupFlatCostProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		env := newEnv()
+		ft := NewFDTable(env)
+		fills := int(n)
+		for i := 0; i < fills; i++ {
+			ft.Alloc()
+		}
+		before := env.Now()
+		for i := 0; i < 20; i++ {
+			if _, err := ft.LazyDup(0); err != nil {
+				return false
+			}
+		}
+		return env.Now()-before == 20*env.Cost.DupBase
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

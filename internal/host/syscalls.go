@@ -1,0 +1,117 @@
+// Package host models the host Linux kernel surface the paper touches:
+// the syscall classification that makes sfork safe (Table 1), PID/USER
+// namespaces for post-fork state consistency, the fdtable with its
+// expansion tail latency (Figure 16-d), and the KVM device with the PML
+// and kvcalloc-cache optimizations (Figure 16-b/c).
+package host
+
+import "fmt"
+
+// SyscallClass is the paper's three-way classification for syscalls
+// available inside a template sandbox (§4, Table 1).
+type SyscallClass uint8
+
+const (
+	// Allowed syscalls run as normal syscalls.
+	Allowed SyscallClass = iota
+	// Handled syscalls require user-space logic to fix related system
+	// state after sfork for consistency.
+	Handled
+	// Denied syscalls are removed from the sandbox since they may lead
+	// to non-deterministic system state modification.
+	Denied
+)
+
+func (c SyscallClass) String() string {
+	switch c {
+	case Allowed:
+		return "allowed"
+	case Handled:
+		return "handled"
+	case Denied:
+		return "denied"
+	default:
+		return fmt.Sprintf("SyscallClass(%d)", uint8(c))
+	}
+}
+
+// SyscallInfo describes one syscall's treatment in a template sandbox.
+type SyscallInfo struct {
+	Name     string
+	Class    SyscallClass
+	Category string // Table 1 category: Proc, VFS, File, Network, Mem, Misc
+	Handler  string // Table 1 handler, for Handled syscalls
+}
+
+// table1 reproduces Table 1. Handled entries are the bold syscalls; the
+// rest of each category row is Allowed.
+var table1 = func() map[string]SyscallInfo {
+	m := make(map[string]SyscallInfo)
+	add := func(category, handler string, handled []string, allowed []string) {
+		for _, n := range handled {
+			m[n] = SyscallInfo{Name: n, Class: Handled, Category: category, Handler: handler}
+		}
+		for _, n := range allowed {
+			m[n] = SyscallInfo{Name: n, Class: Allowed, Category: category}
+		}
+	}
+	add("Proc", "Transient single-thread, Namespace",
+		[]string{"clone", "getpid", "gettid"},
+		[]string{"capget", "arch_prctl", "prctl", "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "seccomp", "sigaltstack", "sched_getaffinity"})
+	add("VFS", "Read-only FD",
+		[]string{"openat", "close", "dup", "dup2", "fcntl"},
+		[]string{"poll", "ioctl", "memfd_create", "ftruncate", "mount", "pivot_root", "umount", "epoll_create1", "epoll_ctl", "epoll_pwait", "eventfd2", "chdir", "lseek"})
+	add("File", "Stateless overlayFS",
+		[]string{"write", "read"},
+		[]string{"newfstat", "newfstatat", "mkdirat", "readlinkat", "pread64"})
+	add("Network", "Reconnect",
+		[]string{"listen", "accept"},
+		[]string{"sendmsg", "shutdown", "recvmsg", "getsockopt"})
+	add("Mem", "Handled by sfork",
+		[]string{"mmap", "munmap"},
+		nil)
+	add("Misc", "Namespace",
+		[]string{"setgid", "setuid", "getgid", "getuid", "getegid", "geteuid", "setsid"},
+		[]string{"getrandom", "nanosleep", "futex", "getgroups", "clock_gettime", "getrlimit"})
+	// Syscalls that mutate host state non-deterministically are removed
+	// from template sandboxes entirely.
+	for _, n := range []string{"fork", "vfork", "execve", "kill", "ptrace", "reboot", "unshare", "setns", "init_module"} {
+		m[n] = SyscallInfo{Name: n, Class: Denied, Category: "Denied"}
+	}
+	return m
+}()
+
+// Classify reports the classification of a syscall inside a template
+// sandbox. Unknown syscalls are denied by default (allowlist semantics).
+func Classify(name string) SyscallInfo {
+	if info, ok := table1[name]; ok {
+		return info
+	}
+	return SyscallInfo{Name: name, Class: Denied, Category: "Unknown"}
+}
+
+// Table returns a copy of the full classification table.
+func Table() []SyscallInfo {
+	out := make([]SyscallInfo, 0, len(table1))
+	for _, info := range table1 {
+		out = append(out, info)
+	}
+	return out
+}
+
+// ErrDeniedSyscall is returned when a template sandbox invokes a denied
+// syscall.
+type ErrDeniedSyscall struct{ Name string }
+
+func (e *ErrDeniedSyscall) Error() string {
+	return fmt.Sprintf("host: syscall %q is denied in template sandboxes", e.Name)
+}
+
+// CheckTemplateSyscall validates that a template sandbox may invoke the
+// named syscall, returning ErrDeniedSyscall otherwise.
+func CheckTemplateSyscall(name string) error {
+	if Classify(name).Class == Denied {
+		return &ErrDeniedSyscall{Name: name}
+	}
+	return nil
+}

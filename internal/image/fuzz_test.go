@@ -1,0 +1,35 @@
+package image
+
+import "testing"
+
+// FuzzDecode hardens the func-image loader: arbitrary bytes must never
+// panic, and valid images must round-trip.
+func FuzzDecode(f *testing.F) {
+	img := buildImage(f, 300, 32)
+	data, err := img.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add([]byte("not an image"))
+	f.Add(data[:len(data)/2])
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := Decode(b)
+		if err != nil {
+			return
+		}
+		re, err := got.Encode()
+		if err != nil {
+			t.Fatalf("decoded image failed to re-encode: %v", err)
+		}
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Name != got.Name || again.Mem != got.Mem {
+			t.Fatal("decode/encode/decode not stable")
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package image
+
+import (
+	"testing"
+	"testing/quick"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/guest"
+	"catalyzer/internal/memory"
+	"catalyzer/internal/simenv"
+	"catalyzer/internal/vfs"
+)
+
+func newEnv() *simenv.Env { return simenv.New(costmodel.Default()) }
+
+func buildImage(t testing.TB, objects int, pages uint64) *Image {
+	t.Helper()
+	env := newEnv()
+	k := guest.NewKernel(env, 11, 500)
+	k.CreateObjects(guest.KindMisc, objects)
+	k.Conns.Open(vfs.ConnFile, "/etc/app.conf")
+	k.Conns.Open(vfs.ConnSocket, "/run/app.sock")
+	cp, err := k.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := vfs.NewIOCache()
+	cache.RecordUse("/etc/app.conf", false)
+	return &Image{
+		Name:     "test-func",
+		Language: "java",
+		Entry:    "com.example.Handler#handle",
+		Mem:      Memory{Pages: pages, Seed: 99},
+		Kernel:   cp,
+		IOCache:  cache,
+	}
+}
+
+func TestMemoryTokensDeterministic(t *testing.T) {
+	m := Memory{Pages: 100, Seed: 5}
+	if m.Token(3) != (Memory{Pages: 100, Seed: 5}).Token(3) {
+		t.Fatal("tokens not deterministic")
+	}
+	if m.Token(3) == m.Token(4) {
+		t.Fatal("adjacent pages share tokens")
+	}
+	if m.Bytes() != 100*memory.PageSize {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := buildImage(t, 2000, 512)
+	data, err := img.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != img.Name || got.Language != img.Language || got.Entry != img.Entry {
+		t.Fatalf("identity mismatch: %+v", got)
+	}
+	if got.Mem != img.Mem {
+		t.Fatalf("mem mismatch: %+v vs %+v", got.Mem, img.Mem)
+	}
+	if string(got.Kernel.Baseline) != string(img.Kernel.Baseline) {
+		t.Fatal("baseline section mismatch")
+	}
+	if string(got.Kernel.Records.Region) != string(img.Kernel.Records.Region) {
+		t.Fatal("records region mismatch")
+	}
+	if len(got.Kernel.Records.Relations) != len(img.Kernel.Records.Relations) {
+		t.Fatal("relations mismatch")
+	}
+	if len(got.Kernel.ConnRecords) != 2 {
+		t.Fatalf("conn records = %d", len(got.Kernel.ConnRecords))
+	}
+	if got.Kernel.CriticalCount != img.Kernel.CriticalCount {
+		t.Fatal("critical count mismatch")
+	}
+	if got.IOCache == nil || got.IOCache.Len() != 1 {
+		t.Fatal("io cache lost")
+	}
+	// Restoring from the decoded image reproduces the original kernel.
+	r1, err := guest.RestoreSeparated(newEnv(), img.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := guest.RestoreSeparated(newEnv(), got.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Signature() != r2.Signature() {
+		t.Fatal("decoded image restores different kernel")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	img := buildImage(t, 100, 16)
+	data, err := img.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"magic":     append([]byte{1, 2, 3, 4}, data[4:]...),
+		"truncated": data[:len(data)*2/3],
+		"trailing":  append(append([]byte(nil), data...), 0xFF),
+	}
+	for name, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("%s: Decode succeeded on corrupt image", name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	img := buildImage(t, 10, 1)
+	img.Name = ""
+	if err := img.Validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	img = buildImage(t, 10, 1)
+	img.Kernel = nil
+	if _, err := img.Encode(); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+}
+
+func TestMappingSharesFrames(t *testing.T) {
+	env := newEnv()
+	ft := memory.NewFrameTable()
+	m := NewMapping(env, ft, Memory{Pages: 64, Seed: 3})
+	if env.Now() != env.Cost.ImageMapRegion {
+		t.Fatalf("map cost = %v", env.Now())
+	}
+	f1, ok := m.Frame(5)
+	if !ok {
+		t.Fatal("Frame(5) missing")
+	}
+	f2, _ := m.Frame(5)
+	if f1 != f2 {
+		t.Fatal("same page returned different frames")
+	}
+	if _, ok := m.Frame(64); ok {
+		t.Fatal("out-of-range page returned a frame")
+	}
+	if m.ResidentPages() != 1 {
+		t.Fatalf("ResidentPages = %d", m.ResidentPages())
+	}
+	if ft.Content(f1) != (Memory{Pages: 64, Seed: 3}).Token(5) {
+		t.Fatal("frame content not derived from image")
+	}
+
+	before := env.Now()
+	if got := m.Share(env); got != m {
+		t.Fatal("Share returned a different mapping")
+	}
+	if env.Now()-before != env.Cost.ShareMapping {
+		t.Fatal("Share did not charge share-mapping cost")
+	}
+}
+
+func TestMappingCloseKeepsSandboxPages(t *testing.T) {
+	env := newEnv()
+	ft := memory.NewFrameTable()
+	m := NewMapping(env, ft, Memory{Pages: 8, Seed: 1})
+	as := memory.NewAddressSpace(env, ft)
+	if err := as.Map(memory.VMA{Name: "img", Start: 0, End: 8, Backing: m}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := as.Read(2) // faults the page in: sandbox holds a ref
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close() // idempotent
+	got, err := as.Read(2)
+	if err != nil || got != want {
+		t.Fatalf("page lost after mapping close: %d,%v want %d", got, err, want)
+	}
+	if _, ok := m.Frame(3); ok {
+		t.Fatal("closed mapping served a frame")
+	}
+}
+
+func TestTable3SizeAccessors(t *testing.T) {
+	img := buildImage(t, 1000, 16)
+	if img.MetadataBytes() != len(img.Kernel.Records.Region) {
+		t.Fatal("MetadataBytes mismatch")
+	}
+	if img.IOCacheBytes() != img.IOCache.Bytes() {
+		t.Fatal("IOCacheBytes mismatch")
+	}
+	var empty Image
+	if empty.MetadataBytes() != 0 || empty.IOCacheBytes() != 0 {
+		t.Fatal("empty image size accessors nonzero")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary image shapes.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(objs uint16, pages uint16, name string) bool {
+		if name == "" {
+			name = "f"
+		}
+		env := newEnv()
+		k := guest.NewKernel(env, 3, 100)
+		k.CreateObjects(guest.KindMisc, int(objs%3000))
+		cp, err := k.Capture()
+		if err != nil {
+			return false
+		}
+		img := &Image{Name: name, Language: "c", Mem: Memory{Pages: uint64(pages), Seed: 7}, Kernel: cp}
+		data, err := img.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return got.Name == name && got.Mem.Pages == uint64(pages)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

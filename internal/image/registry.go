@@ -1,0 +1,171 @@
+package image
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Registry support: the paper notes a func-image "could be saved to both
+// local or remote storage, and a serverless platform needs to fetch a
+// func-image first" (§2.2). RegistryServer exposes a Store over HTTP and
+// RegistryClient fetches images with a local Store as a pull-through
+// cache, verifying checksums on every hop.
+
+// RegistryServer serves a Store.
+type RegistryServer struct {
+	store *Store
+}
+
+// NewRegistryServer wraps a store.
+func NewRegistryServer(store *Store) *RegistryServer {
+	return &RegistryServer{store: store}
+}
+
+// Handler returns the HTTP surface:
+//
+//	GET /images            list image names (JSON)
+//	GET /images/{name}     raw image bytes (with checksum trailer)
+//	PUT /images/{name}     store an image
+func (s *RegistryServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /images", s.list)
+	mux.HandleFunc("GET /images/{name}", s.get)
+	mux.HandleFunc("PUT /images/{name}", s.put)
+	return mux
+}
+
+func (s *RegistryServer) list(w http.ResponseWriter, _ *http.Request) {
+	names, err := s.store.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(names)
+}
+
+func (s *RegistryServer) get(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Validate by loading (checksum + decode), then serve the raw file so
+	// the client can re-verify end to end.
+	if _, err := s.store.Load(name); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	p, err := s.store.path(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.ServeFile(w, r, p)
+}
+
+func (s *RegistryServer) put(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	img, err := Decode(data)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("invalid image: %v", err), http.StatusBadRequest)
+		return
+	}
+	if img.Name != name {
+		http.Error(w, fmt.Sprintf("image is for %q, not %q", img.Name, name), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Save(img); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+// RegistryClient fetches func-images from a remote registry, caching them
+// in a local store.
+type RegistryClient struct {
+	base  string
+	cache *Store
+	http  *http.Client
+}
+
+// NewRegistryClient builds a client for the registry at base (e.g.
+// "http://registry:8081") with the given local cache store.
+func NewRegistryClient(base string, cache *Store) *RegistryClient {
+	return &RegistryClient{base: base, cache: cache, http: http.DefaultClient}
+}
+
+// Fetch returns the named image, from the cache when present, otherwise
+// from the registry (populating the cache).
+func (c *RegistryClient) Fetch(name string) (*Image, error) {
+	if img, err := c.cache.Load(name); err == nil {
+		return img, nil
+	}
+	resp, err := c.http.Get(c.base + "/images/" + name)
+	if err != nil {
+		return nil, fmt.Errorf("image: fetch %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("image: fetch %s: registry returned %s", name, resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("image: fetch %s: short response", name)
+	}
+	img, err := Decode(raw[:len(raw)-8]) // strip checksum trailer
+	if err != nil {
+		return nil, fmt.Errorf("image: fetch %s: %w", name, err)
+	}
+	if img.Name != name {
+		return nil, fmt.Errorf("image: fetch %s: registry served %q", name, img.Name)
+	}
+	if err := c.cache.Save(img); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Push uploads an image to the registry.
+func (c *RegistryClient) Push(img *Image) error {
+	data, err := img.Encode()
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.base+"/images/"+img.Name, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("image: push %s: %w", img.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("image: push %s: %s (%s)", img.Name, resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// ListRemote returns the registry's image names.
+func (c *RegistryClient) ListRemote() ([]string, error) {
+	resp, err := c.http.Get(c.base + "/images")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}

@@ -1,0 +1,119 @@
+package image
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newRegistry(t *testing.T) (*httptest.Server, *Store) {
+	t.Helper()
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewRegistryServer(store).Handler())
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func newClient(t *testing.T, srv *httptest.Server) *RegistryClient {
+	t.Helper()
+	cache, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRegistryClient(srv.URL, cache)
+}
+
+func TestPushFetchRoundTrip(t *testing.T) {
+	srv, _ := newRegistry(t)
+	client := newClient(t, srv)
+	img := buildImage(t, 800, 128)
+
+	if err := client.Push(img); err != nil {
+		t.Fatal(err)
+	}
+	names, err := client.ListRemote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != img.Name {
+		t.Fatalf("ListRemote = %v", names)
+	}
+	got, err := client.Fetch(img.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != img.Name || got.Mem != img.Mem {
+		t.Fatalf("fetched image differs: %+v", got)
+	}
+	if string(got.Kernel.Records.Region) != string(img.Kernel.Records.Region) {
+		t.Fatal("record region corrupted in transit")
+	}
+}
+
+func TestFetchUsesCache(t *testing.T) {
+	srv, serverStore := newRegistry(t)
+	client := newClient(t, srv)
+	img := buildImage(t, 300, 16)
+	if err := client.Push(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Fetch(img.Name); err != nil {
+		t.Fatal(err)
+	}
+	// Delete from the server: the cached copy must still satisfy Fetch.
+	if err := serverStore.Delete(img.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Fetch(img.Name); err != nil {
+		t.Fatalf("cached fetch failed: %v", err)
+	}
+	// A cold client now fails.
+	cold := newClient(t, srv)
+	if _, err := cold.Fetch(img.Name); err == nil {
+		t.Fatal("fetch of deleted image succeeded")
+	}
+}
+
+func TestPushRejectsBadPayloads(t *testing.T) {
+	srv, _ := newRegistry(t)
+
+	do := func(path string, body []byte) int {
+		req, err := http.NewRequest(http.MethodPut, srv.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := do("/images/x", []byte("garbage")); code != http.StatusBadRequest {
+		t.Fatalf("garbage push = %d", code)
+	}
+	img := buildImage(t, 100, 4)
+	data, err := img.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := do("/images/wrong-name", data); code != http.StatusBadRequest {
+		t.Fatalf("mismatched-name push = %d", code)
+	}
+}
+
+func TestGetUnknownImage(t *testing.T) {
+	srv, _ := newRegistry(t)
+	resp, err := http.Get(srv.URL + "/images/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,126 @@
+package image
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is an on-disk func-image repository. The paper notes func-images
+// "could be saved to both local or remote storage, and a serverless
+// platform needs to fetch a func-image first" (§2.2); Store is the local
+// half: atomic writes, content checksums, and name-based lookup.
+type Store struct {
+	dir string
+}
+
+// imageExt is the func-image file extension.
+const imageExt = ".cimg"
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("image: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("image: create store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return "", fmt.Errorf("image: invalid image name %q", name)
+	}
+	return filepath.Join(s.dir, name+imageExt), nil
+}
+
+// Save encodes and atomically writes an image, appending a CRC64 trailer
+// so Load can detect corruption.
+func (s *Store) Save(img *Image) error {
+	p, err := s.path(img.Name)
+	if err != nil {
+		return err
+	}
+	data, err := img.Encode()
+	if err != nil {
+		return err
+	}
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], crc64.Checksum(data, crcTable))
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, append(data, trailer[:]...), 0o644); err != nil {
+		return fmt.Errorf("image: save %s: %w", img.Name, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("image: save %s: %w", img.Name, err)
+	}
+	return nil
+}
+
+// Load reads, verifies and decodes an image by function name.
+func (s *Store) Load(name string) (*Image, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("image: load %s: %w", name, err)
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("image: load %s: file too short", name)
+	}
+	data, trailer := raw[:len(raw)-8], raw[len(raw)-8:]
+	want := binary.LittleEndian.Uint64(trailer)
+	if got := crc64.Checksum(data, crcTable); got != want {
+		return nil, fmt.Errorf("image: load %s: checksum mismatch (corrupt image)", name)
+	}
+	img, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("image: load %s: %w", name, err)
+	}
+	if img.Name != name {
+		return nil, fmt.Errorf("image: load %s: image is for function %q", name, img.Name)
+	}
+	return img, nil
+}
+
+// List returns the names of stored images, sorted by the filesystem's
+// directory order (stable on the platforms we target).
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), imageExt) {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(e.Name(), imageExt))
+	}
+	return out, nil
+}
+
+// Delete removes a stored image.
+func (s *Store) Delete(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil {
+		return fmt.Errorf("image: delete %s: %w", name, err)
+	}
+	return nil
+}

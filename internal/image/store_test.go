@@ -1,0 +1,127 @@
+package image
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := buildImage(t, 500, 64)
+	if err := s.Save(img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(img.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != img.Name || got.Mem != img.Mem {
+		t.Fatalf("loaded image differs: %+v", got)
+	}
+	if string(got.Kernel.Records.Region) != string(img.Kernel.Records.Region) {
+		t.Fatal("record region differs after store round trip")
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != img.Name {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := buildImage(t, 200, 8)
+	if err := s.Save(img); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, img.Name+imageExt)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(img.Name); err == nil {
+		t.Fatal("corrupt image loaded successfully")
+	}
+}
+
+func TestStoreRejectsWrongName(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := buildImage(t, 100, 4)
+	if err := s.Save(img); err != nil {
+		t.Fatal(err)
+	}
+	// Rename the file so name and content disagree.
+	old := filepath.Join(dir, img.Name+imageExt)
+	renamed := filepath.Join(dir, "other-func"+imageExt)
+	if err := os.Rename(old, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("other-func"); err == nil {
+		t.Fatal("mismatched image name accepted")
+	}
+}
+
+func TestStoreDeleteAndErrors(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := buildImage(t, 100, 4)
+	if err := s.Save(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(img.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(img.Name); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if _, err := s.Load(img.Name); err == nil {
+		t.Fatal("load after delete succeeded")
+	}
+	if _, err := s.Load("../escape"); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+	if err := s.Save(&Image{Name: "a/b", Kernel: img.Kernel}); err == nil {
+		t.Fatal("slash in name accepted")
+	}
+	if _, err := NewStore(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	names, err := s.List()
+	if err != nil || len(names) != 0 {
+		t.Fatalf("List after delete = %v, %v", names, err)
+	}
+}
+
+func TestStoreTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tiny"+imageExt), []byte{1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("tiny"); err == nil {
+		t.Fatal("truncated file loaded")
+	}
+}

@@ -1,0 +1,82 @@
+// Package memory implements the reproduction's host-memory substrate: a
+// refcounted frame table, virtual address spaces with the paper's two-level
+// overlay EPT (a shared read-only Base-EPT under a private copy-on-write
+// Private-EPT, §3.1), demand paging, fork-style CoW cloning for sfork, and
+// RSS/PSS accounting for the Figure 14 memory study.
+//
+// Frames do not carry real 4 KiB buffers; each frame stores a 64-bit
+// content token. That keeps thousand-instance scalability experiments
+// cheap while still letting tests verify isolation (a child's write never
+// changes the content another sandbox observes).
+package memory
+
+import "fmt"
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 4096
+
+// FrameID names a host physical frame. Zero is never a valid frame.
+type FrameID uint64
+
+type frame struct {
+	refs    int
+	content uint64
+}
+
+// FrameTable models host physical memory: a set of refcounted frames.
+// One FrameTable is shared by every sandbox on a simulated machine, which
+// is what makes cross-sandbox page sharing (and PSS) observable.
+type FrameTable struct {
+	next   FrameID
+	frames map[FrameID]*frame
+}
+
+// NewFrameTable returns an empty frame table.
+func NewFrameTable() *FrameTable {
+	return &FrameTable{frames: make(map[FrameID]*frame)}
+}
+
+// Allocate creates a new frame with the given content token and one
+// reference.
+func (ft *FrameTable) Allocate(content uint64) FrameID {
+	ft.next++
+	ft.frames[ft.next] = &frame{refs: 1, content: content}
+	return ft.next
+}
+
+func (ft *FrameTable) get(id FrameID) *frame {
+	f, ok := ft.frames[id]
+	if !ok {
+		panic(fmt.Sprintf("memory: unknown frame %d", id))
+	}
+	return f
+}
+
+// Ref adds a reference to an existing frame.
+func (ft *FrameTable) Ref(id FrameID) { ft.get(id).refs++ }
+
+// Unref drops a reference, freeing the frame at zero.
+func (ft *FrameTable) Unref(id FrameID) {
+	f := ft.get(id)
+	f.refs--
+	if f.refs < 0 {
+		panic(fmt.Sprintf("memory: frame %d refcount underflow", id))
+	}
+	if f.refs == 0 {
+		delete(ft.frames, id)
+	}
+}
+
+// Refs reports the reference count of a frame.
+func (ft *FrameTable) Refs(id FrameID) int { return ft.get(id).refs }
+
+// Content returns the frame's content token.
+func (ft *FrameTable) Content(id FrameID) uint64 { return ft.get(id).content }
+
+// SetContent overwrites the frame's content token. Callers must hold the
+// only writable mapping (AddressSpace guarantees this via CoW).
+func (ft *FrameTable) SetContent(id FrameID, c uint64) { ft.get(id).content = c }
+
+// Live returns the number of allocated frames (host memory in use, in
+// pages).
+func (ft *FrameTable) Live() int { return len(ft.frames) }

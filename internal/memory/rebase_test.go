@@ -1,0 +1,145 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRebaseMovesMappingsAndVMAs(t *testing.T) {
+	env := newEnv()
+	ft := NewFrameTable()
+	as := NewAddressSpace(env, ft)
+	if err := as.Map(VMA{Name: "heap", Start: 100, End: 110}); err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(100); p < 110; p++ {
+		if err := as.Write(p, p*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	as.Rebase(1000)
+	// Old addresses fault outside any VMA.
+	if _, err := as.Read(105); err == nil {
+		t.Fatal("old address still mapped after rebase")
+	}
+	// New addresses carry the same contents.
+	for p := uint64(100); p < 110; p++ {
+		got, err := as.Read(p + 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != p*7 {
+			t.Fatalf("page %d content = %d, want %d", p+1000, got, p*7)
+		}
+	}
+	vmas := as.VMAs()
+	if vmas[0].Start != 1100 || vmas[0].End != 1110 {
+		t.Fatalf("VMA not shifted: %+v", vmas[0])
+	}
+	// No frames gained or lost.
+	if ft.Live() != 10 {
+		t.Fatalf("frames = %d after rebase, want 10", ft.Live())
+	}
+	as.Rebase(0) // no-op
+	if _, err := as.Read(1105); err != nil {
+		t.Fatal("zero rebase broke mappings")
+	}
+}
+
+func TestRebaseKeepsBackingOffsets(t *testing.T) {
+	env := newEnv()
+	ft := NewFrameTable()
+	back := newFakeBacking(ft, []uint64{11, 22, 33})
+	as := NewAddressSpace(env, ft)
+	if err := as.Map(VMA{Name: "img", Start: 50, End: 53, Backing: back}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Read(51); err != nil { // fault one page pre-rebase
+		t.Fatal(err)
+	}
+	as.Rebase(500)
+	got, err := as.Read(552) // demand fault post-rebase
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 33 {
+		t.Fatalf("backed page content = %d, want 33 (offset preserved)", got)
+	}
+	got, err = as.Read(551) // pre-rebase fault moved with the space
+	if err != nil || got != 22 {
+		t.Fatalf("moved page = %d,%v want 22", got, err)
+	}
+}
+
+// Property: for any delta and any write pattern, rebase is a pure
+// renaming — contents, RSS, PSS and fault behaviour are preserved.
+func TestRebaseIsPureRenamingProperty(t *testing.T) {
+	f := func(writes []uint8, delta16 uint16) bool {
+		env := newEnv()
+		ft := NewFrameTable()
+		as := NewAddressSpace(env, ft)
+		if err := as.Map(VMA{Name: "h", Start: 0, End: 256}); err != nil {
+			return false
+		}
+		contents := map[uint64]uint64{}
+		for i, w := range writes {
+			p := uint64(w)
+			v := uint64(i) + 1
+			if err := as.Write(p, v); err != nil {
+				return false
+			}
+			contents[p] = v
+		}
+		rssBefore, pssBefore := as.RSS(), as.PSS()
+		delta := uint64(delta16)
+		as.Rebase(delta)
+		if as.RSS() != rssBefore || as.PSS() != pssBefore {
+			return false
+		}
+		for p, v := range contents {
+			got, err := as.Read(p + delta)
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallBaseReplacesAndRefs(t *testing.T) {
+	env := newEnv()
+	ft := NewFrameTable()
+	as := NewAddressSpace(env, ft)
+	f1 := ft.Allocate(1)
+	f2 := ft.Allocate(2)
+	as.InstallBase(7, f1)
+	if got, ok := as.Translate(7); !ok || got != f1 {
+		t.Fatal("InstallBase did not map")
+	}
+	if ft.Refs(f1) != 2 {
+		t.Fatalf("refs = %d", ft.Refs(f1))
+	}
+	as.InstallBase(7, f2) // replace: f1 unref'd by the space
+	if ft.Refs(f1) != 1 || ft.Refs(f2) != 2 {
+		t.Fatalf("refs after replace: f1=%d f2=%d", ft.Refs(f1), ft.Refs(f2))
+	}
+}
+
+func TestPopulateRejectsAnonymous(t *testing.T) {
+	env := newEnv()
+	ft := NewFrameTable()
+	as := NewAddressSpace(env, ft)
+	v := VMA{Name: "anon", Start: 0, End: 4}
+	if err := as.Map(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Populate(v, func() {}); err == nil {
+		t.Fatal("Populate on anonymous VMA succeeded")
+	}
+	if err := as.PopulateRange(100, 104, nil, nil); err == nil {
+		t.Fatal("PopulateRange outside VMA succeeded")
+	}
+}

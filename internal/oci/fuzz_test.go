@@ -1,0 +1,34 @@
+package oci
+
+import (
+	"testing"
+
+	"catalyzer/internal/workload"
+)
+
+// FuzzParse hardens the gateway's configuration parser: arbitrary input
+// must never panic, and accepted documents must satisfy the validated
+// invariants.
+func FuzzParse(f *testing.F) {
+	_, seed, err := Generate(workload.MustGet("c-hello"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"ociVersion":"1.0.2"}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if s.OCIVersion == "" || len(s.Process.Args) == 0 || s.Root.Path == "" {
+			t.Fatal("Parse accepted a document violating its own invariants")
+		}
+		if len(s.Mounts) == 0 || s.Mounts[0].Destination != "/" {
+			t.Fatal("Parse accepted bad mounts")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+// Package oci implements the function-configuration format the gateway
+// parses on every boot. The paper's platforms start sandboxes "with two
+// arguments: a configuration file and a rootfs ... based on OCI
+// specification" (§2.1); this package provides a minimal OCI-runtime-spec
+// shaped document, generated per function and actually parsed on the
+// boot critical path (Figure 2's "Parse Configuration": 1.369 ms).
+package oci
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"catalyzer/internal/workload"
+)
+
+// Spec is the subset of the OCI runtime specification the platform uses.
+type Spec struct {
+	OCIVersion  string            `json:"ociVersion"`
+	Process     Process           `json:"process"`
+	Root        Root              `json:"root"`
+	Hostname    string            `json:"hostname"`
+	Mounts      []Mount           `json:"mounts"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+}
+
+// Process describes the wrapped program.
+type Process struct {
+	Args []string `json:"args"`
+	Env  []string `json:"env"`
+	Cwd  string   `json:"cwd"`
+}
+
+// Root is the root filesystem reference.
+type Root struct {
+	Path     string `json:"path"`
+	Readonly bool   `json:"readonly"`
+}
+
+// Mount is one filesystem mount.
+type Mount struct {
+	Destination string   `json:"destination"`
+	Type        string   `json:"type"`
+	Source      string   `json:"source"`
+	Options     []string `json:"options,omitempty"`
+}
+
+// Generate produces the function's configuration document, padded with
+// annotations to the spec's declared configuration size so the parse cost
+// reflects the real document.
+func Generate(spec *workload.Spec) (*Spec, []byte, error) {
+	s := &Spec{
+		OCIVersion: "1.0.2",
+		Process: Process{
+			Args: []string{"/app/wrapper", "--handler", spec.Name},
+			Env: []string{
+				"FUNC_NAME=" + spec.Name,
+				"FUNC_LANG=" + string(spec.Language),
+				"FUNC_ENTRY=" + spec.Name + "#handler",
+			},
+			Cwd: "/app",
+		},
+		Root:     Root{Path: "rootfs", Readonly: true},
+		Hostname: spec.Name,
+		Mounts: []Mount{
+			{Destination: "/", Type: "rootfs", Source: "rootfs"},
+		},
+		Annotations: map[string]string{
+			"dev.catalyzer.func-entry": spec.Name + "#handler",
+		},
+	}
+	for i := 0; i < spec.RootMounts; i++ {
+		s.Mounts = append(s.Mounts, Mount{
+			Destination: fmt.Sprintf("/mnt/%d", i),
+			Type:        "bind",
+			Source:      fmt.Sprintf("/srv/binds/%s/%d", spec.Name, i),
+			Options:     []string{"rbind", "ro"},
+		})
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Pad with an opaque annotation so the document matches the spec's
+	// declared size (runtime hints, security profiles, and platform
+	// metadata in real configurations).
+	want := spec.ConfigKB * 1024
+	if pad := want - len(data) - 64; pad > 0 {
+		s.Annotations["dev.catalyzer.platform-metadata"] = pad50(pad)
+		if data, err = json.Marshal(s); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, data, nil
+}
+
+func pad50(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = 'a' + byte(i%26)
+	}
+	return string(b)
+}
+
+// Parse decodes and validates a configuration document.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("oci: parse: %w", err)
+	}
+	if s.OCIVersion == "" {
+		return nil, fmt.Errorf("oci: missing ociVersion")
+	}
+	if len(s.Process.Args) == 0 {
+		return nil, fmt.Errorf("oci: process has no args")
+	}
+	if s.Root.Path == "" {
+		return nil, fmt.Errorf("oci: missing root path")
+	}
+	if len(s.Mounts) == 0 || s.Mounts[0].Destination != "/" {
+		return nil, fmt.Errorf("oci: first mount must target /")
+	}
+	return &s, nil
+}
+
+// FuncEntry returns the func-entry point annotation, if present.
+func (s *Spec) FuncEntry() (string, bool) {
+	v, ok := s.Annotations["dev.catalyzer.func-entry"]
+	return v, ok
+}

@@ -1,0 +1,118 @@
+package oci
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"catalyzer/internal/workload"
+)
+
+func TestGenerateParseRoundTrip(t *testing.T) {
+	spec := workload.MustGet("java-specjbb")
+	doc, data, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hostname != "java-specjbb" {
+		t.Fatalf("hostname = %s", got.Hostname)
+	}
+	if len(got.Mounts) != 1+spec.RootMounts {
+		t.Fatalf("mounts = %d, want %d", len(got.Mounts), 1+spec.RootMounts)
+	}
+	entry, ok := got.FuncEntry()
+	if !ok || !strings.HasPrefix(entry, "java-specjbb#") {
+		t.Fatalf("func entry = %q, %v", entry, ok)
+	}
+	if doc.Process.Args[0] != "/app/wrapper" {
+		t.Fatalf("args = %v", doc.Process.Args)
+	}
+}
+
+func TestGeneratePadsToDeclaredSize(t *testing.T) {
+	spec := workload.MustGet("c-hello")
+	_, data, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.ConfigKB * 1024
+	if len(data) < want*9/10 || len(data) > want*11/10 {
+		t.Fatalf("config size = %d bytes, declared %d", len(data), want)
+	}
+}
+
+func TestParseValidation(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      `not json`,
+		"no version":   `{"process":{"args":["x"]},"root":{"path":"r"},"mounts":[{"destination":"/"}]}`,
+		"no args":      `{"ociVersion":"1.0.2","process":{"args":[]},"root":{"path":"r"},"mounts":[{"destination":"/"}]}`,
+		"no root":      `{"ociVersion":"1.0.2","process":{"args":["x"]},"root":{"path":""},"mounts":[{"destination":"/"}]}`,
+		"no mounts":    `{"ociVersion":"1.0.2","process":{"args":["x"]},"root":{"path":"r"},"mounts":[]}`,
+		"wrong mount0": `{"ociVersion":"1.0.2","process":{"args":["x"]},"root":{"path":"r"},"mounts":[{"destination":"/tmp"}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFuncEntryAbsent(t *testing.T) {
+	doc := Spec{
+		OCIVersion: "1.0.2",
+		Process:    Process{Args: []string{"x"}},
+		Root:       Root{Path: "r"},
+		Mounts:     []Mount{{Destination: "/"}},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.FuncEntry(); ok {
+		t.Fatal("absent annotation reported present")
+	}
+}
+
+// Property: every registered workload generates a valid, parseable
+// configuration naming itself.
+func TestAllWorkloadsGenerateValidConfigs(t *testing.T) {
+	for _, name := range workload.Names() {
+		_, data, err := Generate(workload.MustGet(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Hostname != name {
+			t.Fatalf("%s: hostname %s", name, got.Hostname)
+		}
+	}
+}
+
+// Property: padding never corrupts the document.
+func TestPaddingProperty(t *testing.T) {
+	f := func(kb uint8) bool {
+		spec := *workload.MustGet("c-hello")
+		spec.ConfigKB = int(kb%16) + 1
+		_, data, err := Generate(&spec)
+		if err != nil {
+			return false
+		}
+		_, err = Parse(data)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package platform
+
+import (
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simtime"
+)
+
+func TestBurstForkBootAbsorbsScaleOut(t *testing.T) {
+	p := prepared(t, "deathstar-text")
+	fork, err := p.SimulateBurst("deathstar-text", CatalyzerSfork, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 concurrent requests on 8 cores, ~0.6ms boot + ~2ms exec each:
+	// the burst drains in tens of milliseconds.
+	if fork.Makespan() > 50*simtime.Millisecond {
+		t.Fatalf("fork burst makespan = %v", fork.Makespan())
+	}
+
+	p2 := prepared(t, "deathstar-text")
+	gv, err := p2.SimulateBurst("deathstar-text", GVisor, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold gVisor boots (~150ms each) queue: 8 per core ≈ 1.2s makespan.
+	if gv.Makespan() < 800*simtime.Millisecond {
+		t.Fatalf("gvisor burst makespan = %v; expected queueing", gv.Makespan())
+	}
+	if ratio := float64(gv.Makespan()) / float64(fork.Makespan()); ratio < 20 {
+		t.Fatalf("burst speedup = %.0fx", ratio)
+	}
+	// Per-request completion is monotone per core and p50 <= p99.
+	if fork.CompletionPercentile(50) > fork.CompletionPercentile(99) {
+		t.Fatal("percentiles disordered")
+	}
+	if got := len(fork.Requests); got != 64 {
+		t.Fatalf("requests = %d", got)
+	}
+	for _, q := range fork.Requests {
+		if q.Core < 0 || q.Core >= 8 {
+			t.Fatalf("core = %d", q.Core)
+		}
+		if q.Completion < q.Boot+q.Exec {
+			t.Fatal("completion below own work")
+		}
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	p := New(costmodel.Default())
+	if _, err := p.SimulateBurst("c-hello", GVisor, 0, 8); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+	if _, err := p.SimulateBurst("c-hello", GVisor, 4, 0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := p.SimulateBurst("unregistered", GVisor, 1, 1); err == nil {
+		t.Fatal("unregistered function accepted")
+	}
+	var empty BurstReport
+	if empty.Makespan() != 0 || empty.CompletionPercentile(99) != 0 {
+		t.Fatal("empty report nonzero")
+	}
+}

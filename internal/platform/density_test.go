@@ -1,0 +1,69 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/sandbox"
+)
+
+// TestInstanceDensityUnderMemoryCap quantifies §2.2's resource-overhead
+// argument: on a memory-capped machine, private-memory gVisor sandboxes
+// exhaust physical memory after a handful of instances, while Catalyzer's
+// page-sharing fork boot packs an order of magnitude more.
+func TestInstanceDensityUnderMemoryCap(t *testing.T) {
+	const fn = "deathstar-composepost"
+	const capPages = 40000 // ~156 MB
+
+	count := func(sys System) int {
+		p := New(costmodel.Default())
+		if _, err := p.PrepareTemplate(fn); err != nil {
+			t.Fatal(err)
+		}
+		p.M.SetMemoryCapacity(capPages)
+		if p.M.MemoryCapacity() != capPages {
+			t.Fatal("capacity not set")
+		}
+		n := 0
+		for ; n < 500; n++ {
+			r, err := p.InvokeKeep(fn, sys)
+			if err != nil {
+				if !errors.Is(err, sandbox.ErrOutOfMemory) {
+					t.Fatalf("%s: unexpected error: %v", sys, err)
+				}
+				break
+			}
+			_ = r
+		}
+		return n
+	}
+
+	gv := count(GVisor)
+	cat := count(CatalyzerSfork)
+	// composePost is ~5.7k private pages under gVisor: ~5-6 instances in
+	// 40k pages. Fork boots share the template: dozens fit.
+	if gv > 8 {
+		t.Fatalf("gVisor packed %d instances into %d pages; expected memory exhaustion", gv, capPages)
+	}
+	if cat < 5*gv {
+		t.Fatalf("density gain only %dx (gvisor=%d catalyzer=%d)", cat/max(gv, 1), gv, cat)
+	}
+}
+
+func TestAdmissionErrorIsTyped(t *testing.T) {
+	p := New(costmodel.Default())
+	if _, err := p.Register("java-specjbb"); err != nil {
+		t.Fatal(err)
+	}
+	p.M.SetMemoryCapacity(1000) // far below SPECjbb's 59k pages
+	_, err := p.Boot("java-specjbb", GVisor)
+	if !errors.Is(err, sandbox.ErrOutOfMemory) {
+		t.Fatalf("got %v, want ErrOutOfMemory", err)
+	}
+	// Unlimited machines never reject.
+	p2 := New(costmodel.Default())
+	if err := p2.M.AdmitPages(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package platform
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/image"
+)
+
+// TestImageDistributionPipeline exercises the full image lifecycle across
+// modules: build on one platform (persisting to its store), publish
+// through the HTTP registry, fetch into a second machine's store, and
+// boot from the fetched image — the "fetch a func-image first" flow of
+// §2.2 end to end.
+func TestImageDistributionPipeline(t *testing.T) {
+	// Builder machine persists its images.
+	builderStore, err := image.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder := NewWithStore(costmodel.Default(), builderStore)
+	if _, err := builder.PrepareImage("python-django"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The registry serves the builder's store.
+	registry := httptest.NewServer(image.NewRegistryServer(builderStore).Handler())
+	defer registry.Close()
+
+	// A worker machine pulls through its own cache store.
+	workerStore, err := image.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := image.NewRegistryClient(registry.URL, workerStore)
+	img, err := client.Fetch("python-django")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.IOCache == nil || img.IOCache.Len() == 0 {
+		t.Fatal("fetched image lost its I/O cache")
+	}
+
+	worker := NewWithStore(costmodel.Default(), workerStore)
+	f, err := worker.PrepareImage("python-django")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker must have loaded the fetched image, not rebuilt one: the
+	// record regions are byte-identical.
+	built, err := builderStore.Load("python-django")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Image.Kernel.Records.Region) != string(built.Kernel.Records.Region) {
+		t.Fatal("worker rebuilt instead of loading the fetched image")
+	}
+
+	// And boots from it across all Catalyzer paths.
+	for _, sys := range []System{CatalyzerRestore, CatalyzerZygote} {
+		r, err := worker.Invoke("python-django", sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if r.BootLatency <= 0 {
+			t.Fatalf("%s: degenerate boot", sys)
+		}
+	}
+}
+
+// TestChaosLifecycle drives a platform through a deterministic
+// pseudo-random operation sequence and checks global invariants: no
+// error from valid operations, live-instance accounting balances, and
+// releasing everything returns host memory to the steady state.
+func TestChaosLifecycle(t *testing.T) {
+	p := New(costmodel.Default())
+	fns := []string{"c-hello", "deathstar-text", "python-hello"}
+	for _, fn := range fns {
+		if _, err := p.PrepareTemplate(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseLive := p.M.Live()
+	baseFrames := p.M.Frames.Live()
+
+	systems := []System{CatalyzerSfork, CatalyzerZygote, CatalyzerRestore, GVisor, GVisorRestore}
+	runSequence := func() {
+		var running []*Result
+		state := uint64(0xC0FFEE)
+		next := func(n int) int {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return int(state % uint64(n))
+		}
+		for step := 0; step < 120; step++ {
+			switch op := next(4); op {
+			case 0, 1: // invoke-and-keep
+				fn := fns[next(len(fns))]
+				sys := systems[next(len(systems))]
+				r, err := p.InvokeKeep(fn, sys)
+				if err != nil {
+					t.Fatalf("step %d: %s/%s: %v", step, sys, fn, err)
+				}
+				running = append(running, r)
+			case 2: // transient invoke
+				fn := fns[next(len(fns))]
+				if _, err := p.Invoke(fn, CatalyzerSfork); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			case 3: // release one
+				if len(running) > 0 {
+					i := next(len(running))
+					running[i].Sandbox.Release()
+					running = append(running[:i], running[i+1:]...)
+				}
+			}
+			if got := p.M.Live(); got != baseLive+len(running) {
+				t.Fatalf("step %d: live = %d, want %d", step, got, baseLive+len(running))
+			}
+		}
+		for _, r := range running {
+			r.Sandbox.Release()
+		}
+	}
+
+	runSequence()
+	if got := p.M.Live(); got != baseLive {
+		t.Fatalf("live = %d after teardown, want %d", got, baseLive)
+	}
+	// Shared base mappings legitimately retain demand-faulted image pages
+	// (they are the cross-instance page cache), so frames may exceed the
+	// pre-run level — but only up to the functions' image sizes...
+	maxMappingPages := 0
+	for _, fn := range fns {
+		f, err := p.Lookup(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxMappingPages += int(f.Image.Mem.Pages)
+	}
+	after1 := p.M.Frames.Live()
+	if after1 > baseFrames+maxMappingPages {
+		t.Fatalf("frames leaked beyond mapping capacity: %d -> %d (cap %d)",
+			baseFrames, after1, baseFrames+maxMappingPages)
+	}
+	// ...and the system is at steady state: repeating the same sequence
+	// must not grow host memory at all.
+	runSequence()
+	if after2 := p.M.Frames.Live(); after2 != after1 {
+		t.Fatalf("frames grew across identical runs: %d -> %d (unbounded leak)", after1, after2)
+	}
+}

@@ -1,0 +1,366 @@
+// Package platform implements the serverless platform of §2.1: a gateway
+// that registers functions (configuration + rootfs + runtime), prepares
+// their offline artifacts (func-images, base memory mappings, I/O caches,
+// template sandboxes, Zygote pools), and serves "invoke function"
+// requests through any of the evaluated boot strategies — the Docker,
+// Hyper Container, FireCracker, gVisor and gVisor-restore baselines, and
+// Catalyzer's cold (restore), warm (Zygote) and fork (sfork) boots.
+package platform
+
+import (
+	"fmt"
+	"strings"
+
+	"catalyzer/internal/core"
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/image"
+	"catalyzer/internal/sandbox"
+	"catalyzer/internal/simtime"
+	"catalyzer/internal/vfs"
+	"catalyzer/internal/workload"
+)
+
+// System names a boot strategy.
+type System string
+
+const (
+	Native           System = "native"
+	Docker           System = "docker"
+	HyperContainer   System = "hyper"
+	FireCracker      System = "firecracker"
+	GVisor           System = "gvisor"
+	GVisorRestore    System = "gvisor-restore"
+	CatalyzerRestore System = "catalyzer-restore"
+	CatalyzerZygote  System = "catalyzer-zygote"
+	CatalyzerSfork   System = "catalyzer-sfork"
+)
+
+// Systems lists every strategy in presentation order (Figure 11).
+func Systems() []System {
+	return []System{HyperContainer, FireCracker, GVisor, Docker,
+		GVisorRestore, CatalyzerRestore, CatalyzerZygote, CatalyzerSfork}
+}
+
+// Function is a registered serverless function and its offline artifacts.
+type Function struct {
+	Spec    *workload.Spec
+	FS      *vfs.FSServer
+	Image   *image.Image
+	Mapping *image.Mapping
+	Cache   *vfs.IOCache
+	Tmpl    *core.Template
+}
+
+// Platform is the per-machine gateway daemon.
+type Platform struct {
+	M       *sandbox.Machine
+	Cat     *core.Catalyzer
+	Zygotes *core.ZygotePool
+	funcs   map[string]*Function
+
+	// buildCost is the cost model used for offline image building on a
+	// scratch machine, so offline boots never perturb the platform
+	// machine's instance count.
+	buildCost *costmodel.Model
+
+	// store, when set, persists func-images across platform restarts.
+	store *image.Store
+}
+
+// New creates a platform on a fresh machine.
+func New(cost *costmodel.Model) *Platform {
+	m := sandbox.NewMachine(cost)
+	cat := core.New(m)
+	return &Platform{
+		M:         m,
+		Cat:       cat,
+		Zygotes:   core.NewZygotePool(cat, 4),
+		funcs:     make(map[string]*Function),
+		buildCost: cost,
+	}
+}
+
+// NewWithStore creates a platform whose func-images persist in an on-disk
+// store: PrepareImage loads an existing image instead of re-running
+// offline initialization, and saves freshly built images.
+func NewWithStore(cost *costmodel.Model, store *image.Store) *Platform {
+	p := New(cost)
+	p.store = store
+	return p
+}
+
+// newRootFS builds a function's root filesystem: the wrapper binary, the
+// runtime, and a log file eligible for read-write grants.
+func newRootFS(spec *workload.Spec) *vfs.FSServer {
+	root := vfs.NewTree()
+	root.Add("/app/wrapper", vfs.File{Size: int64(spec.TaskImagePages) * 4096})
+	root.Add("/app/config.json", vfs.File{Size: int64(spec.ConfigKB) * 1024})
+	root.Add("/var/log/"+spec.Name+".log", vfs.File{LogFile: true})
+	for _, c := range spec.Conns {
+		root.Add(c.Path, vfs.File{Size: 4096})
+	}
+	return vfs.NewFSServer(root)
+}
+
+// Register adds a function by workload name.
+func (p *Platform) Register(name string) (*Function, error) {
+	if f, ok := p.funcs[name]; ok {
+		return f, nil
+	}
+	spec, err := workload.Registry(name)
+	if err != nil {
+		return nil, err
+	}
+	f := &Function{Spec: spec, FS: newRootFS(spec)}
+	p.funcs[name] = f
+	return f, nil
+}
+
+// Lookup returns a registered function.
+func (p *Platform) Lookup(name string) (*Function, error) {
+	f, ok := p.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("platform: function %q not registered", name)
+	}
+	return f, nil
+}
+
+// PrepareImage builds the function's func-image offline (on a scratch
+// machine) including the I/O cache learned from a profiling execution.
+func (p *Platform) PrepareImage(name string) (*Function, error) {
+	f, err := p.Register(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.Image != nil {
+		return f, nil
+	}
+	if p.store != nil {
+		if img, err := p.store.Load(name); err == nil {
+			f.Image = img
+			f.Cache = img.IOCache
+			return f, nil
+		}
+	}
+	scratch := sandbox.NewMachine(p.buildCost)
+	s, _, err := sandbox.BootCold(scratch, f.Spec, newRootFS(f.Spec), sandbox.GVisorOptions(scratch))
+	if err != nil {
+		return nil, fmt.Errorf("platform: offline init of %s: %w", name, err)
+	}
+	img, err := s.BuildImage()
+	if err != nil {
+		return nil, err
+	}
+	// Profile one execution to learn the deterministic I/O set.
+	if _, err := s.Execute(); err != nil {
+		return nil, err
+	}
+	if s.Cache.Len() > 0 {
+		img.IOCache = s.Cache
+	}
+	f.Image = img
+	f.Cache = img.IOCache
+	s.Release()
+	if p.store != nil {
+		if err := p.store.Save(img); err != nil {
+			return nil, fmt.Errorf("platform: persist image for %s: %w", name, err)
+		}
+	}
+	return f, nil
+}
+
+// PrepareTrained derives the user-guided pre-initialization variant of a
+// function (§6.7): the given fraction of per-request preparation work is
+// warmed at training time and captured in the variant's func-image and
+// template. It registers and returns the derived function
+// ("<name>@pretrained"); invoke it by that name.
+func (p *Platform) PrepareTrained(name string, fraction float64) (*Function, error) {
+	base, err := p.Register(name)
+	if err != nil {
+		return nil, err
+	}
+	variant, err := workload.PreInitVariant(base.Spec, fraction)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.funcs[variant.Name]; !ok {
+		if err := workload.RegisterCustom(variant); err != nil && !isAlreadyRegistered(err) {
+			return nil, err
+		}
+		f := &Function{Spec: variant, FS: newRootFS(variant)}
+		p.funcs[variant.Name] = f
+	}
+	return p.PrepareTemplate(variant.Name)
+}
+
+func isAlreadyRegistered(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "already registered")
+}
+
+// PrepareTemplate builds the function's template sandbox for fork boot
+// (offline).
+func (p *Platform) PrepareTemplate(name string) (*Function, error) {
+	f, err := p.PrepareImage(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.Tmpl != nil {
+		return f, nil
+	}
+	tmpl, err := p.Cat.MakeTemplate(f.Spec, f.FS)
+	if err != nil {
+		return nil, err
+	}
+	f.Tmpl = tmpl
+	return f, nil
+}
+
+// Result reports one boot (and optionally one execution).
+type Result struct {
+	System      System
+	Function    string
+	BootLatency simtime.Duration
+	ExecLatency simtime.Duration
+	Phases      []simtime.Phase
+	Sandbox     *sandbox.Sandbox
+}
+
+// Total returns end-to-end latency.
+func (r *Result) Total() simtime.Duration { return r.BootLatency + r.ExecLatency }
+
+// Boot starts an instance of a registered function under the given
+// system and leaves it running (the caller releases it).
+func (p *Platform) Boot(name string, sys System) (*Result, error) {
+	f, err := p.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		s   *sandbox.Sandbox
+		tl  *simtime.Timeline
+		m   = p.M
+		env = m.Env
+	)
+	switch sys {
+	case Native:
+		s, tl, err = sandbox.BootCold(m, f.Spec, f.FS, sandbox.Options{
+			Profile: sandbox.NativeProfile(env.Cost),
+		})
+	case Docker:
+		s, tl, err = sandbox.BootCold(m, f.Spec, f.FS, sandbox.Options{
+			Profile:    sandbox.ContainerProfile(env.Cost),
+			Management: env.Cost.DockerCreate,
+		})
+	case HyperContainer:
+		s, tl, err = sandbox.BootCold(m, f.Spec, f.FS, sandbox.Options{
+			Profile:        sandbox.MicroVMProfile(env.Cost),
+			Management:     env.Cost.HyperCreate,
+			HardwareVM:     true,
+			GuestLinuxBoot: 150 * simtime.Millisecond,
+			VCPUs:          1,
+		})
+	case FireCracker:
+		s, tl, err = sandbox.BootCold(m, f.Spec, f.FS, sandbox.Options{
+			Profile:        sandbox.MicroVMProfile(env.Cost),
+			Management:     env.Cost.FirecrackerCreate,
+			HardwareVM:     true,
+			GuestLinuxBoot: env.Cost.FirecrackerKernelBoot,
+			VCPUs:          1,
+		})
+	case GVisor:
+		s, tl, err = sandbox.BootCold(m, f.Spec, f.FS, sandbox.GVisorOptions(m))
+	case GVisorRestore:
+		if f.Image == nil {
+			return nil, fmt.Errorf("platform: %s: no func-image (run PrepareImage)", name)
+		}
+		s, tl, err = sandbox.BootGVisorRestore(m, f.Image, f.FS, sandbox.GVisorOptions(m))
+	case CatalyzerRestore:
+		if f.Image == nil {
+			return nil, fmt.Errorf("platform: %s: no func-image (run PrepareImage)", name)
+		}
+		var mp *image.Mapping
+		s, mp, tl, err = p.Cat.BootRestore(f.Image, f.FS, nil, f.Mapping, f.Cache, core.AllFlags())
+		if err == nil {
+			f.Mapping = mp
+		}
+	case CatalyzerZygote:
+		if f.Image == nil {
+			return nil, fmt.Errorf("platform: %s: no func-image (run PrepareImage)", name)
+		}
+		z := p.Zygotes.Take()
+		if z == nil {
+			// Cache miss: fall back to cold boot.
+			return p.Boot(name, CatalyzerRestore)
+		}
+		var mp *image.Mapping
+		s, mp, tl, err = p.Cat.BootRestore(f.Image, f.FS, z, f.Mapping, f.Cache, core.AllFlags())
+		if err == nil {
+			f.Mapping = mp
+			p.Zygotes.Fill(4) // refill off the critical path
+		}
+	case CatalyzerSfork:
+		if f.Tmpl == nil {
+			return nil, fmt.Errorf("platform: %s: no template (run PrepareTemplate)", name)
+		}
+		s, tl, err = f.Tmpl.Sfork()
+	case Replayable:
+		s, tl, err = p.bootReplayable(f)
+	default:
+		return nil, fmt.Errorf("platform: unknown system %q", sys)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		System:      sys,
+		Function:    name,
+		BootLatency: tl.Total(),
+		Phases:      tl.Phases(),
+		Sandbox:     s,
+	}, nil
+}
+
+// Invoke boots, executes one request, and releases the instance.
+func (p *Platform) Invoke(name string, sys System) (*Result, error) {
+	r, err := p.Boot(name, sys)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Sandbox.Release()
+	d, err := r.Sandbox.Execute()
+	if err != nil {
+		return nil, err
+	}
+	r.ExecLatency = d
+	return r, nil
+}
+
+// InvokeKeep boots and executes but keeps the instance running,
+// returning it in the result (concurrency and memory experiments).
+func (p *Platform) InvokeKeep(name string, sys System) (*Result, error) {
+	r, err := p.Boot(name, sys)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.Sandbox.Execute()
+	if err != nil {
+		r.Sandbox.Release()
+		return nil, err
+	}
+	r.ExecLatency = d
+	return r, nil
+}
+
+// MemoryStats reports the RSS and PSS (bytes) of a set of running
+// instances, averaged per instance (Figure 14's methodology).
+func MemoryStats(instances []*sandbox.Sandbox) (avgRSS, avgPSS float64) {
+	if len(instances) == 0 {
+		return 0, 0
+	}
+	for _, s := range instances {
+		avgRSS += float64(s.AS.RSS())
+		avgPSS += s.AS.PSS()
+	}
+	n := float64(len(instances))
+	return avgRSS / n, avgPSS / n
+}

@@ -1,0 +1,198 @@
+package platform
+
+import (
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/sandbox"
+	"catalyzer/internal/simtime"
+)
+
+func prepared(t testing.TB, name string) *Platform {
+	t.Helper()
+	p := New(costmodel.Default())
+	if _, err := p.PrepareTemplate(name); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInvokeAllSystems(t *testing.T) {
+	p := prepared(t, "c-hello")
+	for _, sys := range Systems() {
+		r, err := p.Invoke("c-hello", sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if r.BootLatency <= 0 || r.ExecLatency <= 0 {
+			t.Fatalf("%s: degenerate result %+v", sys, r)
+		}
+	}
+}
+
+func TestFigure11Ordering(t *testing.T) {
+	p := prepared(t, "java-hello")
+	boot := map[System]simtime.Duration{}
+	for _, sys := range Systems() {
+		r, err := p.Invoke("java-hello", sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		boot[sys] = r.BootLatency
+	}
+	// Figure 11 shape: sfork < zygote < restore < gvisor-restore <
+	// docker < gvisor < hyper; and sub-millisecond-ish sfork.
+	if !(boot[CatalyzerSfork] < boot[CatalyzerZygote] &&
+		boot[CatalyzerZygote] < boot[CatalyzerRestore] &&
+		boot[CatalyzerRestore] < boot[GVisorRestore] &&
+		boot[GVisorRestore] < boot[GVisor] &&
+		boot[GVisor] < boot[HyperContainer]) {
+		t.Fatalf("ordering violated: %v", boot)
+	}
+	if boot[CatalyzerSfork] > 3*simtime.Millisecond {
+		t.Fatalf("sfork java-hello = %v", boot[CatalyzerSfork])
+	}
+	// "1000x speedup over baseline gVisor" for SPECjbb-class sfork; for
+	// java-hello expect >100x.
+	if boot[GVisor]/boot[CatalyzerSfork] < 100 {
+		t.Fatalf("gvisor/sfork = %v/%v, want >100x", boot[GVisor], boot[CatalyzerSfork])
+	}
+}
+
+func TestBootRequiresPreparation(t *testing.T) {
+	p := New(costmodel.Default())
+	if _, err := p.Register("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("c-hello", GVisorRestore); err == nil {
+		t.Fatal("gvisor-restore without image succeeded")
+	}
+	if _, err := p.Invoke("c-hello", CatalyzerSfork); err == nil {
+		t.Fatal("sfork without template succeeded")
+	}
+	if _, err := p.Invoke("unregistered", GVisor); err == nil {
+		t.Fatal("unregistered function invoked")
+	}
+	if _, err := p.Invoke("c-hello", System("bogus")); err == nil {
+		t.Fatal("bogus system accepted")
+	}
+}
+
+func TestZygotePoolFallback(t *testing.T) {
+	p := prepared(t, "c-hello")
+	// Drain the pool.
+	for p.Zygotes.Ready() > 0 {
+		p.Zygotes.Take()
+	}
+	r, err := p.Invoke("c-hello", CatalyzerZygote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.System != CatalyzerRestore {
+		t.Fatalf("empty pool fell back to %s, want catalyzer-restore", r.System)
+	}
+}
+
+func TestZygotePoolRefills(t *testing.T) {
+	p := prepared(t, "c-hello")
+	for i := 0; i < 6; i++ {
+		r, err := p.Invoke("c-hello", CatalyzerZygote)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.System != CatalyzerZygote {
+			t.Fatalf("invoke %d fell back to %s", i, r.System)
+		}
+	}
+}
+
+func TestInvokeKeepTracksLive(t *testing.T) {
+	p := prepared(t, "deathstar-text")
+	before := p.M.Live()
+	var results []*Result
+	for i := 0; i < 5; i++ {
+		r, err := p.InvokeKeep("deathstar-text", CatalyzerSfork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	if got := p.M.Live(); got != before+5 {
+		t.Fatalf("Live = %d, want %d", got, before+5)
+	}
+	for _, r := range results {
+		r.Sandbox.Release()
+	}
+	if got := p.M.Live(); got != before {
+		t.Fatalf("Live after release = %d, want %d", got, before)
+	}
+}
+
+func TestMemoryStats(t *testing.T) {
+	p := prepared(t, "deathstar-composepost")
+	var boxes []*sandbox.Sandbox
+	for i := 0; i < 4; i++ {
+		r, err := p.InvokeKeep("deathstar-composepost", CatalyzerSfork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boxes = append(boxes, r.Sandbox)
+	}
+	rss, pss := MemoryStats(boxes)
+	if rss <= 0 || pss <= 0 {
+		t.Fatal("degenerate memory stats")
+	}
+	// sfork children share the template's pages: PSS well below RSS.
+	if pss > rss/2 {
+		t.Fatalf("PSS %.0f vs RSS %.0f: no sharing visible", pss, rss)
+	}
+	zr, zp := MemoryStats(nil)
+	if zr != 0 || zp != 0 {
+		t.Fatal("MemoryStats(nil) nonzero")
+	}
+}
+
+func TestNativeVsGVisor(t *testing.T) {
+	p := prepared(t, "java-hello")
+	native, err := p.Invoke("java-hello", Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, err := p.Invoke("java-hello", GVisor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2: native 89.4ms, gVisor 659.1ms.
+	if native.BootLatency < 70*simtime.Millisecond || native.BootLatency > 130*simtime.Millisecond {
+		t.Fatalf("native java-hello = %v, want ~90ms", native.BootLatency)
+	}
+	if gv.BootLatency < 520*simtime.Millisecond || gv.BootLatency > 800*simtime.Millisecond {
+		t.Fatalf("gvisor java-hello = %v, want ~660ms", gv.BootLatency)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	p := New(costmodel.Default())
+	a, err := p.Register("c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Register("c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Register not idempotent")
+	}
+	if _, err := p.PrepareImage("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := p.Lookup("c-hello")
+	img := f1.Image
+	if _, err := p.PrepareImage("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	if f1.Image != img {
+		t.Fatal("PrepareImage rebuilt an existing image")
+	}
+}

@@ -1,0 +1,58 @@
+package platform
+
+import (
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/image"
+)
+
+func TestPlatformPersistsImagesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := image.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First platform builds and persists the image.
+	p1 := NewWithStore(costmodel.Default(), store)
+	f1, err := p1.PrepareImage("c-nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "c-nginx" {
+		t.Fatalf("store contents = %v", names)
+	}
+
+	// A "restarted" platform loads from the store instead of rebuilding.
+	p2 := NewWithStore(costmodel.Default(), store)
+	f2, err := p2.PrepareImage("c-nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f2.Image.Kernel.Records.Region) != string(f1.Image.Kernel.Records.Region) {
+		t.Fatal("restarted platform loaded a different image")
+	}
+	if f2.Cache == nil || f2.Cache.Len() != f1.Cache.Len() {
+		t.Fatalf("I/O cache lost across restart: %v", f2.Cache)
+	}
+	// And boots from it normally.
+	r, err := p2.Invoke("c-nginx", CatalyzerRestore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BootLatency <= 0 {
+		t.Fatal("degenerate boot")
+	}
+}
+
+func TestPlatformWithoutStoreUnchanged(t *testing.T) {
+	p := New(costmodel.Default())
+	if _, err := p.PrepareImage("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+}

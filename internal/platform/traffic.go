@@ -1,0 +1,184 @@
+package platform
+
+import (
+	"fmt"
+
+	"catalyzer/internal/simtime"
+)
+
+// This file reproduces the paper's tail-latency argument (§2.2): "caching
+// does not help with the tail latency, which is dominated by the 'cold
+// boot' in most cases", and "a single machine is capable of running
+// thousands of serverless functions, so caching all the functions in
+// memory will introduce high resource overhead." A deterministic request
+// trace over a skewed function popularity distribution drives two
+// platforms: one with a bounded keep-warm instance cache (the
+// conventional approach), one with Catalyzer fork boot. The cache serves
+// popular functions well but every cache miss pays a full cold boot; fork
+// boot serves hits and misses alike.
+
+// TrafficConfig shapes a synthetic request trace.
+type TrafficConfig struct {
+	// Functions is the set of invocable workload names; popularity
+	// follows a harmonic (Zipf-like, s=1) distribution over the slice
+	// order.
+	Functions []string
+	// Requests is the trace length.
+	Requests int
+	// Seed makes the trace deterministic.
+	Seed uint64
+}
+
+// Trace is a deterministic request sequence.
+type Trace struct {
+	Requests []string
+}
+
+// GenerateTrace builds the request sequence.
+func GenerateTrace(cfg TrafficConfig) (*Trace, error) {
+	if len(cfg.Functions) == 0 || cfg.Requests <= 0 {
+		return nil, fmt.Errorf("platform: empty traffic config")
+	}
+	// Harmonic weights: function i has weight 1/(i+1).
+	weights := make([]float64, len(cfg.Functions))
+	var total float64
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	state := cfg.Seed | 1
+	next := func() float64 {
+		// xorshift64*
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return float64((state*2685821657736338717)>>11) / float64(1<<53)
+	}
+	tr := &Trace{Requests: make([]string, 0, cfg.Requests)}
+	for r := 0; r < cfg.Requests; r++ {
+		x := next() * total
+		for i, w := range weights {
+			x -= w
+			if x <= 0 || i == len(weights)-1 {
+				tr.Requests = append(tr.Requests, cfg.Functions[i])
+				break
+			}
+		}
+	}
+	return tr, nil
+}
+
+// KeepWarmCache is the conventional hot-boot approach (§2.2, §6.9): up to
+// Capacity idle instances are kept in memory, keyed by function; a hit
+// reuses the instance with near-zero latency, a miss pays a full cold
+// boot. Eviction is LRU.
+type KeepWarmCache struct {
+	p        *Platform
+	capacity int
+	order    []string // LRU order, most recent last
+	idle     map[string]*Result
+	ColdSys  System // which system a miss boots with
+
+	Hits, Misses int
+}
+
+// NewKeepWarmCache builds a cache over p with the given capacity.
+func NewKeepWarmCache(p *Platform, capacity int, coldSys System) *KeepWarmCache {
+	return &KeepWarmCache{
+		p:        p,
+		capacity: capacity,
+		idle:     make(map[string]*Result),
+		ColdSys:  coldSys,
+	}
+}
+
+func (c *KeepWarmCache) touch(name string) {
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, name)
+}
+
+// Invoke serves one request: cache hit executes on the idle instance
+// (boot latency zero), miss cold-boots and caches the instance.
+func (c *KeepWarmCache) Invoke(name string) (boot, exec simtime.Duration, err error) {
+	if r, ok := c.idle[name]; ok {
+		c.Hits++
+		c.touch(name)
+		d, err := r.Sandbox.Execute()
+		return 0, d, err
+	}
+	c.Misses++
+	if _, err := c.p.PrepareImage(name); err != nil {
+		return 0, 0, err
+	}
+	r, err := c.p.Boot(name, c.ColdSys)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := r.Sandbox.Execute()
+	if err != nil {
+		r.Sandbox.Release()
+		return 0, 0, err
+	}
+	// Cache the now-idle instance, evicting LRU if needed.
+	if len(c.idle) >= c.capacity {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		c.idle[victim].Sandbox.Release()
+		delete(c.idle, victim)
+	}
+	c.idle[name] = r
+	c.order = append(c.order, name)
+	return r.BootLatency, d, nil
+}
+
+// Release frees all cached instances.
+func (c *KeepWarmCache) Release() {
+	for name, r := range c.idle {
+		r.Sandbox.Release()
+		delete(c.idle, name)
+	}
+	c.order = nil
+}
+
+// TailLatencyComparison runs the same trace through a keep-warm cache and
+// through Catalyzer fork boot, returning per-approach boot-latency
+// metrics. It is the quantitative form of §2.2's caching critique.
+func TailLatencyComparison(cfg TrafficConfig, cacheCapacity int, build func() *Platform) (cache, catalyzer *Metrics, err error) {
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Conventional platform: keep-warm cache over gVisor cold boots.
+	pc := build()
+	kw := NewKeepWarmCache(pc, cacheCapacity, GVisor)
+	defer kw.Release()
+	cache = NewMetrics(fmt.Sprintf("keep-warm(cap=%d)", cacheCapacity))
+	for _, name := range tr.Requests {
+		boot, _, err := kw.Invoke(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		cache.ObserveDuration(boot)
+	}
+
+	// Catalyzer platform: fork boot for every request.
+	pk := build()
+	catalyzer = NewMetrics("catalyzer-sfork")
+	for _, name := range tr.Requests {
+		if _, err := pk.PrepareTemplate(name); err != nil {
+			return nil, nil, err
+		}
+		r, err := pk.Invoke(name, CatalyzerSfork)
+		if err != nil {
+			return nil, nil, err
+		}
+		catalyzer.Observe(r)
+	}
+	return cache, catalyzer, nil
+}

@@ -1,0 +1,147 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simtime"
+)
+
+func TestGenerateTraceDeterministicAndSkewed(t *testing.T) {
+	cfg := TrafficConfig{
+		Functions: []string{"a", "b", "c", "d"},
+		Requests:  2000,
+		Seed:      7,
+	}
+	a, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(a.Requests, ",") != strings.Join(b.Requests, ",") {
+		t.Fatal("trace not deterministic")
+	}
+	counts := map[string]int{}
+	for _, r := range a.Requests {
+		counts[r]++
+	}
+	// Harmonic skew: head function clearly more popular than the tail.
+	if counts["a"] <= counts["d"]*2 {
+		t.Fatalf("popularity not skewed: %v", counts)
+	}
+	if _, err := GenerateTrace(TrafficConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestKeepWarmCacheHitsAndEviction(t *testing.T) {
+	p := New(costmodel.Default())
+	kw := NewKeepWarmCache(p, 1, GVisor)
+	defer kw.Release()
+
+	if _, _, err := kw.Invoke("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	boot, _, err := kw.Invoke("c-hello") // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot != 0 {
+		t.Fatalf("hit paid boot latency %v", boot)
+	}
+	if _, _, err := kw.Invoke("python-hello"); err != nil { // evicts c-hello
+		t.Fatal(err)
+	}
+	boot, _, err = kw.Invoke("c-hello") // miss again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot == 0 {
+		t.Fatal("post-eviction invoke did not pay a cold boot")
+	}
+	if kw.Hits != 1 || kw.Misses != 3 {
+		t.Fatalf("hits=%d misses=%d", kw.Hits, kw.Misses)
+	}
+}
+
+func TestMetricsPercentiles(t *testing.T) {
+	m := NewMetrics("test")
+	if m.Percentile(99) != 0 || m.Mean() != 0 || m.Max() != 0 {
+		t.Fatal("empty metrics not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		m.ObserveDuration(simtime.Duration(i) * simtime.Millisecond)
+	}
+	if got := m.Percentile(50); got != 50*simtime.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := m.Percentile(99); got != 99*simtime.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := m.Max(); got != 100*simtime.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := m.Mean(); got != 50*simtime.Millisecond+500*simtime.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if !strings.Contains(m.String(), "p99") {
+		t.Fatal("String missing percentile summary")
+	}
+}
+
+func TestMetricsObserveTracksBootMix(t *testing.T) {
+	p := New(costmodel.Default())
+	if _, err := p.PrepareTemplate("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics("mix")
+	for _, sys := range []System{CatalyzerSfork, CatalyzerSfork, CatalyzerRestore} {
+		r, err := p.Invoke("c-hello", sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Observe(r)
+	}
+	mix := m.BootMix()
+	if mix[CatalyzerSfork] != 2 || mix[CatalyzerRestore] != 1 {
+		t.Fatalf("mix = %v", mix)
+	}
+}
+
+// TestCachingDoesNotFixTailLatency is §2.2's claim, quantified: with a
+// keep-warm cache smaller than the function population, the p99 boot
+// latency is still a full cold boot, while Catalyzer's fork boot keeps
+// even the worst case in the low milliseconds.
+func TestCachingDoesNotFixTailLatency(t *testing.T) {
+	cfg := TrafficConfig{
+		Functions: []string{
+			"deathstar-text", "deathstar-media", "deathstar-composepost",
+			"deathstar-uniqueid", "deathstar-timeline", "c-hello",
+		},
+		Requests: 120,
+		Seed:     42,
+	}
+	cache, cat, err := TailLatencyComparison(cfg, 2, func() *Platform { return New(costmodel.Default()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache's median can be fine (hits on hot functions)...
+	if cache.Percentile(50) > 160*simtime.Millisecond {
+		t.Fatalf("cache p50 = %v; expected mostly hits", cache.Percentile(50))
+	}
+	// ...but its tail is a cold boot.
+	if cache.Percentile(99) < 100*simtime.Millisecond {
+		t.Fatalf("cache p99 = %v; expected cold-boot tail", cache.Percentile(99))
+	}
+	// Catalyzer's tail stays in fork-boot territory.
+	if cat.Percentile(99) > 5*simtime.Millisecond {
+		t.Fatalf("catalyzer p99 = %v", cat.Percentile(99))
+	}
+	if float64(cache.Percentile(99))/float64(cat.Percentile(99)) < 20 {
+		t.Fatalf("tail gap only %.1fx", float64(cache.Percentile(99))/float64(cat.Percentile(99)))
+	}
+}

@@ -1,0 +1,65 @@
+package sandbox
+
+import (
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/vfs"
+	"catalyzer/internal/workload"
+)
+
+// TestPersistentLogFlow covers §4.2's persistent-storage exception: the
+// FS server grants one read-write descriptor for the function's log
+// file, every request appends through it, and releasing the sandbox
+// returns the grant.
+func TestPersistentLogFlow(t *testing.T) {
+	spec := workload.MustGet("c-hello")
+
+	// Log-less rootfs: no grant, execution still works.
+	m := NewMachine(costmodel.Default())
+	bare := vfs.NewTree()
+	bare.Add("/app/wrapper", vfs.File{Size: 1 << 20})
+	fsBare := vfs.NewFSServer(bare)
+	s, _, err := BootCold(m, spec, fsBare, GVisorOptions(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsBare.OpenGrants() != 0 {
+		t.Fatalf("grants = %d on log-less rootfs", fsBare.OpenGrants())
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LogWritten(); got != 0 {
+		t.Fatalf("log-less sandbox wrote %d bytes", got)
+	}
+	s.Release()
+
+	// Conventional rootfs with /var/log/<name>.log: grant issued, each
+	// request appends, Release returns the grant.
+	root := vfs.NewTree()
+	root.Add("/app/wrapper", vfs.File{Size: 1 << 20})
+	root.Add("/var/log/c-hello.log", vfs.File{LogFile: true})
+	fs := vfs.NewFSServer(root)
+	m2 := NewMachine(costmodel.Default())
+	s2, _, err := BootCold(m2, spec, fs, GVisorOptions(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.OpenGrants() != 1 {
+		t.Fatalf("open grants = %d, want 1 (the log)", fs.OpenGrants())
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := s2.Execute(); err != nil {
+			t.Fatal(err)
+		}
+		if got := s2.LogWritten(); got != int64(i)*128 {
+			t.Fatalf("after %d requests: log = %d bytes", i, got)
+		}
+	}
+	s2.Release()
+	if fs.OpenGrants() != 0 {
+		t.Fatalf("grants leaked after release: %d", fs.OpenGrants())
+	}
+	s2.Release() // idempotent: no double close
+}

@@ -1,0 +1,142 @@
+package sandbox
+
+import (
+	"testing"
+	"testing/quick"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simtime"
+	"catalyzer/internal/workload"
+)
+
+// Property: every combination of boot options produces a sandbox at its
+// func-entry point with positive, phase-consistent boot latency, and the
+// pieces requested by the options actually exist.
+func TestOptionsMatrixProperty(t *testing.T) {
+	f := func(mgmt bool, sentry bool, hwvm bool, guestLinux bool, guestKernel bool, vcpus uint8) bool {
+		m := NewMachine(costmodel.Default())
+		opts := Options{
+			Profile:     ContainerProfile(m.Env.Cost),
+			SentryBoot:  sentry,
+			HardwareVM:  hwvm,
+			GuestKernel: guestKernel,
+			VCPUs:       int(vcpus%4) + 1,
+		}
+		if mgmt {
+			opts.Management = m.Env.Cost.DockerCreate
+		}
+		if guestLinux {
+			opts.GuestLinuxBoot = 95 * simtime.Millisecond
+		}
+		s, tl, err := BootCold(m, workload.MustGet("c-hello"), newRootFS(), opts)
+		if err != nil {
+			return false
+		}
+		if !s.AtEntry || tl.Total() <= 0 {
+			return false
+		}
+		// Phase sum equals total by construction of the timeline.
+		var sum simtime.Duration
+		for _, ph := range tl.Phases() {
+			if ph.Duration < 0 {
+				return false
+			}
+			sum += ph.Duration
+		}
+		if sum != tl.Total() {
+			return false
+		}
+		if hwvm != (s.VM != nil) {
+			return false
+		}
+		if hwvm && s.VM.VCPUs() != opts.VCPUs {
+			return false
+		}
+		if _, ok := tl.PhaseDuration(PhaseSentryBoot); ok != sentry {
+			return false
+		}
+		if _, ok := tl.PhaseDuration(PhaseGuestLinux); ok != guestLinux {
+			return false
+		}
+		if _, ok := tl.PhaseDuration(PhaseManagement); ok != mgmt {
+			return false
+		}
+		s.Release()
+		return m.Frames.Live() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 24}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteDispatchesSyscallMix(t *testing.T) {
+	m := NewMachine(costmodel.Default())
+	s, _, err := BootCold(m, workload.MustGet("deathstar-text"), newRootFS(), GVisorOptions(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	d := s.LastSyscalls
+	if d == nil {
+		t.Fatal("no dispatcher recorded")
+	}
+	if d.Total() != s.Spec.ExecSyscalls {
+		t.Fatalf("dispatched %d syscalls, want %d", d.Total(), s.Spec.ExecSyscalls)
+	}
+	if d.Count("read") == 0 || d.Count("write") == 0 {
+		t.Fatalf("mix missing read/write: %v", d.Names())
+	}
+	if d.Template {
+		t.Fatal("cold-booted sandbox enforcing template policy")
+	}
+}
+
+func TestBootColdRejectsInvalidSpec(t *testing.T) {
+	m := NewMachine(costmodel.Default())
+	bad := *workload.MustGet("c-hello")
+	bad.ConfigKB = 0
+	if _, _, err := BootCold(m, &bad, newRootFS(), GVisorOptions(m)); err == nil {
+		t.Fatal("invalid spec booted")
+	}
+}
+
+func TestExecutionLatencyAcrossBootPathsConverges(t *testing.T) {
+	// After the first request warmed a restored instance, subsequent
+	// executions cost the same as on a cold-booted one: the demand
+	// faults and lazy reconnects are one-time.
+	m := NewMachine(costmodel.Default())
+	cold, _, err := BootCold(m, workload.MustGet("python-django"), newRootFS(), GVisorOptions(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := cold.BuildImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := cold.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewMachine(costmodel.Default())
+	restored, _, err := BootGVisorRestore(m2, img, newRootFS(), GVisorOptions(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Execute(); err != nil { // first request pays one-time costs
+		t.Fatal(err)
+	}
+	d2, err := restored.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := float64(d2-d1) / float64(d1)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.02 {
+		t.Fatalf("steady-state exec diverges: cold %v vs restored %v", d1, d2)
+	}
+}

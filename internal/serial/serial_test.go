@@ -1,0 +1,274 @@
+package serial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genGraph builds a deterministic pseudo-random object graph with n
+// objects, mimicking a guest kernel's pointer structure (back-references
+// only, plus occasional nils).
+func genGraph(n int, seed int64) []Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]Object, n)
+	for i := range objs {
+		payload := make([]byte, 4+rng.Intn(24))
+		rng.Read(payload)
+		objs[i] = Object{
+			ID:      ObjectID(i),
+			Kind:    uint8(rng.Intn(12)),
+			Payload: payload,
+		}
+		nrefs := rng.Intn(4)
+		for j := 0; j < nrefs; j++ {
+			if i == 0 || rng.Intn(5) == 0 {
+				objs[i].Refs = append(objs[i].Refs, NilRef)
+			} else {
+				objs[i].Refs = append(objs[i].Refs, ObjectID(rng.Intn(i)))
+			}
+		}
+	}
+	return objs
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	objs := genGraph(500, 1)
+	data, encStats, err := EncodeBaseline(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encStats.Objects != 500 {
+		t.Fatalf("encode stats objects = %d", encStats.Objects)
+	}
+	got, decStats, err := DecodeBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(objs, got) {
+		t.Fatal("baseline round trip not isomorphic")
+	}
+	if decStats.Objects != encStats.Objects || decStats.Relations != encStats.Relations {
+		t.Fatalf("stats mismatch: enc=%+v dec=%+v", encStats, decStats)
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	objs := genGraph(500, 2)
+	rec, stats, err := EncodeRecords(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != 500 {
+		t.Fatalf("stats objects = %d", stats.Objects)
+	}
+	n, err := FixupRecords(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != stats.Relations {
+		t.Fatalf("fixups = %d, want %d", n, stats.Relations)
+	}
+	got, err := DecodeRecords(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(objs, got) {
+		t.Fatal("records round trip not isomorphic")
+	}
+}
+
+func TestRecordsWithoutFixupHasPlaceholders(t *testing.T) {
+	objs := []Object{
+		{ID: 0, Kind: 1, Payload: []byte("root")},
+		{ID: 1, Kind: 2, Payload: []byte("leaf"), Refs: []ObjectID{0, NilRef}},
+	}
+	rec, _, err := EncodeRecords(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecords(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Refs[0] != 0 {
+		// Placeholder is the zero value; here the real target happens to
+		// be 0 too, so use a graph where it differs.
+		t.Log("ambiguous case, checked below")
+	}
+	objs2 := []Object{
+		{ID: 0, Kind: 1},
+		{ID: 1, Kind: 1},
+		{ID: 2, Kind: 2, Refs: []ObjectID{1}},
+	}
+	rec2, _, err := EncodeRecords(objs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := DecodeRecords(rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre[2].Refs[0] != 0 {
+		t.Fatalf("placeholder = %d before fixup, want 0", pre[2].Refs[0])
+	}
+	if got[1].Refs[1] != NilRef {
+		t.Fatal("nil ref did not survive placeholder encoding")
+	}
+	if _, err := FixupRecords(rec2); err != nil {
+		t.Fatal(err)
+	}
+	post, err := DecodeRecords(rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post[2].Refs[0] != 1 {
+		t.Fatalf("ref = %d after fixup, want 1", post[2].Refs[0])
+	}
+}
+
+func TestFormatsAgree(t *testing.T) {
+	objs := genGraph(300, 3)
+	data, _, err := EncodeBaseline(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBaseline, _, err := DecodeBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := EncodeRecords(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FixupRecords(rec); err != nil {
+		t.Fatal(err)
+	}
+	viaRecords, err := DecodeRecords(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(viaBaseline, viaRecords) {
+		t.Fatal("baseline and records formats disagree")
+	}
+}
+
+func TestNonDenseIDsRejected(t *testing.T) {
+	objs := []Object{{ID: 5}}
+	if _, _, err := EncodeBaseline(objs); err == nil {
+		t.Fatal("EncodeBaseline accepted non-dense IDs")
+	}
+	if _, _, err := EncodeRecords(objs); err == nil {
+		t.Fatal("EncodeRecords accepted non-dense IDs")
+	}
+}
+
+func TestDanglingRefRejected(t *testing.T) {
+	objs := []Object{{ID: 0, Refs: []ObjectID{7}}}
+	if _, _, err := EncodeRecords(objs); err == nil {
+		t.Fatal("EncodeRecords accepted dangling ref")
+	}
+}
+
+func TestDecodeBaselineCorrupt(t *testing.T) {
+	objs := genGraph(50, 4)
+	data, _, err := EncodeBaseline(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": data[:len(data)/2],
+		"garbage":   []byte("not a checkpoint image at all"),
+	}
+	for name, c := range cases {
+		if _, _, err := DecodeBaseline(c); err == nil {
+			t.Errorf("%s: DecodeBaseline succeeded on corrupt input", name)
+		}
+	}
+}
+
+func TestDecodeRecordsCorruptRelation(t *testing.T) {
+	objs := genGraph(10, 5)
+	rec, _, err := EncodeRecords(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Relations = append(rec.Relations, Relation{SlotOffset: uint64(len(rec.Region)) + 100, Target: 0})
+	if _, err := FixupRecords(rec); err == nil {
+		t.Fatal("FixupRecords accepted out-of-range slot")
+	}
+}
+
+func TestEncodeDoesNotMutateInput(t *testing.T) {
+	objs := genGraph(20, 6)
+	snapshot := make([]Object, len(objs))
+	for i := range objs {
+		snapshot[i] = objs[i].clone()
+	}
+	if _, _, err := EncodeBaseline(objs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := EncodeRecords(objs); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(objs, snapshot) {
+		t.Fatal("encoding mutated its input")
+	}
+}
+
+// Property: both formats round-trip arbitrary graphs and agree with each
+// other.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := int(size%200) + 1
+		objs := genGraph(n, seed)
+		data, _, err := EncodeBaseline(objs)
+		if err != nil {
+			return false
+		}
+		a, _, err := DecodeBaseline(data)
+		if err != nil {
+			return false
+		}
+		rec, _, err := EncodeRecords(objs)
+		if err != nil {
+			return false
+		}
+		if _, err := FixupRecords(rec); err != nil {
+			return false
+		}
+		b, err := DecodeRecords(rec)
+		if err != nil {
+			return false
+		}
+		return Equal(objs, a) && Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the relation table has exactly one entry per non-nil ref.
+func TestRelationCountProperty(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := int(size%100) + 1
+		objs := genGraph(n, seed)
+		want := 0
+		for _, o := range objs {
+			for _, r := range o.Refs {
+				if r != NilRef {
+					want++
+				}
+			}
+		}
+		rec, stats, err := EncodeRecords(objs)
+		if err != nil {
+			return false
+		}
+		return stats.Relations == want && len(rec.Relations) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

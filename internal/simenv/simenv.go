@@ -1,0 +1,41 @@
+// Package simenv bundles the virtual clock and the calibrated cost model
+// into the single environment value that every simulated subsystem charges
+// against. One Env corresponds to one simulated machine.
+package simenv
+
+import (
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simtime"
+)
+
+// Env is the simulation environment: a virtual clock plus the cost model
+// of the machine the simulation runs on.
+type Env struct {
+	Clock *simtime.Clock
+	Cost  *costmodel.Model
+}
+
+// New returns an Env with a fresh clock at virtual time zero.
+func New(cost *costmodel.Model) *Env {
+	return &Env{Clock: new(simtime.Clock), Cost: cost}
+}
+
+// Charge advances the clock by d on behalf of serial work.
+func (e *Env) Charge(d simtime.Duration) { e.Clock.Advance(d) }
+
+// ChargeN advances the clock by n repetitions of a per-operation cost.
+func (e *Env) ChargeN(per simtime.Duration, n int) {
+	if n < 0 {
+		panic("simenv: negative operation count")
+	}
+	e.Clock.Advance(per * simtime.Duration(n))
+}
+
+// ChargeParallel charges total work spread perfectly across the machine's
+// cores, as the paper's parallel restore stages do.
+func (e *Env) ChargeParallel(total simtime.Duration) {
+	e.Clock.AdvanceParallel(total, e.Cost.NCPU)
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() simtime.Duration { return e.Clock.Now() }

@@ -1,0 +1,47 @@
+package simenv
+
+import (
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simtime"
+)
+
+func TestChargeAndChargeN(t *testing.T) {
+	e := New(costmodel.Default())
+	if e.Now() != 0 {
+		t.Fatal("fresh env not at zero")
+	}
+	e.Charge(3 * simtime.Millisecond)
+	e.ChargeN(2*simtime.Microsecond, 500)
+	if got, want := e.Now(), 4*simtime.Millisecond; got != want {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestChargeNZeroAndNegative(t *testing.T) {
+	e := New(costmodel.Default())
+	e.ChargeN(simtime.Millisecond, 0)
+	if e.Now() != 0 {
+		t.Fatal("ChargeN(_, 0) advanced the clock")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative count did not panic")
+		}
+	}()
+	e.ChargeN(simtime.Millisecond, -1)
+}
+
+func TestChargeParallelUsesNCPU(t *testing.T) {
+	e := New(costmodel.Default()) // NCPU = 8
+	e.ChargeParallel(80 * simtime.Millisecond)
+	if got := e.Now(); got != 10*simtime.Millisecond {
+		t.Fatalf("parallel charge = %v, want 10ms", got)
+	}
+	s := New(costmodel.Server()) // NCPU = 96
+	s.ChargeParallel(96 * simtime.Millisecond)
+	if got := s.Now(); got != simtime.Millisecond {
+		t.Fatalf("server parallel charge = %v, want 1ms", got)
+	}
+}

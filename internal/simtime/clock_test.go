@@ -1,0 +1,160 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5 * Millisecond)
+	c.Advance(300 * Microsecond)
+	if got, want := c.Now(), 5*Millisecond+300*Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestAdvanceParallel(t *testing.T) {
+	var c Clock
+	c.AdvanceParallel(80*Millisecond, 8)
+	if got, want := c.Now(), 10*Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceParallelBadCPU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceParallel(_, 0) did not panic")
+		}
+	}()
+	var c Clock
+	c.AdvanceParallel(time1ms(), 0)
+}
+
+func time1ms() Duration { return Millisecond }
+
+func TestSpan(t *testing.T) {
+	var c Clock
+	c.Advance(Millisecond)
+	d := c.Span(func() {
+		c.Advance(2 * Millisecond)
+		c.Advance(3 * Millisecond)
+	})
+	if d != 5*Millisecond {
+		t.Fatalf("Span = %v, want 5ms", d)
+	}
+	if c.Now() != 6*Millisecond {
+		t.Fatalf("Now() = %v, want 6ms", c.Now())
+	}
+}
+
+func TestTimelineMeasureAndTotal(t *testing.T) {
+	var c Clock
+	tl := NewTimeline(&c)
+	tl.Measure("parse", func() { c.Advance(1369 * Microsecond) })
+	tl.Measure("boot", func() { c.Advance(319 * Microsecond) })
+	tl.Record("rpc", 200*Microsecond)
+
+	phases := tl.Phases()
+	if len(phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(phases))
+	}
+	if phases[0].Name != "parse" || phases[0].Duration != 1369*Microsecond {
+		t.Fatalf("phase 0 = %+v", phases[0])
+	}
+	if got, want := tl.Total(), 1888*Microsecond; got != want {
+		t.Fatalf("Total = %v, want %v", got, want)
+	}
+	if got := c.Now(); got != tl.Total() {
+		t.Fatalf("clock %v != timeline total %v", got, tl.Total())
+	}
+}
+
+func TestTimelinePhaseDuration(t *testing.T) {
+	var c Clock
+	tl := NewTimeline(&c)
+	tl.Record("io", Millisecond)
+	tl.Record("mem", 2*Millisecond)
+	tl.Record("io", 3*Millisecond)
+
+	d, ok := tl.PhaseDuration("io")
+	if !ok || d != 4*Millisecond {
+		t.Fatalf("PhaseDuration(io) = %v,%v; want 4ms,true", d, ok)
+	}
+	if _, ok := tl.PhaseDuration("missing"); ok {
+		t.Fatal("PhaseDuration(missing) reported found")
+	}
+}
+
+func TestTimelinePhasesIsCopy(t *testing.T) {
+	var c Clock
+	tl := NewTimeline(&c)
+	tl.Record("a", Millisecond)
+	p := tl.Phases()
+	p[0].Name = "mutated"
+	if tl.Phases()[0].Name != "a" {
+		t.Fatal("Phases() does not return a copy")
+	}
+}
+
+// Property: for any sequence of non-negative advances, Now equals their sum
+// and never decreases.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var c Clock
+		var sum Duration
+		prev := c.Now()
+		for _, s := range steps {
+			d := Duration(s) * Microsecond
+			c.Advance(d)
+			sum += d
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return c.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a timeline's Total always equals the clock delta it produced.
+func TestTimelineTotalMatchesClockProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var c Clock
+		tl := NewTimeline(&c)
+		start := c.Now()
+		for i, s := range steps {
+			d := Duration(s) * Nanosecond
+			if i%2 == 0 {
+				tl.Record("even", d)
+			} else {
+				tl.Measure("odd", func() { c.Advance(d) })
+			}
+		}
+		return tl.Total() == c.Now()-start
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

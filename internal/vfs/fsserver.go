@@ -1,0 +1,161 @@
+package vfs
+
+import (
+	"fmt"
+)
+
+// GrantMode distinguishes the FS server's descriptor grants.
+type GrantMode uint8
+
+const (
+	// GrantReadOnly descriptors remain valid in sforked children: they
+	// cannot violate isolation, so they are inherited at zero cost (§4.2).
+	GrantReadOnly GrantMode = iota
+	// GrantReadWrite descriptors are only issued for designated log
+	// files ("persistent storage is still required ... e.g. writing
+	// logs", §4.2) and must be re-granted per sandbox.
+	GrantReadWrite
+)
+
+// Grant is a descriptor issued by the FS server.
+type Grant struct {
+	ID   int
+	Path string
+	Mode GrantMode
+}
+
+// FSServer is the per-function file server that owns the real rootFS. A
+// sandbox never touches persistent storage directly; it works through
+// grants (§4.2). One FSServer backs every instance of a function.
+type FSServer struct {
+	root   *Tree
+	nextID int
+	grants map[int]Grant
+	// writes records append volume per log file, for tests.
+	writes map[string]int64
+}
+
+// NewFSServer returns a server exporting root.
+func NewFSServer(root *Tree) *FSServer {
+	return &FSServer{
+		root:   root,
+		grants: make(map[int]Grant),
+		writes: make(map[string]int64),
+	}
+}
+
+// Root exposes the served tree (read-only by convention).
+func (s *FSServer) Root() *Tree { return s.root }
+
+// Open issues a grant for p. Read-write grants are refused unless the
+// file is a designated log file.
+func (s *FSServer) Open(p string, mode GrantMode) (Grant, error) {
+	p = Clean(p)
+	f, ok := s.root.Lookup(p)
+	if !ok {
+		return Grant{}, fmt.Errorf("vfs: fs server: %s: no such file", p)
+	}
+	if mode == GrantReadWrite && !f.LogFile {
+		return Grant{}, fmt.Errorf("vfs: fs server: %s: read-write grant refused (not a log file)", p)
+	}
+	s.nextID++
+	g := Grant{ID: s.nextID, Path: p, Mode: mode}
+	s.grants[g.ID] = g
+	return g, nil
+}
+
+// Close revokes a grant.
+func (s *FSServer) Close(id int) error {
+	if _, ok := s.grants[id]; !ok {
+		return fmt.Errorf("vfs: fs server: close of unknown grant %d", id)
+	}
+	delete(s.grants, id)
+	return nil
+}
+
+// Append writes n bytes through a read-write grant.
+func (s *FSServer) Append(id int, n int64) error {
+	g, ok := s.grants[id]
+	if !ok {
+		return fmt.Errorf("vfs: fs server: write on unknown grant %d", id)
+	}
+	if g.Mode != GrantReadWrite {
+		return fmt.Errorf("vfs: fs server: write on read-only grant %d (%s)", id, g.Path)
+	}
+	f, _ := s.root.Lookup(g.Path)
+	f.Size += n
+	s.root.Add(g.Path, f)
+	s.writes[g.Path] += n
+	return nil
+}
+
+// OpenGrants returns the number of live grants.
+func (s *FSServer) OpenGrants() int { return len(s.grants) }
+
+// Written reports bytes appended to a log file.
+func (s *FSServer) Written(p string) int64 { return s.writes[Clean(p)] }
+
+// OverlayFS is the stateless overlay rootFS (§4.2): an in-memory upper
+// layer, private to a sandbox, over the FS server's read-only lower
+// layer. All modifications land in the upper layer, so the whole rootFS
+// clones for free during sfork via a map copy (memory CoW in the real
+// system).
+type OverlayFS struct {
+	server  *FSServer
+	upper   *Tree
+	deleted map[string]bool
+}
+
+// NewOverlayFS returns an overlay over server's root.
+func NewOverlayFS(server *FSServer) *OverlayFS {
+	return &OverlayFS{server: server, upper: NewTree(), deleted: make(map[string]bool)}
+}
+
+// Lookup resolves p: upper layer first, then (unless whited-out) lower.
+func (o *OverlayFS) Lookup(p string) (File, bool) {
+	p = Clean(p)
+	if f, ok := o.upper.Lookup(p); ok {
+		return f, true
+	}
+	if o.deleted[p] {
+		return File{}, false
+	}
+	return o.server.Root().Lookup(p)
+}
+
+// Write stores a file in the upper layer (copy-up happens implicitly:
+// lower files are never modified).
+func (o *OverlayFS) Write(p string, f File) {
+	p = Clean(p)
+	delete(o.deleted, p)
+	o.upper.Add(p, f)
+}
+
+// Remove whites-out a path.
+func (o *OverlayFS) Remove(p string) bool {
+	p = Clean(p)
+	_, existed := o.Lookup(p)
+	if !existed {
+		return false
+	}
+	o.upper.Remove(p)
+	o.deleted[p] = true
+	return true
+}
+
+// UpperLen reports the number of files in the private upper layer.
+func (o *OverlayFS) UpperLen() int { return o.upper.Len() }
+
+// Clone produces the child overlay for sfork: same lower layer (the FS
+// server is shared per function), copied upper layer.
+func (o *OverlayFS) Clone() *OverlayFS {
+	c := NewOverlayFS(o.server)
+	c.upper = o.upper.Clone()
+	for p := range o.deleted {
+		c.deleted[p] = true
+	}
+	return c
+}
+
+// Server returns the backing FS server.
+func (o *OverlayFS) Server() *FSServer { return o.server }

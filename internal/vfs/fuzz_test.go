@@ -1,0 +1,35 @@
+package vfs
+
+import "testing"
+
+// FuzzDecodeMounts hardens the func-image mount section parser.
+func FuzzDecodeMounts(f *testing.F) {
+	tree := NewTree()
+	tree.Add("/a", File{Size: 10, Token: 1})
+	tree.Add("/b/c", File{Size: 20, Token: 2, LogFile: true})
+	var mt MountTable
+	if err := mt.AddMount(Mount{Target: "/", FSType: "rootfs", Tree: tree}); err != nil {
+		f.Fatal(err)
+	}
+	seed := EncodeMounts(CaptureMounts(&mt))
+	f.Add(seed)
+	f.Add(EncodeMounts(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := DecodeMounts(data)
+		if err != nil {
+			return
+		}
+		// Accepted records must re-encode and re-decode stably.
+		re := EncodeMounts(records)
+		again, err := DecodeMounts(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(records) {
+			t.Fatal("decode/encode/decode not stable")
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package vfs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Checkpoint serialization for filesystem state: a func-image captures
+// the guest's mount table so a restored sandbox resolves the same paths
+// without re-walking the host (the mount objects in the kernel graph are
+// the metadata; this is the typed view, like tasks for the scheduler).
+
+// TreeRecord is the serialized form of one file.
+type TreeRecord struct {
+	Path    string
+	Size    int64
+	Token   uint64
+	LogFile bool
+}
+
+// CaptureTree snapshots a tree's files in sorted order.
+func CaptureTree(t *Tree) []TreeRecord {
+	paths := t.Paths()
+	out := make([]TreeRecord, 0, len(paths))
+	for _, p := range paths {
+		f, _ := t.Lookup(p)
+		out = append(out, TreeRecord{Path: p, Size: f.Size, Token: f.Token, LogFile: f.LogFile})
+	}
+	return out
+}
+
+// RestoreTree rebuilds a tree from records.
+func RestoreTree(records []TreeRecord) *Tree {
+	t := NewTree()
+	for _, r := range records {
+		t.Add(r.Path, File{Size: r.Size, Token: r.Token, LogFile: r.LogFile})
+	}
+	return t
+}
+
+// MountRecord is the serialized form of one mount.
+type MountRecord struct {
+	Target string
+	FSType string
+	Files  []TreeRecord
+}
+
+// CaptureMounts snapshots a mount table.
+func CaptureMounts(mt *MountTable) []MountRecord {
+	mounts := mt.Mounts()
+	out := make([]MountRecord, 0, len(mounts))
+	for _, m := range mounts {
+		out = append(out, MountRecord{
+			Target: m.Target,
+			FSType: m.FSType,
+			Files:  CaptureTree(m.Tree),
+		})
+	}
+	return out
+}
+
+// RestoreMounts rebuilds a mount table from records.
+func RestoreMounts(records []MountRecord) (*MountTable, error) {
+	var mt MountTable
+	for _, r := range records {
+		if err := mt.AddMount(Mount{Target: r.Target, FSType: r.FSType, Tree: RestoreTree(r.Files)}); err != nil {
+			return nil, err
+		}
+	}
+	return &mt, nil
+}
+
+// EncodeMounts writes mount records in a compact binary form.
+func EncodeMounts(records []MountRecord) []byte {
+	var buf bytes.Buffer
+	writeStr := func(s string) {
+		var n [2]byte
+		binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+		buf.Write(n[:])
+		buf.WriteString(s)
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(records)))
+	buf.Write(u32[:])
+	for _, m := range records {
+		writeStr(m.Target)
+		writeStr(m.FSType)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(m.Files)))
+		buf.Write(u32[:])
+		for _, f := range m.Files {
+			writeStr(f.Path)
+			var v [17]byte
+			binary.LittleEndian.PutUint64(v[0:], uint64(f.Size))
+			binary.LittleEndian.PutUint64(v[8:], f.Token)
+			if f.LogFile {
+				v[16] = 1
+			}
+			buf.Write(v[:])
+		}
+	}
+	return buf.Bytes()
+}
+
+// DecodeMounts parses the binary mount section.
+func DecodeMounts(data []byte) ([]MountRecord, error) {
+	r := bytes.NewReader(data)
+	readStr := func() (string, error) {
+		var n [2]byte
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return "", err
+		}
+		ln := binary.LittleEndian.Uint16(n[:])
+		if int(ln) > r.Len() {
+			return "", fmt.Errorf("vfs: string length %d exceeds remaining %d", ln, r.Len())
+		}
+		b := make([]byte, ln)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, fmt.Errorf("vfs: mounts header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(u32[:])
+	if uint64(n) > uint64(r.Len()) {
+		return nil, fmt.Errorf("vfs: declared %d mounts exceeds data", n)
+	}
+	out := make([]MountRecord, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var m MountRecord
+		var err error
+		if m.Target, err = readStr(); err != nil {
+			return nil, fmt.Errorf("vfs: mount %d target: %w", i, err)
+		}
+		if m.FSType, err = readStr(); err != nil {
+			return nil, fmt.Errorf("vfs: mount %d fstype: %w", i, err)
+		}
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return nil, fmt.Errorf("vfs: mount %d file count: %w", i, err)
+		}
+		nf := binary.LittleEndian.Uint32(u32[:])
+		if uint64(nf)*17 > uint64(r.Len()) {
+			return nil, fmt.Errorf("vfs: mount %d declares %d files beyond data", i, nf)
+		}
+		for j := uint32(0); j < nf; j++ {
+			var f TreeRecord
+			if f.Path, err = readStr(); err != nil {
+				return nil, fmt.Errorf("vfs: mount %d file %d: %w", i, j, err)
+			}
+			var v [17]byte
+			if _, err := io.ReadFull(r, v[:]); err != nil {
+				return nil, fmt.Errorf("vfs: mount %d file %d fields: %w", i, j, err)
+			}
+			f.Size = int64(binary.LittleEndian.Uint64(v[0:]))
+			f.Token = binary.LittleEndian.Uint64(v[8:])
+			f.LogFile = v[16] == 1
+			m.Files = append(m.Files, f)
+		}
+		out = append(out, m)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("vfs: %d trailing bytes after mounts", r.Len())
+	}
+	return out, nil
+}

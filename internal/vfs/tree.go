@@ -1,0 +1,151 @@
+// Package vfs implements the reproduction's filesystem and I/O substrate:
+// in-memory file trees, the per-function FS server that grants read-only
+// descriptors (§4.2), the stateless overlay rootFS used by sfork, mount
+// tables, and the I/O connection table with the three reconnection
+// strategies the paper compares (eager re-do, on-demand, and
+// I/O-cache-guided, §3.3).
+package vfs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// File describes one file in a tree. Sizes matter (they drive read costs
+// and image sizes); contents are a token so trees stay cheap.
+type File struct {
+	Size    int64
+	Token   uint64
+	LogFile bool // eligible for read/write grants from the FS server (§4.2)
+}
+
+// Pages returns the number of 4 KiB pages the file spans.
+func (f File) Pages() int64 { return (f.Size + 4095) / 4096 }
+
+// Tree is an immutable-by-convention in-memory file tree keyed by cleaned
+// absolute paths. The zero value is an empty tree; use NewTree.
+type Tree struct {
+	files map[string]File
+}
+
+// NewTree returns an empty tree.
+func NewTree() *Tree { return &Tree{files: make(map[string]File)} }
+
+// Clean normalizes a path to the tree's key form.
+func Clean(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// Add inserts or replaces a file.
+func (t *Tree) Add(p string, f File) { t.files[Clean(p)] = f }
+
+// Lookup returns the file at p.
+func (t *Tree) Lookup(p string) (File, bool) {
+	f, ok := t.files[Clean(p)]
+	return f, ok
+}
+
+// Remove deletes the file at p, reporting whether it existed.
+func (t *Tree) Remove(p string) bool {
+	p = Clean(p)
+	if _, ok := t.files[p]; !ok {
+		return false
+	}
+	delete(t.files, p)
+	return true
+}
+
+// Len returns the number of files.
+func (t *Tree) Len() int { return len(t.files) }
+
+// TotalBytes sums all file sizes.
+func (t *Tree) TotalBytes() int64 {
+	var sum int64
+	for _, f := range t.files {
+		sum += f.Size
+	}
+	return sum
+}
+
+// Paths returns all file paths in sorted order.
+func (t *Tree) Paths() []string {
+	out := make([]string, 0, len(t.files))
+	for p := range t.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the tree.
+func (t *Tree) Clone() *Tree {
+	c := NewTree()
+	for p, f := range t.files {
+		c.files[p] = f
+	}
+	return c
+}
+
+// Merge copies every file of other into t, overwriting collisions. It is
+// how function-specific binaries are imported into a Zygote's base rootfs
+// (§3.4).
+func (t *Tree) Merge(other *Tree) {
+	for p, f := range other.files {
+		t.files[p] = f
+	}
+}
+
+// Mount is one entry in a sandbox's mount table.
+type Mount struct {
+	Target string
+	FSType string
+	Tree   *Tree
+}
+
+// MountTable is an ordered list of mounts; later mounts shadow earlier
+// ones for path resolution.
+type MountTable struct {
+	mounts []Mount
+}
+
+// AddMount appends a mount.
+func (mt *MountTable) AddMount(m Mount) error {
+	if m.Tree == nil {
+		return fmt.Errorf("vfs: mount %q has nil tree", m.Target)
+	}
+	m.Target = Clean(m.Target)
+	mt.mounts = append(mt.mounts, m)
+	return nil
+}
+
+// Mounts returns the mount list in mount order.
+func (mt *MountTable) Mounts() []Mount {
+	out := make([]Mount, len(mt.mounts))
+	copy(out, mt.mounts)
+	return out
+}
+
+// Resolve finds the file at p through the mount table, searching the most
+// recent mount whose target prefixes p first.
+func (mt *MountTable) Resolve(p string) (File, bool) {
+	p = Clean(p)
+	for i := len(mt.mounts) - 1; i >= 0; i-- {
+		m := mt.mounts[i]
+		if !strings.HasPrefix(p, m.Target) && m.Target != "/" {
+			continue
+		}
+		rel := strings.TrimPrefix(p, m.Target)
+		if rel == "" {
+			rel = "/"
+		}
+		if f, ok := m.Tree.Lookup(rel); ok {
+			return f, true
+		}
+	}
+	return File{}, false
+}

@@ -1,0 +1,378 @@
+package vfs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simenv"
+)
+
+func newEnv() *simenv.Env { return simenv.New(costmodel.Default()) }
+
+func TestTreeBasics(t *testing.T) {
+	tr := NewTree()
+	tr.Add("/etc/app.conf", File{Size: 1000, Token: 1})
+	tr.Add("etc/other.conf", File{Size: 500, Token: 2}) // missing leading slash
+	tr.Add("/etc/../etc/app.conf", File{Size: 1200, Token: 3})
+
+	f, ok := tr.Lookup("/etc/app.conf")
+	if !ok || f.Token != 3 {
+		t.Fatalf("Lookup = %+v,%v; want token 3 (path-cleaned overwrite)", f, ok)
+	}
+	if _, ok := tr.Lookup("/etc/other.conf"); !ok {
+		t.Fatal("cleaned add not visible")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if got := tr.TotalBytes(); got != 1700 {
+		t.Fatalf("TotalBytes = %d, want 1700", got)
+	}
+	if !tr.Remove("/etc/other.conf") || tr.Remove("/etc/other.conf") {
+		t.Fatal("Remove semantics wrong")
+	}
+}
+
+func TestFilePages(t *testing.T) {
+	cases := []struct {
+		size int64
+		want int64
+	}{{0, 0}, {1, 1}, {4096, 1}, {4097, 2}, {8192, 2}}
+	for _, c := range cases {
+		if got := (File{Size: c.size}).Pages(); got != c.want {
+			t.Errorf("Pages(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestTreeCloneIndependent(t *testing.T) {
+	tr := NewTree()
+	tr.Add("/a", File{Size: 1})
+	c := tr.Clone()
+	c.Add("/b", File{Size: 2})
+	if _, ok := tr.Lookup("/b"); ok {
+		t.Fatal("clone write leaked into original")
+	}
+}
+
+func TestMountTableShadowing(t *testing.T) {
+	base := NewTree()
+	base.Add("/bin/app", File{Size: 100, Token: 1})
+	app := NewTree()
+	app.Add("/app", File{Size: 200, Token: 2})
+
+	var mt MountTable
+	if err := mt.AddMount(Mount{Target: "/", FSType: "base", Tree: base}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.AddMount(Mount{Target: "/func", FSType: "app", Tree: app}); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := mt.Resolve("/bin/app"); !ok || f.Token != 1 {
+		t.Fatalf("Resolve(/bin/app) = %+v,%v", f, ok)
+	}
+	if f, ok := mt.Resolve("/func/app"); !ok || f.Token != 2 {
+		t.Fatalf("Resolve(/func/app) = %+v,%v", f, ok)
+	}
+	if _, ok := mt.Resolve("/missing"); ok {
+		t.Fatal("Resolve found missing path")
+	}
+	if err := mt.AddMount(Mount{Target: "/x"}); err == nil {
+		t.Fatal("nil tree mount accepted")
+	}
+}
+
+func TestFSServerGrants(t *testing.T) {
+	root := NewTree()
+	root.Add("/app/bin", File{Size: 4096})
+	root.Add("/var/log/app.log", File{Size: 0, LogFile: true})
+	s := NewFSServer(root)
+
+	if _, err := s.Open("/missing", GrantReadOnly); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+	if _, err := s.Open("/app/bin", GrantReadWrite); err == nil {
+		t.Fatal("read-write grant on non-log file succeeded")
+	}
+	ro, err := s.Open("/app/bin", GrantReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(ro.ID, 10); err == nil {
+		t.Fatal("write through read-only grant succeeded")
+	}
+	rw, err := s.Open("/var/log/app.log", GrantReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rw.ID, 128); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Written("/var/log/app.log"); got != 128 {
+		t.Fatalf("Written = %d, want 128", got)
+	}
+	if s.OpenGrants() != 2 {
+		t.Fatalf("OpenGrants = %d, want 2", s.OpenGrants())
+	}
+	if err := s.Close(ro.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(ro.ID); err == nil {
+		t.Fatal("double close succeeded")
+	}
+}
+
+func TestOverlayFS(t *testing.T) {
+	root := NewTree()
+	root.Add("/etc/conf", File{Size: 10, Token: 1})
+	o := NewOverlayFS(NewFSServer(root))
+
+	if f, ok := o.Lookup("/etc/conf"); !ok || f.Token != 1 {
+		t.Fatalf("lower lookup = %+v,%v", f, ok)
+	}
+	o.Write("/etc/conf", File{Size: 20, Token: 2})
+	if f, _ := o.Lookup("/etc/conf"); f.Token != 2 {
+		t.Fatal("upper layer does not shadow lower")
+	}
+	if f, _ := o.Server().Root().Lookup("/etc/conf"); f.Token != 1 {
+		t.Fatal("overlay write mutated lower layer")
+	}
+	if !o.Remove("/etc/conf") {
+		t.Fatal("Remove failed")
+	}
+	if _, ok := o.Lookup("/etc/conf"); ok {
+		t.Fatal("whiteout not effective")
+	}
+	o.Write("/etc/conf", File{Token: 3})
+	if f, ok := o.Lookup("/etc/conf"); !ok || f.Token != 3 {
+		t.Fatalf("re-create after whiteout = %+v,%v", f, ok)
+	}
+}
+
+func TestOverlayCloneIsolation(t *testing.T) {
+	root := NewTree()
+	root.Add("/data", File{Token: 1})
+	parent := NewOverlayFS(NewFSServer(root))
+	parent.Write("/tmp/scratch", File{Token: 5})
+
+	child := parent.Clone()
+	if f, ok := child.Lookup("/tmp/scratch"); !ok || f.Token != 5 {
+		t.Fatal("child does not see parent's upper layer")
+	}
+	child.Write("/tmp/scratch", File{Token: 9})
+	child.Remove("/data")
+	if f, _ := parent.Lookup("/tmp/scratch"); f.Token != 5 {
+		t.Fatal("child write leaked to parent")
+	}
+	if _, ok := parent.Lookup("/data"); !ok {
+		t.Fatal("child whiteout leaked to parent")
+	}
+}
+
+func TestConnCaptureOrderStable(t *testing.T) {
+	env := newEnv()
+	ct := NewConnTable(env)
+	ct.Open(ConnFile, "/a")
+	b := ct.Open(ConnSocket, "/b")
+	ct.Open(ConnFile, "/c")
+	if err := ct.Close(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	recs := ct.Capture()
+	if len(recs) != 2 || recs[0].Path != "/a" || recs[1].Path != "/c" {
+		t.Fatalf("Capture = %+v", recs)
+	}
+}
+
+func TestRestoreEagerChargesPerConn(t *testing.T) {
+	env := newEnv()
+	records := []ConnRecord{{ConnFile, "/a"}, {ConnFile, "/b"}, {ConnSocket, "/s"}}
+	ct := RestoreEager(env, records)
+	if got, want := env.Now(), 3*env.Cost.ConnReconnect; got != want {
+		t.Fatalf("eager restore cost = %v, want %v", got, want)
+	}
+	if ct.PendingCount() != 0 || ct.EagerReconnects != 3 {
+		t.Fatalf("eager restore state: pending=%d eager=%d", ct.PendingCount(), ct.EagerReconnects)
+	}
+}
+
+func TestRestoreLazyDefersCost(t *testing.T) {
+	env := newEnv()
+	records := []ConnRecord{{ConnFile, "/a"}, {ConnFile, "/b"}}
+	ct := RestoreLazy(env, records)
+	boot := env.Now()
+	if boot >= env.Cost.ConnReconnect {
+		t.Fatalf("lazy restore cost %v not below one reconnect", boot)
+	}
+	if ct.PendingCount() != 2 {
+		t.Fatalf("pending = %d, want 2", ct.PendingCount())
+	}
+	// First use pays; second does not.
+	conns := ct.Conns()
+	paid, err := ct.Use(conns[0].ID)
+	if err != nil || !paid {
+		t.Fatalf("first Use = %v,%v", paid, err)
+	}
+	paid, err = ct.Use(conns[0].ID)
+	if err != nil || paid {
+		t.Fatalf("second Use = %v,%v", paid, err)
+	}
+	if ct.LazyReconnects != 1 {
+		t.Fatalf("LazyReconnects = %d, want 1", ct.LazyReconnects)
+	}
+}
+
+func TestRestoreWithCacheSplitsWork(t *testing.T) {
+	env := newEnv()
+	cache := NewIOCache()
+	cache.RecordUse("/hot", false)
+	records := []ConnRecord{{ConnFile, "/hot"}, {ConnFile, "/cold1"}, {ConnFile, "/cold2"}}
+	ct := RestoreWithCache(env, records, cache)
+	if ct.CachedReconnects != 1 {
+		t.Fatalf("CachedReconnects = %d, want 1", ct.CachedReconnects)
+	}
+	if ct.PendingCount() != 2 {
+		t.Fatalf("pending = %d, want 2", ct.PendingCount())
+	}
+	want := env.Cost.ConnReconnectCached + 2*env.Cost.ConnReconnectLazy
+	if env.Now() != want {
+		t.Fatalf("cost = %v, want %v", env.Now(), want)
+	}
+}
+
+func TestUseClosedAndUnknown(t *testing.T) {
+	env := newEnv()
+	ct := NewConnTable(env)
+	c := ct.Open(ConnFile, "/x")
+	if err := ct.Close(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Use(c.ID); err == nil {
+		t.Fatal("Use of closed conn succeeded")
+	}
+	if _, err := ct.Use(999); err == nil {
+		t.Fatal("Use of unknown conn succeeded")
+	}
+	if err := ct.Close(999); err == nil {
+		t.Fatal("Close of unknown conn succeeded")
+	}
+}
+
+func TestIOCacheBytes(t *testing.T) {
+	c := NewIOCache()
+	c.RecordUse("/etc/nginx/nginx.conf", false)
+	c.RecordUse("/etc/nginx/nginx.conf", true) // same path, new op: no new entry
+	c.RecordUse("/var/log/access.log", true)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	want := (2 + len("/etc/nginx/nginx.conf") + 1) + (2 + len("/var/log/access.log") + 1)
+	if got := c.Bytes(); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+	if !c.Contains("/etc/nginx/nginx.conf") || c.Contains("/nope") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestMountSerializationRoundTrip(t *testing.T) {
+	base := NewTree()
+	base.Add("/bin/app", File{Size: 100, Token: 1})
+	base.Add("/var/log/a.log", File{LogFile: true})
+	extra := NewTree()
+	extra.Add("/x", File{Size: 5, Token: 3})
+	var mt MountTable
+	if err := mt.AddMount(Mount{Target: "/", FSType: "rootfs", Tree: base}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.AddMount(Mount{Target: "/mnt", FSType: "bind", Tree: extra}); err != nil {
+		t.Fatal(err)
+	}
+	data := EncodeMounts(CaptureMounts(&mt))
+	records, err := DecodeMounts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RestoreMounts(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := got.Resolve("/bin/app"); !ok || f.Token != 1 {
+		t.Fatalf("Resolve(/bin/app) = %+v,%v", f, ok)
+	}
+	if f, ok := got.Resolve("/mnt/x"); !ok || f.Token != 3 {
+		t.Fatalf("Resolve(/mnt/x) = %+v,%v", f, ok)
+	}
+	if f, _ := got.Resolve("/var/log/a.log"); !f.LogFile {
+		t.Fatal("log flag lost")
+	}
+	// Corruption is rejected, not panicked on.
+	for _, bad := range [][]byte{{}, data[:len(data)/2], append(append([]byte(nil), data...), 9)} {
+		if _, err := DecodeMounts(bad); err == nil {
+			t.Fatalf("corrupt mounts (%d bytes) accepted", len(bad))
+		}
+	}
+	// Empty table round-trips.
+	empty, err := DecodeMounts(EncodeMounts(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty mounts: %v, %v", empty, err)
+	}
+}
+
+// Property: lazy restore followed by using every connection costs at least
+// as much in total as it saved at boot, and every connection ends open.
+func TestLazyReconnectCompletenessProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		env := newEnv()
+		var records []ConnRecord
+		for i := 0; i < int(n%50)+1; i++ {
+			records = append(records, ConnRecord{ConnFile, Clean(fmt.Sprintf("/f/%d", i))})
+		}
+		ct := RestoreLazy(env, records)
+		for _, c := range ct.Conns() {
+			if _, err := ct.Use(c.ID); err != nil {
+				return false
+			}
+		}
+		return ct.PendingCount() == 0 && ct.LazyReconnects == len(records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: overlay clone is always isolated from subsequent parent
+// mutations and vice versa.
+func TestOverlayCloneProperty(t *testing.T) {
+	f := func(writes []uint8) bool {
+		root := NewTree()
+		for i := 0; i < 16; i++ {
+			root.Add(Clean(fmt.Sprintf("/f%d", i)), File{Token: uint64(i)})
+		}
+		parent := NewOverlayFS(NewFSServer(root))
+		child := parent.Clone()
+		for i, w := range writes {
+			p := Clean(fmt.Sprintf("/f%d", int(w)%16))
+			if i%2 == 0 {
+				parent.Write(p, File{Token: 1000 + uint64(i)})
+			} else {
+				child.Write(p, File{Token: 2000 + uint64(i)})
+			}
+		}
+		// Child tokens must never be visible in parent and vice versa.
+		for i := 0; i < 16; i++ {
+			p := Clean(fmt.Sprintf("/f%d", i))
+			pf, _ := parent.Lookup(p)
+			cf, _ := child.Lookup(p)
+			if pf.Token >= 2000 || (cf.Token >= 1000 && cf.Token < 2000) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"catalyzer/internal/vfs"
+)
+
+// Custom workload support: downstream users describe their own functions
+// as JSON documents and register them alongside the built-in evaluation
+// workloads. A spec document mirrors the Spec fields plus a compact
+// connection description:
+//
+//	{
+//	  "name": "my-fn", "language": "python",
+//	  "configKB": 4, "taskImagePages": 2500, "rootMounts": 2,
+//	  "initComputeMS": 80, "initSyscalls": 6000, "initMmaps": 900,
+//	  "initFiles": 200, "initFilePages": 3000, "initHeapPages": 9000,
+//	  "kernelObjects": 12000, "kernelThreads": 30, "kernelTimers": 10,
+//	  "conns": {"total": 24, "hot": 16, "sockets": 4},
+//	  "execComputeUS": 5000, "execSyscalls": 700, "execPages": 600,
+//	  "execConns": 4
+//	}
+
+// SpecDoc is the JSON form of a workload spec.
+type SpecDoc struct {
+	Name           string   `json:"name"`
+	Language       Language `json:"language"`
+	ConfigKB       int      `json:"configKB"`
+	TaskImagePages int      `json:"taskImagePages"`
+	RootMounts     int      `json:"rootMounts"`
+	InitComputeMS  int      `json:"initComputeMS"`
+	InitSyscalls   int      `json:"initSyscalls"`
+	InitMmaps      int      `json:"initMmaps"`
+	InitFiles      int      `json:"initFiles"`
+	InitFilePages  int      `json:"initFilePages"`
+	InitHeapPages  int      `json:"initHeapPages"`
+	KernelObjects  int      `json:"kernelObjects"`
+	KernelThreads  int      `json:"kernelThreads"`
+	KernelTimers   int      `json:"kernelTimers"`
+	Conns          ConnsDoc `json:"conns"`
+	ExecComputeUS  int      `json:"execComputeUS"`
+	ExecSyscalls   int      `json:"execSyscalls"`
+	ExecPages      int      `json:"execPages"`
+	ExecConns      int      `json:"execConns"`
+}
+
+// ConnsDoc describes a function's connection set compactly.
+type ConnsDoc struct {
+	Total   int `json:"total"`
+	Hot     int `json:"hot"`
+	Sockets int `json:"sockets"`
+}
+
+// ParseSpec decodes and validates a JSON workload document.
+func ParseSpec(data []byte) (*Spec, error) {
+	var d SpecDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("workload: parse spec: %w", err)
+	}
+	return d.Spec()
+}
+
+// Spec materializes the document into a validated Spec.
+func (d *SpecDoc) Spec() (*Spec, error) {
+	if d.Conns.Hot > d.Conns.Total || d.Conns.Sockets > d.Conns.Total {
+		return nil, fmt.Errorf("workload %s: conns hot/sockets exceed total", d.Name)
+	}
+	prefix := d.Name
+	if len(prefix) > 10 {
+		prefix = prefix[:10]
+	}
+	s := &Spec{
+		Name:           d.Name,
+		Language:       d.Language,
+		ConfigKB:       d.ConfigKB,
+		TaskImagePages: d.TaskImagePages,
+		RootMounts:     d.RootMounts,
+		InitComputeMS:  d.InitComputeMS,
+		InitSyscalls:   d.InitSyscalls,
+		InitMmaps:      d.InitMmaps,
+		InitFiles:      d.InitFiles,
+		InitFilePages:  d.InitFilePages,
+		InitHeapPages:  d.InitHeapPages,
+		KernelObjects:  d.KernelObjects,
+		KernelThreads:  d.KernelThreads,
+		KernelTimers:   d.KernelTimers,
+		Conns:          conns(prefix, d.Conns.Total, d.Conns.Hot, d.Conns.Sockets),
+		ExecComputeUS:  d.ExecComputeUS,
+		ExecSyscalls:   d.ExecSyscalls,
+		ExecPages:      d.ExecPages,
+		ExecConns:      d.ExecConns,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Doc converts a Spec back to its JSON document form (round-tripping for
+// tooling; conn paths collapse to their counts).
+func (s *Spec) Doc() *SpecDoc {
+	sockets := 0
+	for _, c := range s.Conns {
+		if c.Kind == vfs.ConnSocket {
+			sockets++
+		}
+	}
+	return &SpecDoc{
+		Name:           s.Name,
+		Language:       s.Language,
+		ConfigKB:       s.ConfigKB,
+		TaskImagePages: s.TaskImagePages,
+		RootMounts:     s.RootMounts,
+		InitComputeMS:  s.InitComputeMS,
+		InitSyscalls:   s.InitSyscalls,
+		InitMmaps:      s.InitMmaps,
+		InitFiles:      s.InitFiles,
+		InitFilePages:  s.InitFilePages,
+		InitHeapPages:  s.InitHeapPages,
+		KernelObjects:  s.KernelObjects,
+		KernelThreads:  s.KernelThreads,
+		KernelTimers:   s.KernelTimers,
+		Conns:          ConnsDoc{Total: len(s.Conns), Hot: s.HotConns(), Sockets: sockets},
+		ExecComputeUS:  s.ExecComputeUS,
+		ExecSyscalls:   s.ExecSyscalls,
+		ExecPages:      s.ExecPages,
+		ExecConns:      s.ExecConns,
+	}
+}
+
+// RegisterCustom adds a user-defined spec to the registry. Built-in
+// workload names cannot be overridden.
+func RegisterCustom(s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if _, exists := registry[s.Name]; exists {
+		return fmt.Errorf("workload: %q already registered", s.Name)
+	}
+	c := *s
+	c.Conns = append([]ConnSpec(nil), s.Conns...)
+	registry[s.Name] = &c
+	return nil
+}
+
+// Unregister removes a previously registered custom workload. Built-in
+// workloads cannot be removed. It reports whether a custom workload was
+// removed.
+func Unregister(name string) bool {
+	if builtins[name] {
+		return false
+	}
+	if _, ok := registry[name]; !ok {
+		return false
+	}
+	delete(registry, name)
+	return true
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+const customDoc = `{
+  "name": "my-fn", "language": "python",
+  "configKB": 4, "taskImagePages": 2500, "rootMounts": 2,
+  "initComputeMS": 80, "initSyscalls": 6000, "initMmaps": 900,
+  "initFiles": 200, "initFilePages": 3000, "initHeapPages": 9000,
+  "kernelObjects": 12000, "kernelThreads": 30, "kernelTimers": 10,
+  "conns": {"total": 24, "hot": 16, "sockets": 4},
+  "execComputeUS": 5000, "execSyscalls": 700, "execPages": 600,
+  "execConns": 4
+}`
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec([]byte(customDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "my-fn" || s.Language != Python {
+		t.Fatalf("identity: %+v", s)
+	}
+	if len(s.Conns) != 24 || s.HotConns() != 16 {
+		t.Fatalf("conns: %d/%d", len(s.Conns), s.HotConns())
+	}
+	sockets := 0
+	for _, c := range s.Conns {
+		if c.Kind == 1 { // vfs.ConnSocket
+			sockets++
+		}
+	}
+	if sockets != 4 {
+		t.Fatalf("sockets = %d", sockets)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	if _, err := ParseSpec([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x"}`)); err == nil {
+		t.Fatal("incomplete spec accepted")
+	}
+	bad := SpecDoc{Name: "x", Language: C, ConfigKB: 4, TaskImagePages: 100,
+		KernelObjects: 1000, Conns: ConnsDoc{Total: 2, Hot: 5}}
+	if _, err := bad.Spec(); err == nil {
+		t.Fatal("hot > total accepted")
+	}
+}
+
+func TestDocRoundTrip(t *testing.T) {
+	orig := MustGet("python-django")
+	data, err := json.Marshal(orig.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.InitHeapPages != orig.InitHeapPages ||
+		len(got.Conns) != len(orig.Conns) || got.HotConns() != orig.HotConns() {
+		t.Fatalf("round trip diverged: %+v", got)
+	}
+}
+
+func TestRegisterCustomAndUnregister(t *testing.T) {
+	s, err := ParseSpec([]byte(customDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Name = "custom-test-fn"
+	if err := RegisterCustom(s); err != nil {
+		t.Fatal(err)
+	}
+	defer Unregister("custom-test-fn")
+	got, err := Registry("custom-test-fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InitHeapPages != s.InitHeapPages {
+		t.Fatal("registered spec differs")
+	}
+	// Double registration rejected.
+	if err := RegisterCustom(s); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	// Built-in collision rejected.
+	dup := *s
+	dup.Name = "c-hello"
+	if err := RegisterCustom(&dup); err == nil {
+		t.Fatal("built-in override accepted")
+	}
+	// Mutating the caller's spec does not affect the registry.
+	s.InitComputeMS = 99999
+	got2, _ := Registry("custom-test-fn")
+	if got2.InitComputeMS == 99999 {
+		t.Fatal("registry aliases caller memory")
+	}
+	if !Unregister("custom-test-fn") {
+		t.Fatal("unregister failed")
+	}
+	if Unregister("custom-test-fn") {
+		t.Fatal("double unregister succeeded")
+	}
+	if Unregister("c-hello") {
+		t.Fatal("built-in unregistered")
+	}
+	if _, err := Registry("c-hello"); err != nil {
+		t.Fatal("built-in damaged")
+	}
+}
+
+func TestRegisterCustomInvalid(t *testing.T) {
+	if err := RegisterCustom(&Spec{Name: "bad"}); err == nil {
+		t.Fatal("invalid custom spec accepted")
+	}
+}

@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry returns the named workload spec.
+func Registry(name string) (*Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	c := *s
+	return &c, nil
+}
+
+// MustGet returns the named spec or panics; for experiment tables whose
+// workload sets are fixed.
+func MustGet(name string) *Spec {
+	s, err := Registry(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Workload groups used by the experiment harness.
+var (
+	// Figure11Workloads are the hello/app pairs of the headline startup
+	// figure.
+	Figure11Workloads = []string{
+		"c-hello", "c-nginx",
+		"java-hello", "java-specjbb",
+		"python-hello", "python-django",
+		"ruby-hello", "ruby-sinatra",
+		"nodejs-hello", "nodejs-web",
+	}
+	// DeathStarWorkloads are the five ported social-network
+	// microservices (Figure 13a).
+	DeathStarWorkloads = []string{
+		"deathstar-text", "deathstar-media", "deathstar-composepost",
+		"deathstar-uniqueid", "deathstar-timeline",
+	}
+	// PillowWorkloads are the five image-processing functions
+	// (Figure 13b).
+	PillowWorkloads = []string{
+		"pillow-enhancement", "pillow-filters", "pillow-rolling",
+		"pillow-splitmerge", "pillow-transpose",
+	}
+	// EcommerceWorkloads are the four Java services (Figure 13c).
+	EcommerceWorkloads = []string{
+		"ecom-purchase", "ecom-advertisement", "ecom-report", "ecom-discount",
+	}
+)
+
+// EndToEndWorkloads returns the 14 functions of the Figure 1 CDF.
+func EndToEndWorkloads() []string {
+	var out []string
+	out = append(out, DeathStarWorkloads...)
+	out = append(out, PillowWorkloads...)
+	out = append(out, EcommerceWorkloads...)
+	return out
+}
+
+var (
+	registry = map[string]*Spec{}
+	builtins = map[string]bool{}
+)
+
+func register(s *Spec) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic("workload: duplicate " + s.Name)
+	}
+	registry[s.Name] = s
+	builtins[s.Name] = true
+}
+
+// Per-language sandbox-level constants: the wrapper/runtime task image
+// (Figure 2's "Load task image" is 19.9 ms for the JVM's ~8000 pages).
+const (
+	taskImageC      = 400
+	taskImageCpp    = 1200
+	taskImageJava   = 8000
+	taskImagePython = 2500
+	taskImageRuby   = 2800
+	taskImageNode   = 3500
+)
+
+func init() {
+	// --- Figure 11: hello + real application per language ---------------
+
+	register(&Spec{
+		Name: "c-hello", Language: C,
+		ConfigKB: 4, TaskImagePages: taskImageC, RootMounts: 1,
+		InitComputeMS: 1, InitSyscalls: 200, InitMmaps: 20, InitFiles: 8,
+		InitFilePages: 100, InitHeapPages: 200,
+		KernelObjects: 3000, KernelThreads: 10, KernelTimers: 4,
+		Conns:         conns("c-hello-fn", 6, 4, 1),
+		ExecComputeUS: 300, ExecSyscalls: 40, ExecPages: 40, ExecConns: 2,
+	})
+	register(&Spec{
+		Name: "c-nginx", Language: C,
+		ConfigKB: 4, TaskImagePages: taskImageC + 500, RootMounts: 2,
+		InitComputeMS: 5, InitSyscalls: 1200, InitMmaps: 100, InitFiles: 30,
+		InitFilePages: 800, InitHeapPages: 1200,
+		KernelObjects: 9200, KernelThreads: 24, KernelTimers: 10,
+		Conns:         conns("nginx-www", 18, 15, 4),
+		ExecComputeUS: 900, ExecSyscalls: 150, ExecPages: 150, ExecConns: 3,
+	})
+	register(&Spec{
+		Name: "java-hello", Language: Java,
+		ConfigKB: 4, TaskImagePages: taskImageJava, RootMounts: 2,
+		InitComputeMS: 70, InitSyscalls: 8000, InitMmaps: 2200, InitFiles: 280,
+		InitFilePages: 5000, InitHeapPages: 4000,
+		KernelObjects: 20000, KernelThreads: 120, KernelTimers: 30,
+		Conns:         conns("java-hello", 30, 20, 3),
+		ExecComputeUS: 500, ExecSyscalls: 80, ExecPages: 80, ExecConns: 3,
+	})
+	register(&Spec{
+		// SPECjbb 2015 BackendAgent: the paper's heavyweight Java case.
+		// Figure 2: 1850 ms application init in gVisor, 200 MB of app
+		// memory, 37,838 guest-kernel objects.
+		Name: "java-specjbb", Language: Java,
+		ConfigKB: 4, TaskImagePages: taskImageJava, RootMounts: 2,
+		InitComputeMS: 400, InitSyscalls: 40000, InitMmaps: 6000, InitFiles: 800,
+		InitFilePages: 25000, InitHeapPages: 51200, // 200 MB
+		KernelObjects: 37838, KernelThreads: 260, KernelTimers: 120,
+		Conns:         conns("specjbb-jv", 100, 96, 8),
+		ExecComputeUS: 850000, ExecSyscalls: 30000, ExecPages: 5000, ExecConns: 4,
+	})
+	register(&Spec{
+		Name: "python-hello", Language: Python,
+		ConfigKB: 4, TaskImagePages: taskImagePython, RootMounts: 2,
+		InitComputeMS: 15, InitSyscalls: 2000, InitMmaps: 250, InitFiles: 80,
+		InitFilePages: 1200, InitHeapPages: 900,
+		KernelObjects: 9000, KernelThreads: 20, KernelTimers: 8,
+		Conns:         conns("py-hello-f", 10, 6, 1),
+		ExecComputeUS: 800, ExecSyscalls: 100, ExecPages: 60, ExecConns: 2,
+	})
+	register(&Spec{
+		Name: "python-django", Language: Python,
+		ConfigKB: 4, TaskImagePages: taskImagePython, RootMounts: 2,
+		InitComputeMS: 150, InitSyscalls: 12000, InitMmaps: 2200, InitFiles: 400,
+		InitFilePages: 6000, InitHeapPages: 30000,
+		KernelObjects: 16000, KernelThreads: 60, KernelTimers: 20,
+		Conns:         conns("django-app", 80, 48, 6),
+		ExecComputeUS: 4000, ExecSyscalls: 600, ExecPages: 800, ExecConns: 12,
+	})
+	register(&Spec{
+		Name: "ruby-hello", Language: Ruby,
+		ConfigKB: 4, TaskImagePages: taskImageRuby, RootMounts: 2,
+		InitComputeMS: 40, InitSyscalls: 5000, InitMmaps: 700, InitFiles: 200,
+		InitFilePages: 2500, InitHeapPages: 1800,
+		KernelObjects: 11000, KernelThreads: 25, KernelTimers: 10,
+		Conns:         conns("rb-hello-f", 12, 8, 1),
+		ExecComputeUS: 1200, ExecSyscalls: 120, ExecPages: 100, ExecConns: 3,
+	})
+	register(&Spec{
+		Name: "ruby-sinatra", Language: Ruby,
+		ConfigKB: 4, TaskImagePages: taskImageRuby, RootMounts: 2,
+		InitComputeMS: 120, InitSyscalls: 9000, InitMmaps: 1400, InitFiles: 350,
+		InitFilePages: 5000, InitHeapPages: 12000,
+		KernelObjects: 19400, KernelThreads: 60, KernelTimers: 18,
+		Conns:         conns("sinatra-rb", 75, 60, 5),
+		ExecComputeUS: 3500, ExecSyscalls: 500, ExecPages: 500, ExecConns: 10,
+	})
+	register(&Spec{
+		Name: "nodejs-hello", Language: Node,
+		ConfigKB: 4, TaskImagePages: taskImageNode, RootMounts: 2,
+		InitComputeMS: 50, InitSyscalls: 4000, InitMmaps: 600, InitFiles: 150,
+		InitFilePages: 3000, InitHeapPages: 2500,
+		KernelObjects: 10000, KernelThreads: 30, KernelTimers: 12,
+		Conns:         conns("js-hello-f", 12, 8, 2),
+		ExecComputeUS: 700, ExecSyscalls: 90, ExecPages: 80, ExecConns: 3,
+	})
+	register(&Spec{
+		Name: "nodejs-web", Language: Node,
+		ConfigKB: 4, TaskImagePages: taskImageNode, RootMounts: 2,
+		InitComputeMS: 90, InitSyscalls: 7000, InitMmaps: 1000, InitFiles: 250,
+		InitFilePages: 4500, InitHeapPages: 8000,
+		KernelObjects: 16800, KernelThreads: 50, KernelTimers: 16,
+		Conns:         conns("nodejs-web", 25, 19, 4),
+		ExecComputeUS: 2500, ExecSyscalls: 400, ExecPages: 400, ExecConns: 6,
+	})
+
+	// --- Figure 13a: DeathStar social-network microservices (C++) -------
+	// Lightweight functions with <2.5 ms execution; startup dominates
+	// end-to-end latency in gVisor (35x–67x reduction with sfork).
+
+	deathstar := func(name string, execUS, execSys int) *Spec {
+		return &Spec{
+			Name: name, Language: Cpp,
+			ConfigKB: 4, TaskImagePages: taskImageCpp, RootMounts: 2,
+			InitComputeMS: 2, InitSyscalls: 400, InitMmaps: 40, InitFiles: 12,
+			InitFilePages: 300, InitHeapPages: 4500,
+			KernelObjects: 5200, KernelThreads: 16, KernelTimers: 6,
+			Conns:         conns(name[len("deathstar-"):]+"-dsvc", 10, 7, 4),
+			ExecComputeUS: execUS, ExecSyscalls: execSys,
+			ExecPages: 300, ExecConns: 3,
+		}
+	}
+	register(deathstar("deathstar-text", 1200, 150))
+	register(deathstar("deathstar-media", 1800, 220))
+	register(deathstar("deathstar-composepost", 2400, 300))
+	register(deathstar("deathstar-uniqueid", 800, 90))
+	register(deathstar("deathstar-timeline", 2000, 250))
+
+	// --- Figure 13b: Pillow image processing (Python) --------------------
+	// 100–200 ms execution (dominated by reading input images), yet
+	// startup still dominates end-to-end latency (>500 ms).
+
+	pillow := func(name string, execMS int) *Spec {
+		return &Spec{
+			Name: name, Language: Python,
+			ConfigKB: 4, TaskImagePages: taskImagePython, RootMounts: 2,
+			InitComputeMS: 120, InitSyscalls: 9000, InitMmaps: 1600, InitFiles: 500,
+			InitFilePages: 9000, InitHeapPages: 15000,
+			KernelObjects: 17500, KernelThreads: 40, KernelTimers: 14,
+			Conns:         conns(name[len("pillow-"):]+"-img", 30, 20, 2),
+			ExecComputeUS: execMS * 1000, ExecSyscalls: 2000,
+			ExecPages: 3000, ExecConns: 6,
+		}
+	}
+	register(pillow("pillow-enhancement", 140))
+	register(pillow("pillow-filters", 180))
+	register(pillow("pillow-rolling", 150))
+	register(pillow("pillow-splitmerge", 200))
+	register(pillow("pillow-transpose", 120))
+
+	// --- Figure 13c: E-commerce services (Java) --------------------------
+	// Booting contributes 34%–88% of end-to-end latency in gVisor; the
+	// purchase function is Figure 1's 65.54% execution-ratio maximum.
+
+	register(&Spec{
+		Name: "ecom-purchase", Language: Java,
+		ConfigKB: 4, TaskImagePages: taskImageJava, RootMounts: 2,
+		InitComputeMS: 70, InitSyscalls: 8000, InitMmaps: 2250, InitFiles: 280,
+		InitFilePages: 5000, InitHeapPages: 4000,
+		KernelObjects: 21000, KernelThreads: 130, KernelTimers: 40,
+		Conns:         conns("purchase-j", 60, 40, 10),
+		ExecComputeUS: 1150000, ExecSyscalls: 12000, ExecPages: 3000, ExecConns: 18,
+	})
+	register(&Spec{
+		Name: "ecom-advertisement", Language: Java,
+		ConfigKB: 4, TaskImagePages: taskImageJava, RootMounts: 2,
+		InitComputeMS: 200, InitSyscalls: 30000, InitMmaps: 5500, InitFiles: 500,
+		InitFilePages: 15000, InitHeapPages: 20000,
+		KernelObjects: 26000, KernelThreads: 180, KernelTimers: 60,
+		Conns:         conns("advert-jsv", 70, 50, 12),
+		ExecComputeUS: 560000, ExecSyscalls: 8000, ExecPages: 4000, ExecConns: 20,
+	})
+	register(&Spec{
+		Name: "ecom-report", Language: Java,
+		ConfigKB: 4, TaskImagePages: taskImageJava, RootMounts: 2,
+		InitComputeMS: 380, InitSyscalls: 50000, InitMmaps: 8000, InitFiles: 800,
+		InitFilePages: 25000, InitHeapPages: 30000,
+		KernelObjects: 32000, KernelThreads: 220, KernelTimers: 80,
+		Conns:         conns("report-jsv", 80, 60, 14),
+		ExecComputeUS: 260000, ExecSyscalls: 6000, ExecPages: 5000, ExecConns: 20,
+	})
+	register(&Spec{
+		Name: "ecom-discount", Language: Java,
+		ConfigKB: 4, TaskImagePages: taskImageJava, RootMounts: 2,
+		InitComputeMS: 120, InitSyscalls: 15000, InitMmaps: 3200, InitFiles: 350,
+		InitFilePages: 8000, InitHeapPages: 6000,
+		KernelObjects: 23000, KernelThreads: 150, KernelTimers: 50,
+		Conns:         conns("discount-j", 55, 35, 8),
+		ExecComputeUS: 470000, ExecSyscalls: 7000, ExecPages: 2500, ExecConns: 15,
+	})
+
+	// --- Figure 16a: fine-grained func-entry point microbenchmarks -------
+	// c-memread allocates and initializes a 16 KB region inside the
+	// handler; c-memread-late moves the func-entry point after the
+	// allocation so the work is captured in the func-image instead.
+
+	register(&Spec{
+		Name: "c-memread", Language: C,
+		ConfigKB: 4, TaskImagePages: taskImageC, RootMounts: 1,
+		InitComputeMS: 1, InitSyscalls: 150, InitMmaps: 15, InitFiles: 6,
+		InitFilePages: 80, InitHeapPages: 64,
+		KernelObjects: 2800, KernelThreads: 8, KernelTimers: 4,
+		Conns:         conns("memread-us", 4, 3, 0),
+		ExecComputeUS: 230, ExecSyscalls: 30, ExecPages: 40, ExecConns: 1,
+	})
+	register(&Spec{
+		Name: "c-memread-late", Language: C,
+		ConfigKB: 4, TaskImagePages: taskImageC, RootMounts: 1,
+		InitComputeMS: 1, InitSyscalls: 180, InitMmaps: 19, InitFiles: 6,
+		InitFilePages: 80, InitHeapPages: 108, // the 16 KB region + its setup moved before the entry point
+		KernelObjects: 2800, KernelThreads: 8, KernelTimers: 4,
+		Conns:         conns("memread-us", 4, 3, 0),
+		ExecComputeUS: 90, ExecSyscalls: 8, ExecPages: 4, ExecConns: 1,
+	})
+	register(&Spec{
+		// SPECjbb with the func-entry point moved after its in-function
+		// initialization logic (user-guided pre-initialization, §6.7).
+		Name: "java-specjbb-late", Language: Java,
+		ConfigKB: 4, TaskImagePages: taskImageJava, RootMounts: 2,
+		InitComputeMS: 950, InitSyscalls: 60000, InitMmaps: 6000, InitFiles: 800,
+		InitFilePages: 25000, InitHeapPages: 56000,
+		KernelObjects: 39000, KernelThreads: 270, KernelTimers: 125,
+		Conns:         conns("specjbb-jv", 100, 96, 8),
+		ExecComputeUS: 283000, ExecSyscalls: 10000, ExecPages: 3000, ExecConns: 4,
+	})
+}

@@ -1,0 +1,110 @@
+package catalyzer
+
+import (
+	"testing"
+
+	"catalyzer/internal/simtime"
+	"catalyzer/internal/workload"
+)
+
+// TestFullLifecycle drives the public API end to end: deploy a custom
+// function, serve requests through every Catalyzer path, train a
+// pre-initialized variant, absorb a burst, and check the collected
+// metrics — the workflow a downstream adopter would run.
+func TestFullLifecycle(t *testing.T) {
+	const doc = `{
+	  "name": "lifecycle-fn", "language": "python",
+	  "configKB": 4, "taskImagePages": 2000, "rootMounts": 2,
+	  "initComputeMS": 50, "initSyscalls": 4000, "initMmaps": 600,
+	  "initFiles": 150, "initFilePages": 2500, "initHeapPages": 8000,
+	  "kernelObjects": 11000, "kernelThreads": 28, "kernelTimers": 10,
+	  "conns": {"total": 18, "hot": 12, "sockets": 3},
+	  "execComputeUS": 20000, "execSyscalls": 900, "execPages": 1200,
+	  "execConns": 4
+	}`
+	c := NewClient()
+	name, err := c.DeployCustom([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer workload.Unregister(name)
+
+	// Serve through every path; boot ordering must hold.
+	var fork, warm, cold Duration
+	for _, kind := range []BootKind{ForkBoot, WarmBoot, ColdBoot} {
+		inv, err := c.Invoke(name, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		switch kind {
+		case ForkBoot:
+			fork = inv.BootLatency
+		case WarmBoot:
+			warm = inv.BootLatency
+		case ColdBoot:
+			cold = inv.BootLatency
+		}
+	}
+	if !(fork < warm && warm < cold) {
+		t.Fatalf("ordering: fork=%v warm=%v cold=%v", fork, warm, cold)
+	}
+
+	// Train a pre-initialized variant and verify it cuts execution.
+	variant, err := c.Train(name, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer workload.Unregister(variant)
+	base, err := c.Invoke(name, ForkBoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained, err := c.Invoke(variant, ForkBoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trained.ExecLatency >= base.ExecLatency {
+		t.Fatalf("training did not cut execution: %v vs %v", trained.ExecLatency, base.ExecLatency)
+	}
+
+	// Burst: 32 simultaneous requests drain fast under fork boot.
+	rep, err := c.Burst(name, ForkBoot, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 32 || rep.Cores != 8 {
+		t.Fatalf("burst shape: %+v", rep)
+	}
+	if rep.Makespan > 150*simtime.Millisecond {
+		t.Fatalf("burst makespan = %v", rep.Makespan)
+	}
+	if _, err := c.Burst(name, BootKind("bogus"), 1, 1); err == nil {
+		t.Fatal("bogus kind accepted by Burst")
+	}
+
+	// Metrics recorded every fork boot (2 invokes + 32 burst requests).
+	if got := c.Stats()[ForkBoot].Count; got < 34 {
+		t.Fatalf("fork stats count = %d", got)
+	}
+	// Everything released: only templates and pool state remain.
+	if c.Running() > 4 {
+		t.Fatalf("running = %d after lifecycle", c.Running())
+	}
+}
+
+func TestSandboxFootprintMatchesSpec(t *testing.T) {
+	c := NewClient()
+	if err := c.Deploy("c-nginx"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := c.Start("c-nginx", BaselineGVisor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Release()
+	spec := workload.MustGet("c-nginx")
+	want := uint64(spec.TaskImagePages+spec.InitHeapPages) * 4096
+	if got := inst.RSS(); got != want {
+		t.Fatalf("RSS = %d, want %d (task image + heap)", got, want)
+	}
+}

@@ -1,0 +1,67 @@
+package catalyzer
+
+import (
+	"sort"
+
+	"catalyzer/internal/platform"
+)
+
+// KindStats summarizes the invocations a client has served with one boot
+// kind.
+type KindStats struct {
+	Count    int
+	MeanBoot Duration
+	P50Boot  Duration
+	P95Boot  Duration
+	P99Boot  Duration
+	MaxBoot  Duration
+}
+
+// statsCollector accumulates per-kind boot metrics inside a Client.
+type statsCollector struct {
+	byKind map[BootKind]*platform.Metrics
+}
+
+func newStatsCollector() *statsCollector {
+	return &statsCollector{byKind: make(map[BootKind]*platform.Metrics)}
+}
+
+func (sc *statsCollector) observe(kind BootKind, boot Duration) {
+	m, ok := sc.byKind[kind]
+	if !ok {
+		m = platform.NewMetrics(string(kind))
+		sc.byKind[kind] = m
+	}
+	m.ObserveDuration(boot)
+}
+
+// Stats returns the per-kind boot latency distribution of everything this
+// client has served.
+func (c *Client) Stats() map[BootKind]KindStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[BootKind]KindStats, len(c.stats.byKind))
+	for kind, m := range c.stats.byKind {
+		out[kind] = KindStats{
+			Count:    m.Count(),
+			MeanBoot: m.Mean(),
+			P50Boot:  m.Percentile(50),
+			P95Boot:  m.Percentile(95),
+			P99Boot:  m.Percentile(99),
+			MaxBoot:  m.Max(),
+		}
+	}
+	return out
+}
+
+// StatsKinds returns the kinds with recorded invocations, sorted.
+func (c *Client) StatsKinds() []BootKind {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]BootKind, 0, len(c.stats.byKind))
+	for k := range c.stats.byKind {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
