@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test short race vet chaos ci clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast loop: the chaos harness drops from 500 to 60 invocations.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full seeded chaos run (500 invocations at 30% fault rates) on its own.
+chaos:
+	$(GO) test -run 'Chaos' -v .
+
+ci: vet race
+
+clean:
+	$(GO) clean ./...

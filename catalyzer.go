@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"catalyzer/internal/costmodel"
+	"catalyzer/internal/faults"
 	"catalyzer/internal/platform"
 	"catalyzer/internal/sandbox"
 	"catalyzer/internal/simtime"
@@ -56,6 +57,16 @@ const (
 	BaselineNative        BootKind = "native"
 )
 
+// systemToKind is the reverse of kindToSystem, for reporting which
+// strategy actually served a recovered invocation.
+var systemToKind = func() map[platform.System]BootKind {
+	out := make(map[platform.System]BootKind)
+	for k, s := range kindToSystem {
+		out[s] = k
+	}
+	return out
+}()
+
 var kindToSystem = map[BootKind]platform.System{
 	ColdBoot:              platform.CatalyzerRestore,
 	WarmBoot:              platform.CatalyzerZygote,
@@ -72,7 +83,8 @@ var kindToSystem = map[BootKind]platform.System{
 type Option func(*config)
 
 type config struct {
-	cost *costmodel.Model
+	cost      *costmodel.Model
+	faultSeed *int64
 }
 
 // WithServerMachine runs the client on the paper's 96-core server
@@ -101,7 +113,11 @@ func NewClient(opts ...Option) *Client {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Client{p: platform.New(cfg.cost), stats: newStatsCollector()}
+	c := &Client{p: platform.New(cfg.cost), stats: newStatsCollector()}
+	if cfg.faultSeed != nil {
+		c.p.M.Faults = faults.New(*cfg.faultSeed)
+	}
+	return c
 }
 
 // Functions lists the deployable workload names.
@@ -156,9 +172,18 @@ type Invocation struct {
 	Kind        BootKind
 	BootLatency Duration
 	ExecLatency Duration
+	// ServedBy is the boot strategy that actually served the request. It
+	// equals Kind unless the failure-recovery chain degraded the boot
+	// (e.g. a failing sfork served by a Zygote, or a Zygote-pool miss
+	// served by Catalyzer-restore).
+	ServedBy BootKind
 	// Phases is the boot's per-step breakdown (Figure 2 style).
 	Phases []Phase
 }
+
+// Degraded reports whether the request was served by a fallback strategy
+// rather than the requested one.
+func (i *Invocation) Degraded() bool { return i.ServedBy != i.Kind }
 
 // Phase is one named boot step.
 type Phase struct {
@@ -170,28 +195,38 @@ type Phase struct {
 func (i *Invocation) Total() Duration { return i.BootLatency + i.ExecLatency }
 
 // Invoke boots an instance with the given strategy, executes one
-// request, and tears the instance down.
+// request, and tears the instance down. Boots run through the
+// failure-recovery chain: a failing Catalyzer stage retries with
+// virtual-time backoff and then degrades (sfork → Zygote → restore →
+// gVisor cold); check Invocation.ServedBy for the strategy that actually
+// served. With nothing failing the chain adds no work.
 func (c *Client) Invoke(name string, kind BootKind) (*Invocation, error) {
 	sys, ok := kindToSystem[kind]
 	if !ok {
-		return nil, fmt.Errorf("catalyzer: unknown boot kind %q", kind)
+		return nil, fmt.Errorf("%w: boot kind %q", ErrUnknownSystem, kind)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, err := c.p.Invoke(name, sys)
+	r, err := c.p.InvokeRecover(name, sys)
 	if err != nil {
 		return nil, err
 	}
-	c.stats.observe(kind, r.BootLatency)
-	return invocationOf(r, kind), nil
+	inv := invocationOf(r, kind)
+	c.stats.observe(inv.ServedBy, r.BootLatency)
+	return inv, nil
 }
 
 func invocationOf(r *platform.Result, kind BootKind) *Invocation {
+	served, ok := systemToKind[r.System]
+	if !ok {
+		served = BootKind(r.System)
+	}
 	inv := &Invocation{
 		Function:    r.Function,
 		Kind:        kind,
 		BootLatency: r.BootLatency,
 		ExecLatency: r.ExecLatency,
+		ServedBy:    served,
 	}
 	for _, ph := range r.Phases {
 		inv.Phases = append(inv.Phases, Phase{Name: ph.Name, Duration: ph.Duration})
@@ -222,19 +257,21 @@ func (i *Instance) PSS() float64 { return i.s.AS.PSS() }
 func (i *Instance) Release() { i.s.Release() }
 
 // Start boots an instance, serves one request, and keeps it running.
+// Like Invoke, boots run through the failure-recovery chain.
 func (c *Client) Start(name string, kind BootKind) (*Instance, error) {
 	sys, ok := kindToSystem[kind]
 	if !ok {
-		return nil, fmt.Errorf("catalyzer: unknown boot kind %q", kind)
+		return nil, fmt.Errorf("%w: boot kind %q", ErrUnknownSystem, kind)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, err := c.p.InvokeKeep(name, sys)
+	r, err := c.p.InvokeKeepRecover(name, sys)
 	if err != nil {
 		return nil, err
 	}
-	c.stats.observe(kind, r.BootLatency)
-	return &Instance{inv: invocationOf(r, kind), s: r.Sandbox}, nil
+	inv := invocationOf(r, kind)
+	c.stats.observe(inv.ServedBy, r.BootLatency)
+	return &Instance{inv: inv, s: r.Sandbox}, nil
 }
 
 // BurstReport summarizes how a burst of simultaneous requests drains.

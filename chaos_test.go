@@ -1,0 +1,183 @@
+package catalyzer
+
+import (
+	"errors"
+	"testing"
+)
+
+// chaosRates is the fault schedule the harness arms: the two headline
+// sites at the acceptance rate (30%) plus lower-rate noise on every other
+// boot phase.
+var chaosRates = map[string]float64{
+	"sfork":          0.3,
+	"image-load":     0.3,
+	"image-decode":   0.2,
+	"zygote-take":    0.2,
+	"base-ept-map":   0.1,
+	"metadata-fixup": 0.1,
+	"io-reconnect":   0.1,
+}
+
+// typedError reports whether err is one of the API's typed failures — a
+// BootError from an exhausted chain or a re-exported sentinel. The chaos
+// invariant is that nothing else ever escapes Invoke.
+func typedError(err error) bool {
+	var be *BootError
+	if errors.As(err, &be) {
+		return true
+	}
+	return errors.Is(err, ErrNotRegistered) ||
+		errors.Is(err, ErrNoImage) ||
+		errors.Is(err, ErrNoTemplate) ||
+		errors.Is(err, ErrUnknownSystem)
+}
+
+// runChaos drives n invocations across the three Catalyzer boot paths
+// with the given fault seed, refreshing the func-image from the store
+// every 10th iteration to exercise the load/quarantine path. It fails
+// the test on any non-typed error and returns the final stats.
+func runChaos(t *testing.T, c *Client, n int) FailureStats {
+	t.Helper()
+	for site, rate := range chaosRates {
+		if err := c.ArmFault(site, rate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kinds := []BootKind{ForkBoot, WarmBoot, ColdBoot}
+	for i := 0; i < n; i++ {
+		if i%10 == 9 {
+			if err := c.Refresh("c-hello"); err != nil && !typedError(err) {
+				t.Fatalf("iteration %d: refresh returned a non-typed error: %v", i, err)
+			}
+		}
+		inv, err := c.Invoke("c-hello", kinds[i%len(kinds)])
+		if err != nil {
+			if !typedError(err) {
+				t.Fatalf("iteration %d: non-typed error escaped Invoke: %v", i, err)
+			}
+			continue
+		}
+		if inv.ServedBy == "" {
+			t.Fatalf("iteration %d: invocation missing ServedBy", i)
+		}
+	}
+	return c.FailureStats()
+}
+
+func TestChaosInvocations(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 60
+	}
+	c, err := NewClientWithStore(t.TempDir(), WithFaultSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	st := runChaos(t, c, n)
+
+	// The machinery must have actually been exercised.
+	if st.BootFailures["catalyzer-sfork"] == 0 {
+		t.Fatalf("no sfork failures recorded at 30%% injection: %+v", st)
+	}
+	total := 0
+	for _, v := range st.Fallbacks {
+		total += v
+	}
+	if total == 0 {
+		t.Fatalf("no fallbacks recorded: %+v", st)
+	}
+	if st.Retries == 0 || st.BackoffTotal == 0 {
+		t.Fatalf("no retries/backoff recorded: %+v", st)
+	}
+	if st.Faults["sfork"].Injected == 0 || st.Faults["image-load"].Checks == 0 {
+		t.Fatalf("injector accounting empty: %+v", st.Faults)
+	}
+	if n >= 500 {
+		// At 30% sfork failure over hundreds of draws the breaker and the
+		// template quarantine must both have fired.
+		if st.BreakerTrips == 0 {
+			t.Fatalf("breaker never tripped over %d invocations: %+v", n, st)
+		}
+		if st.TemplatesQuarantined == 0 {
+			t.Fatalf("template never quarantined over %d invocations: %+v", n, st)
+		}
+	}
+
+	// Recovery: disarm everything and keep invoking. Breakers half-open
+	// after their virtual-time cooldown, probes succeed, and every
+	// breaker converges back to closed.
+	c.DisarmFaults()
+	for i := 0; i < 30; i++ {
+		if _, err := c.Invoke("c-hello", []BootKind{ForkBoot, WarmBoot, ColdBoot}[i%3]); err != nil {
+			t.Fatalf("post-recovery invoke %d: %v", i, err)
+		}
+	}
+	for k, state := range c.FailureStats().Breakers {
+		if state != "closed" {
+			t.Fatalf("breaker %s did not converge: %s", k, state)
+		}
+	}
+
+	// No leaked instances: everything released by Invoke, templates and
+	// mappings released by Close.
+	c.Close()
+	if got := c.Running(); got != 0 {
+		t.Fatalf("leaked live instances after chaos run + Close: %d", got)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	run := func() FailureStats {
+		c, err := NewClientWithStore(t.TempDir(), WithFaultSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Deploy("c-hello"); err != nil {
+			t.Fatal(err)
+		}
+		st := runChaos(t, c, 100)
+		c.Close()
+		return st
+	}
+	a, b := run(), run()
+	if a.Retries != b.Retries || a.BreakerTrips != b.BreakerTrips ||
+		a.Exhausted != b.Exhausted || a.BackoffTotal != b.BackoffTotal ||
+		a.TemplatesQuarantined != b.TemplatesQuarantined {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	for sys, v := range a.BootFailures {
+		if b.BootFailures[sys] != v {
+			t.Fatalf("same seed diverged on %s failures: %d vs %d", sys, v, b.BootFailures[sys])
+		}
+	}
+	for site, v := range a.Faults {
+		if b.Faults[site] != v {
+			t.Fatalf("same seed diverged at site %s: %+v vs %+v", site, v, b.Faults[site])
+		}
+	}
+}
+
+func TestHappyPathUnchangedByRecoveryRouting(t *testing.T) {
+	// With no injector installed, Invoke (now routed through the recovery
+	// chain) must report the exact latencies of a direct platform invoke.
+	c := NewClient()
+	if err := c.Deploy("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []BootKind{ForkBoot, WarmBoot, ColdBoot} {
+		inv, err := c.Invoke("c-hello", kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if inv.Degraded() {
+			t.Fatalf("%s: degraded without faults (served by %s)", kind, inv.ServedBy)
+		}
+	}
+	st := c.FailureStats()
+	if st.Retries != 0 || st.BreakerTrips != 0 || len(st.BootFailures) != 0 {
+		t.Fatalf("failure machinery active on the happy path: %+v", st)
+	}
+}

@@ -10,18 +10,37 @@
 //	POST /invoke?fn=<workload>&boot=fork  serve one request (boot: cold|warm|fork|gvisor|...)
 //	GET  /functions                       list deployable workloads
 //	GET  /stats                           machine stats (live instances, virtual clock)
+//	GET  /metrics                         boot-latency distributions + failure-recovery counters
+//	GET  /health                          liveness/degradation probe
+//
+// Errors map to statuses by type: an unknown function is 404, a bad
+// parameter (including an unknown boot kind) is 400, and a boot whose
+// whole fallback chain failed is 500.
+//
+// GET /health returns 200 with {"status":"ok"} while every circuit
+// breaker is closed, and 503 with {"status":"degraded"} plus the list of
+// open breakers when the failure-recovery machinery has a boot path shut
+// off. The body also carries live-instance and quarantine counts, so an
+// orchestrator can alert on template/image churn before requests fail.
 //
 // The daemon serves real HTTP over net/http; the sandboxes behind it run
 // on the simulated machine, so responses carry virtual-time latencies.
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
+// drain and the client's long-lived artifacts are released.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"catalyzer"
 )
@@ -32,9 +51,25 @@ type server struct {
 	client *catalyzer.Client
 }
 
+// statusOf maps a client error to an HTTP status by its type: unknown
+// functions are the caller's 404, unknown boot kinds the caller's 400,
+// and everything else — including an exhausted recovery chain — is the
+// server's 500.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, catalyzer.ErrNotRegistered):
+		return http.StatusNotFound
+	case errors.Is(err, catalyzer.ErrUnknownSystem):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 type invokeResponse struct {
 	Function string             `json:"function"`
 	Boot     string             `json:"boot"`
+	ServedBy string             `json:"served_by"`
 	BootMS   float64            `json:"boot_ms"`
 	ExecMS   float64            `json:"exec_ms"`
 	TotalMS  float64            `json:"total_ms"`
@@ -48,7 +83,7 @@ func (s *server) deploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.client.Deploy(fn); err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		http.Error(w, err.Error(), statusOf(err))
 		return
 	}
 	fmt.Fprintf(w, "deployed %s\n", fn)
@@ -66,12 +101,13 @@ func (s *server) invoke(w http.ResponseWriter, r *http.Request) {
 	}
 	inv, err := s.client.Invoke(fn, catalyzer.BootKind(boot))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), statusOf(err))
 		return
 	}
 	resp := invokeResponse{
 		Function: inv.Function,
 		Boot:     string(inv.Kind),
+		ServedBy: string(inv.ServedBy),
 		BootMS:   float64(inv.BootLatency) / 1e6,
 		ExecMS:   float64(inv.ExecLatency) / 1e6,
 		TotalMS:  float64(inv.Total()) / 1e6,
@@ -129,6 +165,47 @@ func (s *server) functions(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(catalyzer.Functions())
 }
 
+// failureMetrics is the JSON form of the failure-recovery counters.
+type failureMetrics struct {
+	BootFailures            map[string]int            `json:"boot_failures"`
+	Fallbacks               map[string]int            `json:"fallbacks"`
+	Retries                 int                       `json:"retries"`
+	BackoffTotalMS          float64                   `json:"backoff_total_ms"`
+	BreakerTrips            int                       `json:"breaker_trips"`
+	BreakerSkips            int                       `json:"breaker_skips"`
+	Breakers                map[string]string         `json:"breakers"`
+	TemplatesQuarantined    int                       `json:"templates_quarantined"`
+	TemplateRebuildFailures int                       `json:"template_rebuild_failures"`
+	ImagesQuarantined       int                       `json:"images_quarantined"`
+	ImageLoadFaults         int                       `json:"image_load_faults"`
+	Exhausted               int                       `json:"exhausted"`
+	InjectedFaults          map[string]map[string]int `json:"injected_faults,omitempty"`
+}
+
+func failureMetricsOf(st catalyzer.FailureStats) failureMetrics {
+	fm := failureMetrics{
+		BootFailures:            st.BootFailures,
+		Fallbacks:               st.Fallbacks,
+		Retries:                 st.Retries,
+		BackoffTotalMS:          float64(st.BackoffTotal) / 1e6,
+		BreakerTrips:            st.BreakerTrips,
+		BreakerSkips:            st.BreakerSkips,
+		Breakers:                st.Breakers,
+		TemplatesQuarantined:    st.TemplatesQuarantined,
+		TemplateRebuildFailures: st.TemplateRebuildFailures,
+		ImagesQuarantined:       st.ImagesQuarantined,
+		ImageLoadFaults:         st.ImageLoadFaults,
+		Exhausted:               st.Exhausted,
+	}
+	if len(st.Faults) > 0 {
+		fm.InjectedFaults = make(map[string]map[string]int, len(st.Faults))
+		for site, fc := range st.Faults {
+			fm.InjectedFaults[site] = map[string]int{"checks": fc.Checks, "injected": fc.Injected}
+		}
+	}
+	return fm
+}
+
 func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 	type kindStats struct {
 		Count  int     `json:"count"`
@@ -137,9 +214,9 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 		P99MS  float64 `json:"p99_ms"`
 		MaxMS  float64 `json:"max_ms"`
 	}
-	out := map[string]kindStats{}
+	boots := map[string]kindStats{}
 	for kind, st := range s.client.Stats() {
-		out[string(kind)] = kindStats{
+		boots[string(kind)] = kindStats{
 			Count:  st.Count,
 			MeanMS: float64(st.MeanBoot) / 1e6,
 			P50MS:  float64(st.P50Boot) / 1e6,
@@ -148,7 +225,37 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"boots":    boots,
+		"failures": failureMetricsOf(s.client.FailureStats()),
+	})
+}
+
+// health reports liveness and degradation: 200 while every circuit
+// breaker is closed, 503 with the open breakers listed once the recovery
+// machinery has shut a boot path off.
+func (s *server) health(w http.ResponseWriter, _ *http.Request) {
+	st := s.client.FailureStats()
+	var open []string
+	for k, state := range st.Breakers {
+		if state != "closed" {
+			open = append(open, k+"="+state)
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if len(open) > 0 {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":                status,
+		"live_instances":        s.client.Running(),
+		"open_breakers":         open,
+		"templates_quarantined": st.TemplatesQuarantined,
+		"images_quarantined":    st.ImagesQuarantined,
+		"exhausted_boots":       st.Exhausted,
+	})
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
@@ -170,12 +277,14 @@ func Handler(c *catalyzer.Client) http.Handler {
 	mux.HandleFunc("GET /functions", s.functions)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /health", s.health)
 	return mux
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	server := flag.Bool("server-machine", false, "use the 96-core server cost model")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
 
 	var opts []catalyzer.Option
@@ -183,6 +292,31 @@ func main() {
 		opts = append(opts, catalyzer.WithServerMachine())
 	}
 	c := catalyzer.NewClient(opts...)
-	log.Printf("catalyzerd listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, Handler(c)))
+
+	srv := &http.Server{Addr: *addr, Handler: Handler(c)}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("catalyzerd listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests for the
+	// grace period, then release the client's long-lived artifacts.
+	log.Printf("catalyzerd shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	c.Close()
+	log.Printf("catalyzerd stopped (%d live instances)", c.Running())
 }

@@ -77,7 +77,8 @@ func TestErrorStatuses(t *testing.T) {
 	if resp := post(t, srv, "/deploy?fn=not-a-function"); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("deploy unknown fn = %d", resp.StatusCode)
 	}
-	if resp := post(t, srv, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode != http.StatusBadRequest {
+	// An unknown function is the caller's 404, not a generic 400.
+	if resp := post(t, srv, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("invoke before deploy = %d", resp.StatusCode)
 	}
 	if resp := post(t, srv, "/invoke"); resp.StatusCode != http.StatusBadRequest {
@@ -149,19 +150,100 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out map[string]struct {
-		Count  int     `json:"count"`
-		MeanMS float64 `json:"mean_ms"`
-		P99MS  float64 `json:"p99_ms"`
+	var out struct {
+		Boots map[string]struct {
+			Count  int     `json:"count"`
+			MeanMS float64 `json:"mean_ms"`
+			P99MS  float64 `json:"p99_ms"`
+		} `json:"boots"`
+		Failures struct {
+			BootFailures map[string]int    `json:"boot_failures"`
+			Retries      int               `json:"retries"`
+			Breakers     map[string]string `json:"breakers"`
+		} `json:"failures"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if out["fork"].Count != 2 || out["cold"].Count != 1 {
+	if out.Boots["fork"].Count != 2 || out.Boots["cold"].Count != 1 {
 		t.Fatalf("metrics = %+v", out)
 	}
-	if out["fork"].MeanMS <= 0 || out["fork"].MeanMS >= out["cold"].MeanMS {
-		t.Fatalf("fork mean %.3f vs cold mean %.3f", out["fork"].MeanMS, out["cold"].MeanMS)
+	if out.Boots["fork"].MeanMS <= 0 || out.Boots["fork"].MeanMS >= out.Boots["cold"].MeanMS {
+		t.Fatalf("fork mean %.3f vs cold mean %.3f", out.Boots["fork"].MeanMS, out.Boots["cold"].MeanMS)
+	}
+	// A clean run reports an untouched failure section.
+	if out.Failures.Retries != 0 || len(out.Failures.BootFailures) != 0 {
+		t.Fatalf("failure metrics dirty on clean run: %+v", out.Failures)
+	}
+}
+
+type healthResponse struct {
+	Status               string   `json:"status"`
+	LiveInstances        int      `json:"live_instances"`
+	OpenBreakers         []string `json:"open_breakers"`
+	TemplatesQuarantined int      `json:"templates_quarantined"`
+	ImagesQuarantined    int      `json:"images_quarantined"`
+}
+
+func getHealth(t *testing.T, url string) (int, healthResponse) {
+	t.Helper()
+	resp, err := http.Get(url + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, h
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	code, h := getHealth(t, srv.URL)
+	if code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("fresh daemon health = %d %+v", code, h)
+	}
+}
+
+func TestHealthDegradesWithOpenBreaker(t *testing.T) {
+	c := catalyzer.NewClient(catalyzer.WithFaultSeed(1))
+	cfg := catalyzer.DefaultRecoveryConfig()
+	cfg.MaxRetries = 0
+	cfg.BreakerThreshold = 2
+	cfg.QuarantineThreshold = 100
+	c.SetRecoveryConfig(cfg)
+	srv := httptest.NewServer(Handler(c))
+	t.Cleanup(srv.Close)
+
+	post(t, srv, "/deploy?fn=c-hello")
+	if err := c.ArmFault("sfork", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Two failing sfork stages open the fork breaker; the invocations
+	// themselves still succeed via fallback.
+	for i := 0; i < 2; i++ {
+		if resp := post(t, srv, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("invoke under faults = %d", resp.StatusCode)
+		}
+	}
+	code, h := getHealth(t, srv.URL)
+	if code != http.StatusServiceUnavailable || h.Status != "degraded" {
+		t.Fatalf("health with open breaker = %d %+v", code, h)
+	}
+	if len(h.OpenBreakers) == 0 {
+		t.Fatalf("degraded health lists no open breakers: %+v", h)
+	}
+
+	// A degraded invocation reports who actually served it.
+	resp := post(t, srv, "/invoke?fn=c-hello&boot=fork")
+	var body invokeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Boot != "fork" || body.ServedBy == "fork" || body.ServedBy == "" {
+		t.Fatalf("degraded invoke reporting: %+v", body)
 	}
 }
 

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"catalyzer/internal/faults"
 	"catalyzer/internal/guest"
 	"catalyzer/internal/image"
 	"catalyzer/internal/sandbox"
@@ -151,6 +152,12 @@ func (c *Catalyzer) BootRestore(img *image.Image, fs *vfs.FSServer, zygote *Zygo
 	}
 	tl := simtime.NewTimeline(env.Clock)
 	s := sandbox.NewRestoredShell(m, spec, catalyzerOptions(m), fs)
+	// Release the partial instance on any mid-boot failure so failed
+	// restores never leak live sandboxes.
+	fail := func(err error) (*sandbox.Sandbox, *image.Mapping, *simtime.Timeline, error) {
+		s.Release()
+		return nil, nil, nil, err
+	}
 
 	if zygote == nil {
 		// Cold boot: construct the sandbox now.
@@ -159,7 +166,7 @@ func (c *Catalyzer) BootRestore(img *image.Image, fs *vfs.FSServer, zygote *Zygo
 			cfgErr = sandbox.ParseConfig(m, spec)
 		})
 		if cfgErr != nil {
-			return nil, nil, nil, cfgErr
+			return fail(cfgErr)
 		}
 		tl.Measure(sandbox.PhaseBootProcess, func() {
 			env.Charge(env.Cost.HostForkExec)
@@ -189,10 +196,15 @@ func (c *Catalyzer) BootRestore(img *image.Image, fs *vfs.FSServer, zygote *Zygo
 
 	env.Charge(env.Cost.RestoreTaskCreate)
 
-	// Application memory.
+	// Application memory. The Base-EPT mapping is an injection site: a
+	// failed map must not mutate the function's shared mapping state, so
+	// the check runs before NewMapping/Share.
 	var memErr error
 	if flags.OverlayMemory {
 		tl.Measure(sandbox.PhaseMapImage, func() {
+			if memErr = m.Faults.Check(faults.SiteEPTMap); memErr != nil {
+				return
+			}
 			if mapping == nil {
 				mapping = image.NewMapping(env, m.Frames, img.Mem)
 			} else {
@@ -206,13 +218,16 @@ func (c *Catalyzer) BootRestore(img *image.Image, fs *vfs.FSServer, zygote *Zygo
 		})
 	}
 	if memErr != nil {
-		return nil, nil, nil, memErr
+		return fail(memErr)
 	}
 
 	// Guest-kernel state.
 	var k *guest.Kernel
 	var kErr error
 	tl.Measure(sandbox.PhaseRecoverKernel, func() {
+		if kErr = m.Faults.Check(faults.SiteMetaFixup); kErr != nil {
+			return
+		}
 		if flags.SeparatedState {
 			k, kErr = guest.RestoreSeparated(env, img.Kernel)
 		} else {
@@ -220,13 +235,16 @@ func (c *Catalyzer) BootRestore(img *image.Image, fs *vfs.FSServer, zygote *Zygo
 		}
 	})
 	if kErr != nil {
-		return nil, nil, nil, fmt.Errorf("core: restore: %w", kErr)
+		return fail(fmt.Errorf("core: restore: %w", kErr))
 	}
 
 	// I/O connections, plus the persistent log descriptor (the one
 	// read-write grant, §4.2).
 	var ioErr error
 	tl.Measure(sandbox.PhaseReconnectIO, func() {
+		if ioErr = m.Faults.Check(faults.SiteIOReconnect); ioErr != nil {
+			return
+		}
 		switch {
 		case !flags.LazyIO:
 			k.Conns = vfs.RestoreEager(env, img.Kernel.ConnRecords)
@@ -239,7 +257,7 @@ func (c *Catalyzer) BootRestore(img *image.Image, fs *vfs.FSServer, zygote *Zygo
 		ioErr = s.AcquireLogGrant()
 	})
 	if ioErr != nil {
-		return nil, nil, nil, ioErr
+		return fail(ioErr)
 	}
 
 	tl.Record(sandbox.PhaseSendRPC, env.Cost.RPCSend)

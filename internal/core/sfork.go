@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"catalyzer/internal/faults"
 	"catalyzer/internal/host"
 	"catalyzer/internal/sandbox"
 	"catalyzer/internal/simtime"
@@ -37,6 +38,11 @@ func (c *Catalyzer) MakeTemplate(spec *workload.Spec, fs *vfs.FSServer) (*Templa
 
 // Spec returns the template's workload.
 func (t *Template) Spec() *workload.Spec { return t.s.Spec }
+
+// Retire tears the template sandbox down. Subsequent Sfork calls fail
+// with a released-template error; the platform's quarantine path retires
+// a wedged template and rebuilds a fresh one.
+func (t *Template) Retire() { t.s.Release() }
 
 // Sandbox exposes the underlying template sandbox (read-only use:
 // tests and memory accounting).
@@ -85,6 +91,12 @@ func (t *Template) forkChild() (*sandbox.Sandbox, error) {
 	env := m.Env
 	parent := t.s
 
+	// Injection site: the fork itself (a wedged template, a clone that
+	// dies mid-flight). Checked before any child state exists.
+	if err := m.Faults.Check(faults.SiteSfork); err != nil {
+		return nil, err
+	}
+
 	// Guard: template sandboxes may only have issued allowed/handled
 	// syscalls (Table 1); the denied set was filtered at template
 	// generation. Verify the representative handled set is permitted.
@@ -101,13 +113,18 @@ func (t *Template) forkChild() (*sandbox.Sandbox, error) {
 	}
 	child := sandbox.NewRestoredShell(m, parent.Spec, parent.Opts, t.fs)
 	child.FromTemplate = true
+	// A fork that dies mid-way must release the partial child.
+	fail := func(err error) (*sandbox.Sandbox, error) {
+		child.Release()
+		return nil, err
+	}
 
 	// Namespace preparation: the child keeps the template's virtual PIDs
 	// bound to its new host process (§4, Challenge-3).
 	child.NS = parent.NS.CloneFor(env)
 	child.VPID = parent.VPID
 	if err := child.NS.PID.Rebind(child.VPID, child.HostPID); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	// Address space: CoW clone; cost is per-VMA.
@@ -129,16 +146,16 @@ func (t *Template) forkChild() (*sandbox.Sandbox, error) {
 	// Persistent files are the one class not inherited read-only: the
 	// child gets its own read-write log grant from the FS server (§4.2).
 	if err := child.AcquireLogGrant(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	// Go runtime: clone in single-thread state, then expand.
 	rt, err := parent.Runtime.CloneForChild()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if _, err := rt.Expand(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	child.Runtime = rt
 	return child, nil

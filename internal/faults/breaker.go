@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"catalyzer/internal/simtime"
+)
+
+// BreakerState is the circuit breaker's current disposition.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the virtual-time cooldown lapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe; its outcome decides between
+	// Closed and Open.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-path circuit breaker driven by virtual time: after
+// Threshold consecutive failures it opens, rejecting the path for
+// Cooldown of virtual time, then half-opens to admit one probe. A
+// successful probe closes it; a failed probe re-opens it for another
+// cooldown. The zero cost on the happy path matters: Allow on a closed
+// breaker touches no clock and charges nothing.
+type Breaker struct {
+	threshold int
+	cooldown  simtime.Duration
+	now       func() simtime.Duration
+
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt simtime.Duration
+	probing  bool // a half-open probe is in flight
+
+	trips   int
+	rejects int
+}
+
+// NewBreaker returns a closed breaker. threshold must be >= 1; now
+// supplies virtual time (typically Machine.Now).
+func NewBreaker(threshold int, cooldown simtime.Duration, now func() simtime.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether the guarded path may be attempted now. In the
+// open state it transitions to half-open once the cooldown has lapsed
+// and admits exactly one probe per half-open period.
+func (b *Breaker) Allow() bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now()-b.openedAt < b.cooldown {
+			b.rejects++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			b.rejects++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful attempt, closing the breaker.
+func (b *Breaker) Success() {
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed attempt. A closed breaker trips once the
+// consecutive-failure threshold is met; a half-open probe failure
+// re-opens immediately.
+func (b *Breaker) Failure() {
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerOpen:
+		// Late result from an attempt admitted earlier; stays open.
+	}
+}
+
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+	b.trips++
+}
+
+// State returns the breaker's disposition, applying any due
+// open→half-open transition first so observers see the same state a
+// caller of Allow would.
+func (b *Breaker) State() BreakerState {
+	if b.state == BreakerOpen && b.now()-b.openedAt >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int { return b.trips }
+
+// Rejects returns how many attempts the breaker has refused.
+func (b *Breaker) Rejects() int { return b.rejects }

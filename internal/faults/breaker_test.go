@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"testing"
+
+	"catalyzer/internal/simtime"
+)
+
+// testClock is a hand-advanced virtual clock for breaker tests.
+type testClock struct{ now simtime.Duration }
+
+func (c *testClock) Now() simtime.Duration { return c.now }
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := &testClock{}
+	b := NewBreaker(3, 10*simtime.Millisecond, clk.Now)
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected attempt %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v", b.State())
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure trips
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic before cooldown")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	clk := &testClock{}
+	b := NewBreaker(3, 10*simtime.Millisecond, clk.Now)
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Success() // breaks the consecutive streak
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped breaker: %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &testClock{}
+	b := NewBreaker(1, 10*simtime.Millisecond, clk.Now)
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not open")
+	}
+
+	clk.now += 5 * simtime.Millisecond
+	if b.Allow() {
+		t.Fatal("allowed before cooldown lapsed")
+	}
+	clk.now += 5 * simtime.Millisecond
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe re-opens for a full cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open")
+	}
+	clk.now += 10 * simtime.Millisecond
+	if !b.Allow() {
+		t.Fatal("re-opened breaker did not half-open after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("successful probe left state %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected")
+	}
+}
+
+func TestBreakerRejectCount(t *testing.T) {
+	clk := &testClock{}
+	b := NewBreaker(1, 100*simtime.Millisecond, clk.Now)
+	b.Allow()
+	b.Failure()
+	for i := 0; i < 4; i++ {
+		if b.Allow() {
+			t.Fatal("open breaker allowed")
+		}
+	}
+	if b.Rejects() != 4 {
+		t.Fatalf("rejects = %d", b.Rejects())
+	}
+}

@@ -1,0 +1,201 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seedable injector that can be armed per boot phase (image load/decode,
+// Base-EPT mapping, metadata fixup, I/O reconnection, sfork, Zygote
+// take), plus the virtual-time circuit breaker the platform's recovery
+// machinery builds on.
+//
+// The injector is deliberately boring: a site either fails this draw or
+// it does not, decided by a seeded PRNG, so a chaos run with the same
+// seed replays the same fault schedule. A nil *Injector is inert and
+// free — production code calls Check unconditionally and the happy path
+// pays one nil comparison.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Site identifies one injection point in the boot pipeline.
+type Site string
+
+const (
+	// SiteImageLoad is the func-image fetch from the store (I/O error:
+	// the bytes never arrive).
+	SiteImageLoad Site = "image-load"
+	// SiteImageDecode is func-image decoding (the bytes arrived but are
+	// corrupt; the image must be quarantined).
+	SiteImageDecode Site = "image-decode"
+	// SiteEPTMap is the Base-EPT / overlay-memory mapping of the image's
+	// memory section (§3.1).
+	SiteEPTMap Site = "base-ept-map"
+	// SiteMetaFixup is separated-state metadata recovery (§3.2).
+	SiteMetaFixup Site = "metadata-fixup"
+	// SiteIOReconnect is I/O connection re-establishment (§3.3).
+	SiteIOReconnect Site = "io-reconnect"
+	// SiteSfork is the template fork itself (§4).
+	SiteSfork Site = "sfork"
+	// SiteZygoteTake is taking a Zygote from the pool (a wedged cached
+	// sandbox, §3.4).
+	SiteZygoteTake Site = "zygote-take"
+)
+
+// Sites lists every injection point.
+func Sites() []Site {
+	return []Site{SiteImageLoad, SiteImageDecode, SiteEPTMap,
+		SiteMetaFixup, SiteIOReconnect, SiteSfork, SiteZygoteTake}
+}
+
+// ValidSite reports whether s names a known injection point.
+func ValidSite(s Site) bool {
+	for _, k := range Sites() {
+		if k == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Fault is the typed error every injected failure surfaces as.
+type Fault struct {
+	Site Site
+	Seq  int // per-site injection sequence number (1-based)
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faults: injected %s failure #%d", f.Site, f.Seq)
+}
+
+// IsFault reports whether err is (or wraps) an injected fault.
+func IsFault(err error) bool {
+	var f *Fault
+	return errors.As(err, &f)
+}
+
+// SiteCount reports one site's draw/injection totals.
+type SiteCount struct {
+	Checks   int // times the site was evaluated
+	Injected int // times it failed
+}
+
+// Injector is a deterministic, seedable fault source. Arm a site with a
+// failure probability and every Check at that site draws from the seeded
+// PRNG. The zero probability (or an unarmed site, or a nil Injector)
+// never fails.
+//
+// Injector is safe for concurrent use, though the simulation itself is
+// single-threaded; determinism holds for any fixed sequence of Check
+// calls.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rates  map[Site]float64
+	counts map[Site]*SiteCount
+}
+
+// New returns an injector whose fault schedule is fully determined by
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		rates:  make(map[Site]float64),
+		counts: make(map[Site]*SiteCount),
+	}
+}
+
+// Arm sets a site's failure probability (clamped to [0, 1]).
+func (in *Injector) Arm(site Site, rate float64) {
+	if in == nil {
+		return
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rates[site] = rate
+}
+
+// Disarm removes a site's arming.
+func (in *Injector) Disarm(site Site) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rates, site)
+}
+
+// DisarmAll removes every arming; counts are retained.
+func (in *Injector) DisarmAll() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rates = make(map[Site]float64)
+}
+
+// Check draws at the given site: it returns a *Fault if an injected
+// failure fires, nil otherwise. Safe on a nil Injector.
+func (in *Injector) Check(site Site) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	rate, armed := in.rates[site]
+	if !armed || rate == 0 {
+		return nil
+	}
+	c := in.counts[site]
+	if c == nil {
+		c = &SiteCount{}
+		in.counts[site] = c
+	}
+	c.Checks++
+	if in.rng.Float64() >= rate {
+		return nil
+	}
+	c.Injected++
+	return &Fault{Site: site, Seq: c.Injected}
+}
+
+// Counts returns a copy of the per-site draw/injection totals for every
+// site that has been evaluated while armed.
+func (in *Injector) Counts() map[Site]SiteCount {
+	out := make(map[Site]SiteCount)
+	if in == nil {
+		return out
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for s, c := range in.counts {
+		out[s] = *c
+	}
+	return out
+}
+
+// Armed returns the currently armed sites, sorted.
+func (in *Injector) Armed() []Site {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Site, 0, len(in.rates))
+	for s, r := range in.rates {
+		if r > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Check(SiteSfork); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	in.Arm(SiteSfork, 1) // must not panic
+	in.Disarm(SiteSfork) // must not panic
+	in.DisarmAll()       // must not panic
+	if got := in.Counts(); len(got) != 0 {
+		t.Fatalf("nil injector counts = %v", got)
+	}
+	if got := in.Armed(); got != nil {
+		t.Fatalf("nil injector armed = %v", got)
+	}
+}
+
+func TestUnarmedSiteNeverFails(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteSfork, 1)
+	for i := 0; i < 100; i++ {
+		if err := in.Check(SiteEPTMap); err != nil {
+			t.Fatalf("unarmed site failed: %v", err)
+		}
+	}
+	if c := in.Counts()[SiteEPTMap]; c.Checks != 0 {
+		t.Fatalf("unarmed site counted checks: %+v", c)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed)
+		in.Arm(SiteSfork, 0.5)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Check(SiteSfork) != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-draw schedules")
+	}
+}
+
+func TestRatesAndCounts(t *testing.T) {
+	in := New(7)
+	in.Arm(SiteImageLoad, 0.3)
+	n := 10000
+	for i := 0; i < n; i++ {
+		in.Check(SiteImageLoad)
+	}
+	c := in.Counts()[SiteImageLoad]
+	if c.Checks != n {
+		t.Fatalf("checks = %d, want %d", c.Checks, n)
+	}
+	rate := float64(c.Injected) / float64(n)
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("observed rate %.3f far from armed 0.3", rate)
+	}
+}
+
+func TestFaultErrorIsTyped(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteMetaFixup, 1)
+	err := in.Check(SiteMetaFixup)
+	if err == nil {
+		t.Fatal("rate-1 site did not fail")
+	}
+	if !IsFault(err) {
+		t.Fatalf("injected error not recognized: %v", err)
+	}
+	wrapped := fmt.Errorf("boot: %w", err)
+	if !IsFault(wrapped) {
+		t.Fatal("wrapped fault not recognized")
+	}
+	var f *Fault
+	if !errors.As(err, &f) || f.Site != SiteMetaFixup || f.Seq != 1 {
+		t.Fatalf("fault fields = %+v", f)
+	}
+	if IsFault(errors.New("plain")) {
+		t.Fatal("plain error recognized as fault")
+	}
+}
+
+func TestDisarmStopsInjection(t *testing.T) {
+	in := New(3)
+	in.Arm(SiteSfork, 1)
+	if in.Check(SiteSfork) == nil {
+		t.Fatal("armed rate-1 site passed")
+	}
+	in.Disarm(SiteSfork)
+	if err := in.Check(SiteSfork); err != nil {
+		t.Fatalf("disarmed site failed: %v", err)
+	}
+	in.Arm(SiteSfork, 1)
+	in.Arm(SiteEPTMap, 0.5)
+	in.DisarmAll()
+	if got := in.Armed(); len(got) != 0 {
+		t.Fatalf("armed after DisarmAll = %v", got)
+	}
+}
+
+func TestArmedSorted(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteZygoteTake, 0.1)
+	in.Arm(SiteEPTMap, 0.1)
+	in.Arm(SiteSfork, 0) // zero rate is not armed
+	got := in.Armed()
+	if len(got) != 2 || got[0] != SiteEPTMap || got[1] != SiteZygoteTake {
+		t.Fatalf("Armed() = %v", got)
+	}
+}
+
+func TestValidSite(t *testing.T) {
+	for _, s := range Sites() {
+		if !ValidSite(s) {
+			t.Fatalf("listed site %q invalid", s)
+		}
+	}
+	if ValidSite("nonsense") {
+		t.Fatal("nonsense site valid")
+	}
+}

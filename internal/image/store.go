@@ -18,8 +18,19 @@ type Store struct {
 	dir string
 }
 
-// imageExt is the func-image file extension.
-const imageExt = ".cimg"
+// imageExt is the func-image file extension; quarantined images keep
+// their payload under quarantineExt for post-mortem inspection.
+const (
+	imageExt      = ".cimg"
+	quarantineExt = ".cimg.quarantined"
+)
+
+// ErrCorrupt marks a stored image whose bytes fail verification: a
+// truncated trailer, a checksum mismatch, an undecodable payload, or a
+// name that disagrees with its content. Callers distinguish it from a
+// plain cache miss (fs.ErrNotExist) to decide between quarantine-and-
+// rebuild and silent rebuild.
+var ErrCorrupt = errors.New("image: corrupt stored image")
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
@@ -79,21 +90,55 @@ func (s *Store) Load(name string) (*Image, error) {
 		return nil, fmt.Errorf("image: load %s: %w", name, err)
 	}
 	if len(raw) < 8 {
-		return nil, fmt.Errorf("image: load %s: file too short", name)
+		return nil, fmt.Errorf("%w: load %s: truncated trailer (%d bytes)", ErrCorrupt, name, len(raw))
 	}
 	data, trailer := raw[:len(raw)-8], raw[len(raw)-8:]
 	want := binary.LittleEndian.Uint64(trailer)
 	if got := crc64.Checksum(data, crcTable); got != want {
-		return nil, fmt.Errorf("image: load %s: checksum mismatch (corrupt image)", name)
+		return nil, fmt.Errorf("%w: load %s: checksum mismatch", ErrCorrupt, name)
 	}
 	img, err := Decode(data)
 	if err != nil {
-		return nil, fmt.Errorf("image: load %s: %w", name, err)
+		return nil, fmt.Errorf("%w: load %s: %v", ErrCorrupt, name, err)
 	}
 	if img.Name != name {
-		return nil, fmt.Errorf("image: load %s: image is for function %q", name, img.Name)
+		return nil, fmt.Errorf("%w: load %s: image is for function %q", ErrCorrupt, name, img.Name)
 	}
 	return img, nil
+}
+
+// Quarantine moves a (presumed corrupt) stored image aside instead of
+// deleting it, so the bad artifact stays available for inspection while
+// name-based lookup sees a miss and rebuilds. It returns the quarantined
+// file's path; a repeated quarantine of the same name overwrites the
+// previous bad copy.
+func (s *Store) Quarantine(name string) (string, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return "", err
+	}
+	q := filepath.Join(s.dir, name+quarantineExt)
+	if err := os.Rename(p, q); err != nil {
+		return "", fmt.Errorf("image: quarantine %s: %w", name, err)
+	}
+	return q, nil
+}
+
+// Quarantined returns the names of quarantined images, in directory
+// order.
+func (s *Store) Quarantined() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), quarantineExt) {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(e.Name(), quarantineExt))
+	}
+	return out, nil
 }
 
 // List returns the names of stored images, sorted by the filesystem's

@@ -1,10 +1,151 @@
 package image
 
 import (
+	"errors"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"testing"
 )
+
+// TestStoreCorruptionPaths tables every way stored bytes can go bad and
+// asserts each is surfaced as ErrCorrupt — the signal the platform uses
+// to quarantine-and-rebuild instead of silently rebuilding.
+func TestStoreCorruptionPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir, fn string) // mutate the stored file
+		load    string                             // name to load (defaults to fn)
+	}{
+		{
+			name: "truncated-trailer",
+			corrupt: func(t *testing.T, dir, fn string) {
+				p := filepath.Join(dir, fn+imageExt)
+				if err := os.WriteFile(p, []byte{0xCA, 0x7A}, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "flipped-payload-bit",
+			corrupt: func(t *testing.T, dir, fn string) {
+				p := filepath.Join(dir, fn+imageExt)
+				raw, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[len(raw)/2] ^= 0x01
+				if err := os.WriteFile(p, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "flipped-trailer-bit",
+			corrupt: func(t *testing.T, dir, fn string) {
+				p := filepath.Join(dir, fn+imageExt)
+				raw, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[len(raw)-1] ^= 0x80
+				if err := os.WriteFile(p, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "wrong-name",
+			corrupt: func(t *testing.T, dir, fn string) {
+				old := filepath.Join(dir, fn+imageExt)
+				if err := os.Rename(old, filepath.Join(dir, "imposter"+imageExt)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			load: "imposter",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img := buildImage(t, 150, 8)
+			if err := s.Save(img); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, dir, img.Name)
+			load := tc.load
+			if load == "" {
+				load = img.Name
+			}
+			_, err = s.Load(load)
+			if err == nil {
+				t.Fatal("corrupt image loaded successfully")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("corruption not typed ErrCorrupt: %v", err)
+			}
+			if errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("corruption also reads as a cache miss: %v", err)
+			}
+
+			// Quarantine moves the bad artifact aside: lookup now misses,
+			// the bytes stay inspectable, and List no longer names it.
+			q, err := s.Quarantine(load)
+			if err != nil {
+				t.Fatalf("quarantine: %v", err)
+			}
+			if _, err := os.Stat(q); err != nil {
+				t.Fatalf("quarantined artifact gone: %v", err)
+			}
+			if _, err := s.Load(load); !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("load after quarantine = %v, want fs.ErrNotExist", err)
+			}
+			names, err := s.List()
+			if err != nil || len(names) != 0 {
+				t.Fatalf("List after quarantine = %v, %v", names, err)
+			}
+			qn, err := s.Quarantined()
+			if err != nil || len(qn) != 1 || qn[0] != load {
+				t.Fatalf("Quarantined = %v, %v", qn, err)
+			}
+		})
+	}
+}
+
+func TestQuarantineMissingAndRepeat(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Quarantine("ghost"); err == nil {
+		t.Fatal("quarantining a missing image succeeded")
+	}
+	img := buildImage(t, 100, 4)
+	for i := 0; i < 2; i++ {
+		if err := s.Save(img); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Quarantine(img.Name); err != nil {
+			t.Fatalf("quarantine #%d: %v", i+1, err)
+		}
+	}
+	qn, err := s.Quarantined()
+	if err != nil || len(qn) != 1 {
+		t.Fatalf("repeat quarantine: Quarantined = %v, %v", qn, err)
+	}
+	// A fresh Save restores normal service alongside the quarantined copy.
+	if err := s.Save(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(img.Name); err != nil {
+		t.Fatalf("load after rebuild: %v", err)
+	}
+}
 
 func TestStoreSaveLoadRoundTrip(t *testing.T) {
 	s, err := NewStore(t.TempDir())

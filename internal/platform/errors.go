@@ -1,0 +1,67 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"catalyzer/internal/simtime"
+)
+
+// Typed platform errors. Callers (the daemon, the chaos harness) branch
+// on these with errors.Is / errors.As instead of matching message text.
+var (
+	// ErrNotRegistered: the function is unknown to this platform (never
+	// registered, or not a known workload at all).
+	ErrNotRegistered = errors.New("platform: function not registered")
+	// ErrNoImage: the boot strategy needs a func-image that has not been
+	// prepared (run PrepareImage).
+	ErrNoImage = errors.New("platform: no func-image (run PrepareImage)")
+	// ErrNoTemplate: fork boot needs a template sandbox that has not
+	// been prepared (run PrepareTemplate).
+	ErrNoTemplate = errors.New("platform: no template (run PrepareTemplate)")
+	// ErrUnknownSystem: the requested boot strategy does not exist.
+	ErrUnknownSystem = errors.New("platform: unknown system")
+)
+
+// isPrecondition reports whether err is a configuration miss rather than
+// a runtime fault: the stage cannot work until an artifact is prepared,
+// so retrying it is pointless and it must not count against its circuit
+// breaker.
+func isPrecondition(err error) bool {
+	return errors.Is(err, ErrNotRegistered) ||
+		errors.Is(err, ErrNoImage) ||
+		errors.Is(err, ErrNoTemplate) ||
+		errors.Is(err, ErrUnknownSystem)
+}
+
+// Attempt records one try in a recovery chain.
+type Attempt struct {
+	System  System
+	Err     error
+	Backoff simtime.Duration // virtual-time backoff charged after this try
+}
+
+// BootError is the typed error a recovered boot surfaces after the
+// whole fallback chain is exhausted: every stage either failed, was
+// skipped by an open circuit breaker, or was missing a precondition.
+type BootError struct {
+	Function  string
+	Requested System
+	Attempts  []Attempt
+	Skipped   []System // stages rejected by their breaker
+}
+
+// Error implements error.
+func (e *BootError) Error() string {
+	return fmt.Sprintf("platform: boot %s via %s: fallback chain exhausted after %d attempts (%d breaker-skipped): %v",
+		e.Function, e.Requested, len(e.Attempts), len(e.Skipped), e.Unwrap())
+}
+
+// Unwrap returns the last attempt's error, so errors.Is/As see through
+// the chain.
+func (e *BootError) Unwrap() error {
+	if len(e.Attempts) == 0 {
+		return nil
+	}
+	return e.Attempts[len(e.Attempts)-1].Err
+}

@@ -8,11 +8,13 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
-	"strings"
+	"io/fs"
 
 	"catalyzer/internal/core"
 	"catalyzer/internal/costmodel"
+	"catalyzer/internal/faults"
 	"catalyzer/internal/image"
 	"catalyzer/internal/sandbox"
 	"catalyzer/internal/simtime"
@@ -65,6 +67,10 @@ type Platform struct {
 
 	// store, when set, persists func-images across platform restarts.
 	store *image.Store
+
+	// rec is the failure-recovery state: fallback accounting, circuit
+	// breakers, template quarantine counters.
+	rec *recovery
 }
 
 // New creates a platform on a fresh machine.
@@ -77,6 +83,7 @@ func New(cost *costmodel.Model) *Platform {
 		Zygotes:   core.NewZygotePool(cat, 4),
 		funcs:     make(map[string]*Function),
 		buildCost: cost,
+		rec:       newRecovery(),
 	}
 }
 
@@ -109,7 +116,7 @@ func (p *Platform) Register(name string) (*Function, error) {
 	}
 	spec, err := workload.Registry(name)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrNotRegistered, err)
 	}
 	f := &Function{Spec: spec, FS: newRootFS(spec)}
 	p.funcs[name] = f
@@ -120,7 +127,7 @@ func (p *Platform) Register(name string) (*Function, error) {
 func (p *Platform) Lookup(name string) (*Function, error) {
 	f, ok := p.funcs[name]
 	if !ok {
-		return nil, fmt.Errorf("platform: function %q not registered", name)
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, name)
 	}
 	return f, nil
 }
@@ -136,10 +143,34 @@ func (p *Platform) PrepareImage(name string) (*Function, error) {
 		return f, nil
 	}
 	if p.store != nil {
-		if img, err := p.store.Load(name); err == nil {
+		img, err := p.store.Load(name)
+		if err == nil {
+			// Injection sites: the fetch itself (bytes never arrive) and
+			// decode (the bytes arrived corrupt).
+			if ferr := p.M.Faults.Check(faults.SiteImageLoad); ferr != nil {
+				err = ferr
+			} else if ferr := p.M.Faults.Check(faults.SiteImageDecode); ferr != nil {
+				err = fmt.Errorf("%w: %w", image.ErrCorrupt, ferr)
+			}
+		}
+		switch {
+		case err == nil:
 			f.Image = img
 			f.Cache = img.IOCache
 			return f, nil
+		case errors.Is(err, image.ErrCorrupt):
+			// A corrupt stored image is quarantined (moved aside for
+			// inspection), counted, and rebuilt — never silently reused,
+			// never silently discarded.
+			if _, qerr := p.store.Quarantine(name); qerr == nil {
+				p.rec.stats.ImagesQuarantined++
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			// Plain cache miss: build the image for the first time.
+		default:
+			// Fetch failure without evidence of on-disk corruption:
+			// rebuild, counted, but leave the stored file alone.
+			p.rec.stats.ImageLoadFaults++
 		}
 	}
 	scratch := sandbox.NewMachine(p.buildCost)
@@ -169,6 +200,25 @@ func (p *Platform) PrepareImage(name string) (*Function, error) {
 	return f, nil
 }
 
+// RefreshImage discards a function's in-memory func-image and re-runs
+// PrepareImage, re-exercising the store load path and its corruption
+// handling (quarantine-and-rebuild). The base memory mapping is closed —
+// it derives from the discarded image — while the template sandbox stays
+// untouched.
+func (p *Platform) RefreshImage(name string) (*Function, error) {
+	f, err := p.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	f.Image = nil
+	f.Cache = nil
+	if f.Mapping != nil {
+		f.Mapping.Close()
+		f.Mapping = nil
+	}
+	return p.PrepareImage(name)
+}
+
 // PrepareTrained derives the user-guided pre-initialization variant of a
 // function (§6.7): the given fraction of per-request preparation work is
 // warmed at training time and captured in the variant's func-image and
@@ -184,17 +234,13 @@ func (p *Platform) PrepareTrained(name string, fraction float64) (*Function, err
 		return nil, err
 	}
 	if _, ok := p.funcs[variant.Name]; !ok {
-		if err := workload.RegisterCustom(variant); err != nil && !isAlreadyRegistered(err) {
+		if err := workload.RegisterCustom(variant); err != nil && !errors.Is(err, workload.ErrAlreadyRegistered) {
 			return nil, err
 		}
 		f := &Function{Spec: variant, FS: newRootFS(variant)}
 		p.funcs[variant.Name] = f
 	}
 	return p.PrepareTemplate(variant.Name)
-}
-
-func isAlreadyRegistered(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "already registered")
 }
 
 // PrepareTemplate builds the function's template sandbox for fork boot
@@ -271,12 +317,12 @@ func (p *Platform) Boot(name string, sys System) (*Result, error) {
 		s, tl, err = sandbox.BootCold(m, f.Spec, f.FS, sandbox.GVisorOptions(m))
 	case GVisorRestore:
 		if f.Image == nil {
-			return nil, fmt.Errorf("platform: %s: no func-image (run PrepareImage)", name)
+			return nil, fmt.Errorf("%w: %s", ErrNoImage, name)
 		}
 		s, tl, err = sandbox.BootGVisorRestore(m, f.Image, f.FS, sandbox.GVisorOptions(m))
 	case CatalyzerRestore:
 		if f.Image == nil {
-			return nil, fmt.Errorf("platform: %s: no func-image (run PrepareImage)", name)
+			return nil, fmt.Errorf("%w: %s", ErrNoImage, name)
 		}
 		var mp *image.Mapping
 		s, mp, tl, err = p.Cat.BootRestore(f.Image, f.FS, nil, f.Mapping, f.Cache, core.AllFlags())
@@ -285,12 +331,19 @@ func (p *Platform) Boot(name string, sys System) (*Result, error) {
 		}
 	case CatalyzerZygote:
 		if f.Image == nil {
-			return nil, fmt.Errorf("platform: %s: no func-image (run PrepareImage)", name)
+			return nil, fmt.Errorf("%w: %s", ErrNoImage, name)
 		}
 		z := p.Zygotes.Take()
 		if z == nil {
 			// Cache miss: fall back to cold boot.
 			return p.Boot(name, CatalyzerRestore)
+		}
+		// Injection site: the cached Zygote is wedged. The wedged Zygote
+		// is discarded and the pool replenished off the critical path so
+		// the warm path can recover.
+		if ferr := p.M.Faults.Check(faults.SiteZygoteTake); ferr != nil {
+			p.Zygotes.Fill(4)
+			return nil, ferr
 		}
 		var mp *image.Mapping
 		s, mp, tl, err = p.Cat.BootRestore(f.Image, f.FS, z, f.Mapping, f.Cache, core.AllFlags())
@@ -300,13 +353,13 @@ func (p *Platform) Boot(name string, sys System) (*Result, error) {
 		}
 	case CatalyzerSfork:
 		if f.Tmpl == nil {
-			return nil, fmt.Errorf("platform: %s: no template (run PrepareTemplate)", name)
+			return nil, fmt.Errorf("%w: %s", ErrNoTemplate, name)
 		}
 		s, tl, err = f.Tmpl.Sfork()
 	case Replayable:
 		s, tl, err = p.bootReplayable(f)
 	default:
-		return nil, fmt.Errorf("platform: unknown system %q", sys)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSystem, sys)
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,314 @@
+package platform
+
+import (
+	"fmt"
+
+	"catalyzer/internal/faults"
+	"catalyzer/internal/simtime"
+)
+
+// RecoveryConfig tunes the platform's failure-recovery machinery: the
+// per-stage retry budget with virtual-time backoff, the per-function ×
+// per-stage circuit breakers, and template quarantine.
+type RecoveryConfig struct {
+	// MaxRetries is how many times a failed stage is retried (after its
+	// first attempt) before falling to the next stage.
+	MaxRetries int
+	// BackoffBase is the virtual-time backoff charged before the first
+	// retry; each further retry doubles it.
+	BackoffBase simtime.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// stage's circuit breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the virtual time an open breaker waits before
+	// half-opening to admit a probe.
+	BreakerCooldown simtime.Duration
+	// QuarantineThreshold is the consecutive sfork-failure count after
+	// which a function's template is quarantined and rebuilt.
+	QuarantineThreshold int
+}
+
+// DefaultRecoveryConfig returns the platform defaults: one retry with a
+// 200µs base backoff, breakers opening after 3 consecutive failures and
+// cooling down for 50ms of virtual time, and template quarantine after 3
+// consecutive sfork failures.
+func DefaultRecoveryConfig() RecoveryConfig {
+	return RecoveryConfig{
+		MaxRetries:          1,
+		BackoffBase:         200 * simtime.Microsecond,
+		BreakerThreshold:    3,
+		BreakerCooldown:     50 * simtime.Millisecond,
+		QuarantineThreshold: 3,
+	}
+}
+
+// FailureStats is the recovery section of the platform's accounting:
+// everything the failure machinery did on behalf of traffic.
+type FailureStats struct {
+	// BootFailures counts raw stage failures, by stage.
+	BootFailures map[System]int
+	// Fallbacks counts boots served by a stage other than the one
+	// requested, keyed by the stage that served.
+	Fallbacks map[System]int
+	// Retries counts same-stage retry attempts.
+	Retries int
+	// BackoffTotal is the virtual time spent backing off before retries.
+	BackoffTotal simtime.Duration
+	// BreakerTrips counts breaker open transitions; BreakerSkips counts
+	// chain stages skipped because their breaker was open.
+	BreakerTrips int
+	BreakerSkips int
+	// TemplatesQuarantined counts template quarantine-and-rebuild
+	// events; TemplateRebuildFailures counts rebuilds that themselves
+	// failed (leaving the function without a template).
+	TemplatesQuarantined    int
+	TemplateRebuildFailures int
+	// ImagesQuarantined counts corrupt stored func-images moved aside;
+	// ImageLoadFaults counts store fetches that failed without evidence
+	// of corruption (rebuilt, not quarantined).
+	ImagesQuarantined int
+	ImageLoadFaults   int
+	// Exhausted counts invocations whose whole fallback chain failed.
+	Exhausted int
+}
+
+func newFailureStats() FailureStats {
+	return FailureStats{
+		BootFailures: make(map[System]int),
+		Fallbacks:    make(map[System]int),
+	}
+}
+
+// clone deep-copies the stats for surfacing.
+func (s FailureStats) clone() FailureStats {
+	out := s
+	out.BootFailures = make(map[System]int, len(s.BootFailures))
+	for k, v := range s.BootFailures {
+		out.BootFailures[k] = v
+	}
+	out.Fallbacks = make(map[System]int, len(s.Fallbacks))
+	for k, v := range s.Fallbacks {
+		out.Fallbacks[k] = v
+	}
+	return out
+}
+
+// brKey identifies one circuit breaker: a function × boot-stage pair.
+type brKey struct {
+	fn  string
+	sys System
+}
+
+// recovery is the platform's failure-recovery state.
+type recovery struct {
+	cfg        RecoveryConfig
+	breakers   map[brKey]*faults.Breaker
+	sforkFails map[string]int // consecutive sfork failures per function
+	stats      FailureStats
+}
+
+func newRecovery() *recovery {
+	return &recovery{
+		cfg:        DefaultRecoveryConfig(),
+		breakers:   make(map[brKey]*faults.Breaker),
+		sforkFails: make(map[string]int),
+		stats:      newFailureStats(),
+	}
+}
+
+// breaker returns (lazily creating) the breaker guarding fn × sys.
+func (r *recovery) breaker(m interface{ Now() simtime.Duration }, fn string, sys System) *faults.Breaker {
+	k := brKey{fn, sys}
+	b, ok := r.breakers[k]
+	if !ok {
+		b = faults.NewBreaker(r.cfg.BreakerThreshold, r.cfg.BreakerCooldown, m.Now)
+		r.breakers[k] = b
+	}
+	return b
+}
+
+// SetRecoveryConfig replaces the recovery tuning. Existing breakers are
+// dropped (they would carry stale thresholds).
+func (p *Platform) SetRecoveryConfig(cfg RecoveryConfig) {
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BreakerThreshold < 1 {
+		cfg.BreakerThreshold = 1
+	}
+	if cfg.QuarantineThreshold < 1 {
+		cfg.QuarantineThreshold = 1
+	}
+	p.rec.cfg = cfg
+	p.rec.breakers = make(map[brKey]*faults.Breaker)
+}
+
+// RecoveryConfig returns the active recovery tuning.
+func (p *Platform) RecoveryConfig() RecoveryConfig { return p.rec.cfg }
+
+// FailureStats returns a copy of the recovery accounting.
+func (p *Platform) FailureStats() FailureStats { return p.rec.stats.clone() }
+
+// BreakerStates reports every instantiated breaker's state, keyed
+// "function/system".
+func (p *Platform) BreakerStates() map[string]string {
+	out := make(map[string]string, len(p.rec.breakers))
+	for k, b := range p.rec.breakers {
+		out[k.fn+"/"+string(k.sys)] = b.State().String()
+	}
+	return out
+}
+
+// fallbackChain orders the stages a requested strategy degrades through:
+// sfork → Zygote → Catalyzer-restore → gVisor cold. Baselines have no
+// fallback — they are themselves the last resort.
+func fallbackChain(sys System) []System {
+	switch sys {
+	case CatalyzerSfork:
+		return []System{CatalyzerSfork, CatalyzerZygote, CatalyzerRestore, GVisor}
+	case CatalyzerZygote:
+		return []System{CatalyzerZygote, CatalyzerRestore, GVisor}
+	case CatalyzerRestore:
+		return []System{CatalyzerRestore, GVisor}
+	default:
+		return []System{sys}
+	}
+}
+
+// BootRecover boots an instance through the failure-recovery machinery:
+// the requested stage is tried first (with per-stage retries and
+// virtual-time backoff), each failing stage degrades to the next stage
+// of the fallback chain, stages whose circuit breaker is open are
+// skipped, and repeated sfork failures quarantine and rebuild the
+// template. With nothing failing it performs exactly the work of Boot —
+// the happy path charges no extra virtual time.
+func (p *Platform) BootRecover(name string, sys System) (*Result, error) {
+	if _, err := p.Lookup(name); err != nil {
+		return nil, err
+	}
+	r := p.rec
+	be := &BootError{Function: name, Requested: sys}
+	for _, stage := range fallbackChain(sys) {
+		br := r.breaker(p.M, name, stage)
+		if !br.Allow() {
+			r.stats.BreakerSkips++
+			be.Skipped = append(be.Skipped, stage)
+			continue
+		}
+		for attempt := 0; ; attempt++ {
+			res, err := p.Boot(name, stage)
+			if err == nil {
+				br.Success()
+				if stage == CatalyzerSfork {
+					delete(r.sforkFails, name)
+				}
+				// res.System may differ from stage already (Zygote pool
+				// miss degrades to restore inside Boot).
+				if res.System != sys {
+					r.stats.Fallbacks[res.System]++
+				}
+				return res, nil
+			}
+			if isPrecondition(err) {
+				// Artifact missing: the stage cannot work until prepared.
+				// Skip it without charging its breaker.
+				be.Attempts = append(be.Attempts, Attempt{System: stage, Err: err})
+				break
+			}
+			trips := br.Trips()
+			br.Failure()
+			r.stats.BootFailures[stage]++
+			r.stats.BreakerTrips += br.Trips() - trips
+			if stage == CatalyzerSfork {
+				p.noteSforkFailure(name)
+			}
+			a := Attempt{System: stage, Err: err}
+			if attempt < r.cfg.MaxRetries && br.State() == faults.BreakerClosed {
+				a.Backoff = r.cfg.BackoffBase << attempt
+				p.M.Env.Charge(a.Backoff)
+				r.stats.Retries++
+				r.stats.BackoffTotal += a.Backoff
+				be.Attempts = append(be.Attempts, a)
+				continue
+			}
+			be.Attempts = append(be.Attempts, a)
+			break
+		}
+	}
+	r.stats.Exhausted++
+	return nil, be
+}
+
+// noteSforkFailure counts a consecutive sfork failure for the function;
+// at the quarantine threshold the template is presumed wedged, retired,
+// and rebuilt offline. A rebuild failure leaves the function without a
+// template (subsequent fork boots degrade via ErrNoTemplate until a
+// PrepareTemplate succeeds).
+func (p *Platform) noteSforkFailure(name string) {
+	r := p.rec
+	f, ok := p.funcs[name]
+	if !ok || f.Tmpl == nil {
+		return
+	}
+	r.sforkFails[name]++
+	if r.sforkFails[name] < r.cfg.QuarantineThreshold {
+		return
+	}
+	r.sforkFails[name] = 0
+	r.stats.TemplatesQuarantined++
+	if err := f.Tmpl.Refresh(); err != nil {
+		f.Tmpl.Retire()
+		f.Tmpl = nil
+		r.stats.TemplateRebuildFailures++
+	}
+}
+
+// InvokeRecover is Invoke through the recovery machinery: boot with
+// fallback, execute one request, release the instance.
+func (p *Platform) InvokeRecover(name string, sys System) (*Result, error) {
+	r, err := p.BootRecover(name, sys)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Sandbox.Release()
+	d, err := r.Sandbox.Execute()
+	if err != nil {
+		return nil, fmt.Errorf("platform: execute %s: %w", name, err)
+	}
+	r.ExecLatency = d
+	return r, nil
+}
+
+// InvokeKeepRecover boots with fallback and executes but keeps the
+// instance running, returning it in the result.
+func (p *Platform) InvokeKeepRecover(name string, sys System) (*Result, error) {
+	r, err := p.BootRecover(name, sys)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.Sandbox.Execute()
+	if err != nil {
+		r.Sandbox.Release()
+		return nil, fmt.Errorf("platform: execute %s: %w", name, err)
+	}
+	r.ExecLatency = d
+	return r, nil
+}
+
+// Close releases the platform's long-lived per-function artifacts: every
+// template sandbox is retired and every base memory mapping closed.
+// Deployed functions stay registered; re-preparing them rebuilds the
+// artifacts. After Close (and the release of any kept instances) the
+// machine reports zero live sandboxes.
+func (p *Platform) Close() {
+	for _, f := range p.funcs {
+		if f.Tmpl != nil {
+			f.Tmpl.Retire()
+			f.Tmpl = nil
+		}
+		if f.Mapping != nil {
+			f.Mapping.Close()
+			f.Mapping = nil
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"catalyzer/internal/costmodel"
+	"catalyzer/internal/faults"
 	"catalyzer/internal/host"
 	"catalyzer/internal/memory"
 	"catalyzer/internal/simenv"
@@ -29,6 +30,10 @@ type Machine struct {
 	KVM     *host.KVM
 	nextPID int
 	live    int
+
+	// Faults, when non-nil, is the machine's fault injector; boot paths
+	// consult it at each injection site. Nil (the default) is inert.
+	Faults *faults.Injector
 
 	// capacityPages bounds host physical memory; zero means unlimited.
 	capacityPages int

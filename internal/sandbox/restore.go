@@ -29,6 +29,11 @@ func BootGVisorRestore(m *Machine, img *image.Image, fs *vfs.FSServer, opts Opti
 	tl := simtime.NewTimeline(m.Env.Clock)
 	s := newShell(m, spec, opts, fs)
 	s.Restored = true
+	// Release the partial instance on any mid-boot failure.
+	fail := func(err error) (*Sandbox, *simtime.Timeline, error) {
+		s.Release()
+		return nil, nil, err
+	}
 
 	if opts.Management > 0 {
 		tl.Record(PhaseManagement, opts.Management)
@@ -38,7 +43,7 @@ func BootGVisorRestore(m *Machine, img *image.Image, fs *vfs.FSServer, opts Opti
 		cfgErr = ParseConfig(m, spec)
 	})
 	if cfgErr != nil {
-		return nil, nil, cfgErr
+		return fail(cfgErr)
 	}
 	tl.Measure(PhaseBootProcess, func() {
 		m.Env.Charge(m.Env.Cost.HostForkExec)
@@ -69,7 +74,7 @@ func BootGVisorRestore(m *Machine, img *image.Image, fs *vfs.FSServer, opts Opti
 		stepErr = mapAndLoadTask(s, opts)
 	})
 	if stepErr != nil {
-		return nil, nil, stepErr
+		return fail(stepErr)
 	}
 
 	// Restore path proper.
@@ -77,20 +82,20 @@ func BootGVisorRestore(m *Machine, img *image.Image, fs *vfs.FSServer, opts Opti
 		s.Kernel, stepErr = guest.RestoreBaseline(m.Env, img.Kernel)
 	})
 	if stepErr != nil {
-		return nil, nil, fmt.Errorf("sandbox: gvisor-restore: %w", stepErr)
+		return fail(fmt.Errorf("sandbox: gvisor-restore: %w", stepErr))
 	}
 	tl.Measure(PhaseLoadAppMemory, func() {
 		stepErr = loadAllAppMemory(s, img)
 	})
 	if stepErr != nil {
-		return nil, nil, stepErr
+		return fail(stepErr)
 	}
 	tl.Measure(PhaseReconnectIO, func() {
 		s.Kernel.Conns = vfs.RestoreEager(m.Env, img.Kernel.ConnRecords)
 		stepErr = s.AcquireLogGrant()
 	})
 	if stepErr != nil {
-		return nil, nil, stepErr
+		return fail(stepErr)
 	}
 	tl.Record(PhaseSendRPC, m.Env.Cost.RPCSend)
 	s.AtEntry = true

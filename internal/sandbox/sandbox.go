@@ -224,6 +224,12 @@ func BootCold(m *Machine, spec *workload.Spec, fs *vfs.FSServer, opts Options) (
 	}
 	tl := simtime.NewTimeline(m.Env.Clock)
 	s := newShell(m, spec, opts, fs)
+	// A boot that dies mid-way must not leak the partially-built
+	// instance: every error return releases the shell.
+	fail := func(err error) (*Sandbox, *simtime.Timeline, error) {
+		s.Release()
+		return nil, nil, err
+	}
 
 	if opts.Management > 0 {
 		tl.Record(PhaseManagement, opts.Management)
@@ -233,7 +239,7 @@ func BootCold(m *Machine, spec *workload.Spec, fs *vfs.FSServer, opts Options) (
 		cfgErr = ParseConfig(m, spec)
 	})
 	if cfgErr != nil {
-		return nil, nil, cfgErr
+		return fail(cfgErr)
 	}
 	tl.Measure(PhaseBootProcess, func() {
 		// The sandbox process and the I/O (Gofer) process, slowed by
@@ -268,20 +274,20 @@ func BootCold(m *Machine, spec *workload.Spec, fs *vfs.FSServer, opts Options) (
 		mountErr = s.mountRootFS(fs)
 	})
 	if mountErr != nil {
-		return nil, nil, mountErr
+		return fail(mountErr)
 	}
 	var bootErr error
 	tl.Measure(PhaseLoadTaskImage, func() {
 		bootErr = s.loadTaskImage(opts.Profile)
 	})
 	if bootErr != nil {
-		return nil, nil, bootErr
+		return fail(bootErr)
 	}
 	tl.Measure(PhaseAppInit, func() {
 		bootErr = s.runAppInit(opts.Profile)
 	})
 	if bootErr != nil {
-		return nil, nil, bootErr
+		return fail(bootErr)
 	}
 	tl.Record(PhaseSendRPC, m.Env.Cost.RPCSend)
 	s.AtEntry = true

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"catalyzer/internal/vfs"
@@ -130,6 +131,10 @@ func (s *Spec) Doc() *SpecDoc {
 	}
 }
 
+// ErrAlreadyRegistered is returned by RegisterCustom when the name is
+// taken; callers detect it with errors.Is.
+var ErrAlreadyRegistered = errors.New("workload: already registered")
+
 // RegisterCustom adds a user-defined spec to the registry. Built-in
 // workload names cannot be overridden.
 func RegisterCustom(s *Spec) error {
@@ -137,7 +142,7 @@ func RegisterCustom(s *Spec) error {
 		return err
 	}
 	if _, exists := registry[s.Name]; exists {
-		return fmt.Errorf("workload: %q already registered", s.Name)
+		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, s.Name)
 	}
 	c := *s
 	c.Conns = append([]ConnSpec(nil), s.Conns...)

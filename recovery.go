@@ -1,0 +1,221 @@
+package catalyzer
+
+import (
+	"fmt"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/faults"
+	"catalyzer/internal/image"
+	"catalyzer/internal/platform"
+	"catalyzer/internal/workload"
+)
+
+// Typed errors, re-exported so callers branch with errors.Is/As instead
+// of matching message text.
+var (
+	// ErrNotRegistered: the function is unknown (never deployed).
+	ErrNotRegistered = platform.ErrNotRegistered
+	// ErrNoImage: the boot strategy needs a func-image that has not been
+	// prepared.
+	ErrNoImage = platform.ErrNoImage
+	// ErrNoTemplate: fork boot needs a template sandbox that has not been
+	// prepared.
+	ErrNoTemplate = platform.ErrNoTemplate
+	// ErrUnknownSystem: the requested boot strategy does not exist.
+	ErrUnknownSystem = platform.ErrUnknownSystem
+	// ErrAlreadyRegistered: DeployCustom hit a name collision.
+	ErrAlreadyRegistered = workload.ErrAlreadyRegistered
+	// ErrCorruptImage: a stored func-image failed verification (it is
+	// quarantined and rebuilt automatically; the sentinel surfaces in
+	// wrapped causes).
+	ErrCorruptImage = image.ErrCorrupt
+)
+
+// BootError is the typed error Invoke returns when a whole fallback
+// chain is exhausted; errors.As(err, &be) recovers the per-stage
+// attempts.
+type BootError = platform.BootError
+
+// RecoveryConfig tunes the client's failure-recovery machinery; see
+// DefaultRecoveryConfig for the defaults.
+type RecoveryConfig = platform.RecoveryConfig
+
+// DefaultRecoveryConfig returns the recovery defaults: one retry with
+// 200µs base backoff, breakers opening after 3 consecutive failures with
+// a 50ms virtual-time cooldown, template quarantine after 3 consecutive
+// sfork failures.
+func DefaultRecoveryConfig() RecoveryConfig { return platform.DefaultRecoveryConfig() }
+
+// FaultSites lists the fault-injection site names accepted by ArmFault:
+// image-load, image-decode, base-ept-map, metadata-fixup, io-reconnect,
+// sfork, zygote-take.
+func FaultSites() []string {
+	sites := faults.Sites()
+	out := make([]string, len(sites))
+	for i, s := range sites {
+		out[i] = string(s)
+	}
+	return out
+}
+
+// WithFaultSeed installs a deterministic fault injector on the client's
+// machine. The seed fully determines the fault schedule: two clients
+// with the same seed, the same armings, and the same call sequence see
+// identical failures. Without this option ArmFault installs a seed-0
+// injector on first use.
+func WithFaultSeed(seed int64) Option {
+	return func(c *config) {
+		s := seed
+		c.faultSeed = &s
+	}
+}
+
+// NewClientWithStore creates a client whose func-images persist in an
+// on-disk store rooted at dir: Deploy loads an existing image instead of
+// re-running offline initialization, and saves freshly built images.
+// Corrupt stored images are quarantined (renamed aside for post-mortem)
+// and rebuilt, never silently reused.
+func NewClientWithStore(dir string, opts ...Option) (*Client, error) {
+	cfg := config{cost: costmodel.Default()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	store, err := image.NewStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{p: platform.NewWithStore(cfg.cost, store), stats: newStatsCollector()}
+	if cfg.faultSeed != nil {
+		c.p.M.Faults = faults.New(*cfg.faultSeed)
+	}
+	return c, nil
+}
+
+// ArmFault arms a fault-injection site with a failure probability in
+// [0, 1]; every pass through that boot phase then fails with the given
+// probability, drawn from the client's seeded schedule. Unknown site
+// names are rejected (see FaultSites).
+func (c *Client) ArmFault(site string, rate float64) error {
+	if !faults.ValidSite(faults.Site(site)) {
+		return fmt.Errorf("catalyzer: unknown fault site %q (known: %v)", site, FaultSites())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.p.M.Faults == nil {
+		c.p.M.Faults = faults.New(0)
+	}
+	c.p.M.Faults.Arm(faults.Site(site), rate)
+	return nil
+}
+
+// DisarmFaults disarms every fault site; injection counts are retained
+// for FailureStats.
+func (c *Client) DisarmFaults() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.p.M.Faults.DisarmAll()
+}
+
+// SetRecoveryConfig replaces the recovery tuning (retries, breakers,
+// quarantine thresholds). Existing breaker state is reset.
+func (c *Client) SetRecoveryConfig(cfg RecoveryConfig) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.p.SetRecoveryConfig(cfg)
+}
+
+// FaultCount reports one injection site's draw/injection totals.
+type FaultCount struct {
+	Checks   int
+	Injected int
+}
+
+// FailureStats is everything the failure machinery did on behalf of
+// traffic: raw stage failures, fallbacks, retries and their virtual-time
+// backoff, circuit-breaker activity, quarantines, and injected-fault
+// accounting.
+type FailureStats struct {
+	// BootFailures counts raw boot-stage failures, keyed by system name.
+	BootFailures map[string]int
+	// Fallbacks counts boots served by a stage other than the requested
+	// one, keyed by the stage that served.
+	Fallbacks map[string]int
+	// Retries counts same-stage retry attempts; BackoffTotal is the
+	// virtual time charged backing off before them.
+	Retries      int
+	BackoffTotal Duration
+	// BreakerTrips counts breaker open transitions; BreakerSkips counts
+	// chain stages skipped because their breaker was open.
+	BreakerTrips int
+	BreakerSkips int
+	// TemplatesQuarantined counts template quarantine-and-rebuild events;
+	// TemplateRebuildFailures counts rebuilds that themselves failed.
+	TemplatesQuarantined    int
+	TemplateRebuildFailures int
+	// ImagesQuarantined counts corrupt stored func-images moved aside;
+	// ImageLoadFaults counts store fetches that failed without evidence
+	// of corruption.
+	ImagesQuarantined int
+	ImageLoadFaults   int
+	// Exhausted counts invocations whose whole fallback chain failed.
+	Exhausted int
+	// Breakers reports every instantiated circuit breaker's state
+	// ("closed", "open", "half-open"), keyed "function/system".
+	Breakers map[string]string
+	// Faults reports per-site injection totals, keyed by site name.
+	Faults map[string]FaultCount
+}
+
+// FailureStats returns a snapshot of the client's failure-recovery
+// accounting.
+func (c *Client) FailureStats() FailureStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.p.FailureStats()
+	out := FailureStats{
+		BootFailures:            make(map[string]int, len(st.BootFailures)),
+		Fallbacks:               make(map[string]int, len(st.Fallbacks)),
+		Retries:                 st.Retries,
+		BackoffTotal:            st.BackoffTotal,
+		BreakerTrips:            st.BreakerTrips,
+		BreakerSkips:            st.BreakerSkips,
+		TemplatesQuarantined:    st.TemplatesQuarantined,
+		TemplateRebuildFailures: st.TemplateRebuildFailures,
+		ImagesQuarantined:       st.ImagesQuarantined,
+		ImageLoadFaults:         st.ImageLoadFaults,
+		Exhausted:               st.Exhausted,
+		Breakers:                c.p.BreakerStates(),
+		Faults:                  make(map[string]FaultCount),
+	}
+	for sys, n := range st.BootFailures {
+		out.BootFailures[string(sys)] = n
+	}
+	for sys, n := range st.Fallbacks {
+		out.Fallbacks[string(sys)] = n
+	}
+	for site, fc := range c.p.M.Faults.Counts() {
+		out.Faults[string(site)] = FaultCount{Checks: fc.Checks, Injected: fc.Injected}
+	}
+	return out
+}
+
+// Refresh discards a deployed function's in-memory func-image and
+// re-prepares it, re-exercising the store load path (including
+// quarantine-and-rebuild of corrupt stored images). The template sandbox
+// is untouched.
+func (c *Client) Refresh(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.p.RefreshImage(name)
+	return err
+}
+
+// Close releases the client's long-lived per-function artifacts (template
+// sandboxes, base memory mappings). Deployed functions stay registered;
+// re-deploying rebuilds the artifacts. After Close and the release of any
+// kept instances, Running reports zero.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.p.Close()
+}
