@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet chaos ci clean
+.PHONY: build test short race vet staticcheck stress chaos ci clean
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,24 @@ race:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional tooling; skip quietly where it isn't installed.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+# Concurrency hardening: the overload/stress/keep-warm suites twice each
+# under the race detector.
+stress:
+	$(GO) test -race -count=2 -run 'Overload|Stress|Concurrent|KeepWarm|Pressure' . ./internal/platform/ ./internal/admission/
+
 # Full seeded chaos run (500 invocations at 30% fault rates) on its own.
 chaos:
 	$(GO) test -run 'Chaos' -v .
 
-ci: vet race
+ci: vet staticcheck race
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@ package catalyzer
 // hot paths (serialization formats, pointer fixup, CoW faults, sfork).
 
 import (
+	"context"
 	"testing"
 
 	"catalyzer/internal/costmodel"
@@ -64,12 +65,12 @@ func BenchmarkFig16dDup(b *testing.B)          { runExperiment(b, "fig16d") }
 func benchBoot(b *testing.B, fn string, kind BootKind) {
 	b.Helper()
 	c := NewClient()
-	if err := c.Deploy(fn); err != nil {
+	if err := c.Deploy(context.Background(), fn); err != nil {
 		b.Fatal(err)
 	}
 	var last Duration
 	for i := 0; i < b.N; i++ {
-		inv, err := c.Invoke(fn, kind)
+		inv, err := c.Invoke(context.Background(), fn, kind)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,13 +160,13 @@ func BenchmarkRealEncodeRecords(b *testing.B) {
 // of a DeathStar-sized address space plus all bookkeeping).
 func BenchmarkRealSfork(b *testing.B) {
 	c := NewClient()
-	if err := c.Deploy("deathstar-text"); err != nil {
+	if err := c.Deploy(context.Background(), "deathstar-text"); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		inst, err := c.Start("deathstar-text", ForkBoot)
+		inst, err := c.Start(context.Background(), "deathstar-text", ForkBoot)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,10 +179,10 @@ func BenchmarkRealSfork(b *testing.B) {
 // BenchmarkRealCoWFault measures the memory subsystem's write-fault path.
 func BenchmarkRealCoWFault(b *testing.B) {
 	c := NewClient()
-	if err := c.Deploy("deathstar-composepost"); err != nil {
+	if err := c.Deploy(context.Background(), "deathstar-composepost"); err != nil {
 		b.Fatal(err)
 	}
-	inst, err := c.Start("deathstar-composepost", ForkBoot)
+	inst, err := c.Start(context.Background(), "deathstar-composepost", ForkBoot)
 	if err != nil {
 		b.Fatal(err)
 	}

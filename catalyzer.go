@@ -11,19 +11,35 @@
 // any boot strategy:
 //
 //	c := catalyzer.NewClient()
-//	if err := c.Deploy("java-specjbb"); err != nil { ... }
-//	inv, err := c.Invoke("java-specjbb", catalyzer.ForkBoot)
+//	if err := c.Deploy(ctx, "java-specjbb"); err != nil { ... }
+//	inv, err := c.Invoke(ctx, "java-specjbb", catalyzer.ForkBoot)
 //	fmt.Println(inv.BootLatency, inv.ExecLatency)
+//
+// Every serving method takes a context. The context bounds the whole
+// request — admission queueing, the failure-recovery boot chain (which
+// aborts between fallback stages), and execution — and expiry surfaces
+// as the typed ErrDeadlineExceeded / ErrCanceled.
+//
+// Clients are safe for concurrent use, and independent functions make
+// progress concurrently: registration, recovery accounting, and
+// per-function artifacts are guarded by fine-grained locks, while the
+// machine's virtual clock serializes only the simulated machine work
+// itself. Overload protection is configurable with WithAdmission
+// (concurrency caps + bounded queue shedding with ErrOverloaded) and
+// WithMemoryBudget (boots under memory pressure evict idle keep-warm
+// instances and retire idle templates LRU-first instead of failing).
 //
 // Latencies are deterministic virtual time derived from the work each
 // boot performs; see DESIGN.md for the calibration methodology.
 package catalyzer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"catalyzer/internal/admission"
 	"catalyzer/internal/costmodel"
 	"catalyzer/internal/faults"
 	"catalyzer/internal/platform"
@@ -79,12 +95,27 @@ var kindToSystem = map[BootKind]platform.System{
 	BaselineNative:        platform.Native,
 }
 
+// AdmissionConfig bounds how much work a client admits at once. Zero
+// values mean unlimited concurrency and no queue (immediate shedding at
+// capacity).
+type AdmissionConfig struct {
+	// MaxConcurrent caps in-flight invocations across all functions.
+	MaxConcurrent int
+	// MaxPerFunction caps in-flight invocations of any single function.
+	MaxPerFunction int
+	// QueueDepth bounds the FIFO wait queue; arrivals beyond it are shed
+	// immediately with ErrOverloaded.
+	QueueDepth int
+}
+
 // Option configures a Client.
 type Option func(*config)
 
 type config struct {
 	cost      *costmodel.Model
 	faultSeed *int64
+	adm       admission.Config
+	memPages  int
 }
 
 // WithServerMachine runs the client on the paper's 96-core server
@@ -98,13 +129,51 @@ func WithCostModel(m *costmodel.Model) Option {
 	return func(c *config) { c.cost = m }
 }
 
-// Client is a handle to one simulated serverless host. Methods are safe
-// for concurrent use: the simulated machine is single-threaded by design
-// (one virtual clock), so invocations serialize on an internal mutex.
+// WithAdmission bounds the client's admission: concurrency caps with a
+// bounded deadline-aware FIFO queue. Requests over capacity queue; a
+// full queue (or an expired wait) sheds them with the typed
+// ErrOverloaded / ErrDeadlineExceeded.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(c *config) {
+		c.adm = admission.Config{
+			MaxConcurrent:  cfg.MaxConcurrent,
+			MaxPerFunction: cfg.MaxPerFunction,
+			QueueDepth:     cfg.QueueDepth,
+		}
+	}
+}
+
+// WithMemoryBudget bounds the machine's physical memory in pages (0 =
+// unlimited). Boots that would exceed the budget reclaim idle memory —
+// keep-warm instances first, then idle templates LRU-first — before
+// failing with an out-of-memory error.
+func WithMemoryBudget(pages int) Option {
+	return func(c *config) { c.memPages = pages }
+}
+
+// Client is a handle to one simulated serverless host. It is safe for
+// concurrent use; independent functions make progress concurrently (the
+// machine's single virtual clock serializes only the simulated machine
+// work itself, under the platform's internal locks).
 type Client struct {
-	mu    sync.Mutex
 	p     *platform.Platform
 	stats *statsCollector
+	adm   *admission.Controller
+
+	// fnMu guards fnLocks; each function gets its own RWMutex so deploys
+	// and refreshes (artifact swaps, write-locked) exclude invocations
+	// (read-locked) of the same function without serializing the rest.
+	fnMu    sync.Mutex
+	fnLocks map[string]*sync.RWMutex
+}
+
+func newClient(cfg config) *Client {
+	c := &Client{
+		stats:   newStatsCollector(),
+		adm:     admission.New(cfg.adm),
+		fnLocks: make(map[string]*sync.RWMutex),
+	}
+	return c
 }
 
 // NewClient creates a client on a fresh machine.
@@ -113,21 +182,45 @@ func NewClient(opts ...Option) *Client {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	c := &Client{p: platform.New(cfg.cost), stats: newStatsCollector()}
+	c := newClient(cfg)
+	c.p = platform.New(cfg.cost)
 	if cfg.faultSeed != nil {
 		c.p.M.Faults = faults.New(*cfg.faultSeed)
 	}
+	if cfg.memPages > 0 {
+		c.p.SetMemoryBudget(cfg.memPages)
+	}
 	return c
+}
+
+// fnLock returns (lazily creating) the per-function lock for name.
+func (c *Client) fnLock(name string) *sync.RWMutex {
+	c.fnMu.Lock()
+	defer c.fnMu.Unlock()
+	l, ok := c.fnLocks[name]
+	if !ok {
+		l = &sync.RWMutex{}
+		c.fnLocks[name] = l
+	}
+	return l
 }
 
 // Functions lists the deployable workload names.
 func Functions() []string { return workload.Names() }
 
 // Deploy registers a function and prepares all of its offline artifacts
-// (func-image, I/O cache, template sandbox). Deploy is idempotent.
-func (c *Client) Deploy(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// (func-image, I/O cache, template sandbox). Deploy is idempotent and
+// honours ctx: an already-expired context fails fast with a typed error.
+func (c *Client) Deploy(ctx context.Context, name string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := admission.CtxErr(ctx); err != nil {
+		return err
+	}
+	l := c.fnLock(name)
+	l.Lock()
+	defer l.Unlock()
 	_, err := c.p.PrepareTemplate(name)
 	return err
 }
@@ -136,7 +229,7 @@ func (c *Client) Deploy(name string) error {
 // document (see internal/workload.SpecDoc for the format) and prepares
 // its offline artifacts. The name must not collide with a built-in
 // workload.
-func (c *Client) DeployCustom(doc []byte) (string, error) {
+func (c *Client) DeployCustom(ctx context.Context, doc []byte) (string, error) {
 	spec, err := workload.ParseSpec(doc)
 	if err != nil {
 		return "", err
@@ -144,7 +237,7 @@ func (c *Client) DeployCustom(doc []byte) (string, error) {
 	if err := workload.RegisterCustom(spec); err != nil {
 		return "", err
 	}
-	if err := c.Deploy(spec.Name); err != nil {
+	if err := c.Deploy(ctx, spec.Name); err != nil {
 		workload.Unregister(spec.Name)
 		return "", err
 	}
@@ -157,8 +250,9 @@ func (c *Client) DeployCustom(doc []byte) (string, error) {
 // variant's artifacts. It returns the variant's name
 // ("<name>@pretrained"), which Invoke accepts like any function.
 func (c *Client) Train(name string, fraction float64) (string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	l := c.fnLock(name)
+	l.Lock()
+	defer l.Unlock()
 	f, err := c.p.PrepareTrained(name, fraction)
 	if err != nil {
 		return "", err
@@ -172,6 +266,12 @@ type Invocation struct {
 	Kind        BootKind
 	BootLatency Duration
 	ExecLatency Duration
+	// Arrival is the virtual time at which the request entered service;
+	// Completion is Arrival + Total. Overlapping requests overlap in
+	// virtual time: two independent functions invoked concurrently share
+	// an arrival and complete at max (not sum) of their latencies.
+	Arrival    Duration
+	Completion Duration
 	// ServedBy is the boot strategy that actually served the request. It
 	// equals Kind unless the failure-recovery chain degraded the boot
 	// (e.g. a failing sfork served by a Zygote, or a Zygote-pool miss
@@ -195,28 +295,41 @@ type Phase struct {
 func (i *Invocation) Total() Duration { return i.BootLatency + i.ExecLatency }
 
 // Invoke boots an instance with the given strategy, executes one
-// request, and tears the instance down. Boots run through the
-// failure-recovery chain: a failing Catalyzer stage retries with
-// virtual-time backoff and then degrades (sfork → Zygote → restore →
-// gVisor cold); check Invocation.ServedBy for the strategy that actually
-// served. With nothing failing the chain adds no work.
-func (c *Client) Invoke(name string, kind BootKind) (*Invocation, error) {
+// request, and tears the instance down. The request first passes
+// admission (queueing or shedding under overload per WithAdmission),
+// then boots through the failure-recovery chain: a failing Catalyzer
+// stage retries with virtual-time backoff and then degrades (sfork →
+// Zygote → restore → gVisor cold); check Invocation.ServedBy for the
+// strategy that actually served. With nothing failing the chain adds no
+// work. ctx bounds the whole request; expiry surfaces as
+// ErrDeadlineExceeded (mid-chain aborts happen between fallback stages).
+func (c *Client) Invoke(ctx context.Context, name string, kind BootKind) (*Invocation, error) {
 	sys, ok := kindToSystem[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: boot kind %q", ErrUnknownSystem, kind)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, err := c.p.InvokeRecover(name, sys)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	release, err := c.adm.Acquire(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	inv := invocationOf(r, kind)
+	defer release()
+	l := c.fnLock(name)
+	l.RLock()
+	defer l.RUnlock()
+	arrival := c.p.Now()
+	r, err := c.p.InvokeRecover(ctx, name, sys)
+	if err != nil {
+		return nil, err
+	}
+	inv := invocationOf(r, kind, arrival)
 	c.stats.observe(inv.ServedBy, r.BootLatency)
 	return inv, nil
 }
 
-func invocationOf(r *platform.Result, kind BootKind) *Invocation {
+func invocationOf(r *platform.Result, kind BootKind, arrival Duration) *Invocation {
 	served, ok := systemToKind[r.System]
 	if !ok {
 		served = BootKind(r.System)
@@ -226,8 +339,10 @@ func invocationOf(r *platform.Result, kind BootKind) *Invocation {
 		Kind:        kind,
 		BootLatency: r.BootLatency,
 		ExecLatency: r.ExecLatency,
+		Arrival:     arrival,
 		ServedBy:    served,
 	}
+	inv.Completion = arrival + inv.Total()
 	for _, ph := range r.Phases {
 		inv.Phases = append(inv.Phases, Phase{Name: ph.Name, Duration: ph.Duration})
 	}
@@ -237,6 +352,7 @@ func invocationOf(r *platform.Result, kind BootKind) *Invocation {
 // Instance is a running function instance kept alive after its first
 // request (auto-scaling and memory studies).
 type Instance struct {
+	c   *Client
 	inv *Invocation
 	s   *sandbox.Sandbox
 }
@@ -245,33 +361,53 @@ type Instance struct {
 func (i *Instance) Invocation() *Invocation { return i.inv }
 
 // Execute serves another request on the running instance.
-func (i *Instance) Execute() (Duration, error) { return i.s.Execute() }
+func (i *Instance) Execute() (Duration, error) { return i.c.p.ExecuteSandbox(i.s) }
 
 // RSS returns the instance's resident set size in bytes.
-func (i *Instance) RSS() uint64 { return i.s.AS.RSS() }
+func (i *Instance) RSS() uint64 {
+	rss, _ := i.c.p.SandboxMem(i.s)
+	return rss
+}
 
 // PSS returns the instance's proportional set size in bytes.
-func (i *Instance) PSS() float64 { return i.s.AS.PSS() }
+func (i *Instance) PSS() float64 {
+	_, pss := i.c.p.SandboxMem(i.s)
+	return pss
+}
 
-// Release tears the instance down.
-func (i *Instance) Release() { i.s.Release() }
+// Release tears the instance down. Release is idempotent.
+func (i *Instance) Release() { i.c.p.ReleaseSandbox(i.s) }
 
 // Start boots an instance, serves one request, and keeps it running.
-// Like Invoke, boots run through the failure-recovery chain.
-func (c *Client) Start(name string, kind BootKind) (*Instance, error) {
+// Like Invoke, the request passes admission and boots through the
+// failure-recovery chain, bounded by ctx. The admission slot is released
+// when Start returns (the in-flight unit is the request, not the
+// instance's lifetime); the instance's memory is governed by
+// WithMemoryBudget.
+func (c *Client) Start(ctx context.Context, name string, kind BootKind) (*Instance, error) {
 	sys, ok := kindToSystem[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: boot kind %q", ErrUnknownSystem, kind)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, err := c.p.InvokeKeepRecover(name, sys)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	release, err := c.adm.Acquire(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	inv := invocationOf(r, kind)
+	defer release()
+	l := c.fnLock(name)
+	l.RLock()
+	defer l.RUnlock()
+	arrival := c.p.Now()
+	r, err := c.p.InvokeKeepRecover(ctx, name, sys)
+	if err != nil {
+		return nil, err
+	}
+	inv := invocationOf(r, kind, arrival)
 	c.stats.observe(inv.ServedBy, r.BootLatency)
-	return &Instance{inv: inv, s: r.Sandbox}, nil
+	return &Instance{c: c, inv: inv, s: r.Sandbox}, nil
 }
 
 // BurstReport summarizes how a burst of simultaneous requests drains.
@@ -286,15 +422,25 @@ type BurstReport struct {
 // Burst serves n simultaneous requests for a deployed function with the
 // given boot strategy on a machine with the given core count, reporting
 // how the burst drains (§6.6's auto-scaling scenario). Instances are
-// released afterwards.
-func (c *Client) Burst(name string, kind BootKind, n, cores int) (*BurstReport, error) {
+// released afterwards. The burst passes admission as one unit; ctx
+// bounds the whole burst and aborts the remainder on expiry.
+func (c *Client) Burst(ctx context.Context, name string, kind BootKind, n, cores int) (*BurstReport, error) {
 	sys, ok := kindToSystem[kind]
 	if !ok {
 		return nil, fmt.Errorf("catalyzer: unknown boot kind %q", kind)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, err := c.p.SimulateBurst(name, sys, n, cores)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	release, err := c.adm.Acquire(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	l := c.fnLock(name)
+	l.RLock()
+	defer l.RUnlock()
+	r, err := c.p.SimulateBurst(ctx, name, sys, n, cores)
 	if err != nil {
 		return nil, err
 	}
@@ -311,17 +457,65 @@ func (c *Client) Burst(name string, kind BootKind, n, cores int) (*BurstReport, 
 }
 
 // Running returns the number of live instances on the machine.
-func (c *Client) Running() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.p.M.Live()
-}
+func (c *Client) Running() int { return c.p.LiveInstances() }
 
 // Now returns the machine's virtual clock reading.
-func (c *Client) Now() Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.p.M.Now()
+func (c *Client) Now() Duration { return c.p.Now() }
+
+// OverloadStats is a snapshot of the client's admission accounting.
+type OverloadStats struct {
+	// Admitted counts requests granted a slot (immediately or after
+	// queueing); Shed counts requests rejected over capacity or during
+	// drain; Expired counts requests whose deadline passed before
+	// admission; Canceled counts requests canceled while queued.
+	Admitted int
+	Shed     int
+	Expired  int
+	Canceled int
+	// InFlight is the current number of admitted, unreleased requests;
+	// QueueDepth the current queue length; QueuePeak its high-water mark.
+	InFlight   int
+	QueueDepth int
+	QueuePeak  int
+	// PerFunction is the current in-flight gauge per function.
+	PerFunction map[string]int
+	// Draining reports whether the client has stopped admitting.
+	Draining bool
+}
+
+// OverloadStats returns a snapshot of the client's admission/overload
+// accounting.
+func (c *Client) OverloadStats() OverloadStats {
+	st := c.adm.Snapshot()
+	return OverloadStats{
+		Admitted:    st.Admitted,
+		Shed:        st.Shed,
+		Expired:     st.Expired,
+		Canceled:    st.Canceled,
+		InFlight:    st.InFlight,
+		QueueDepth:  st.QueueDepth,
+		QueuePeak:   st.QueuePeak,
+		PerFunction: st.PerFunction,
+		Draining:    st.Draining,
+	}
+}
+
+// BeginDrain stops admitting new work: subsequent invocations fail with
+// ErrDraining while queued and in-flight work proceeds.
+func (c *Client) BeginDrain() { c.adm.BeginDrain() }
+
+// Draining reports whether the client has stopped admitting.
+func (c *Client) Draining() bool { return c.adm.Draining() }
+
+// Drain stops admissions and waits for in-flight work and the admission
+// queue to finish. When ctx expires first, every still-queued request is
+// shed with ErrOverloaded and Drain returns the typed context error;
+// in-flight work is not interrupted (its own contexts govern that).
+func (c *Client) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return c.adm.Drain(ctx)
 }
 
 // Kinds returns every boot kind, Catalyzer paths first.

@@ -1,6 +1,7 @@
 package catalyzer
 
 import (
+	"context"
 	"testing"
 
 	"catalyzer/internal/simtime"
@@ -8,14 +9,14 @@ import (
 
 func TestDeployAndInvokeAllKinds(t *testing.T) {
 	c := NewClient()
-	if err := c.Deploy("c-hello"); err != nil {
+	if err := c.Deploy(context.Background(), "c-hello"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Deploy("c-hello"); err != nil { // idempotent
+	if err := c.Deploy(context.Background(), "c-hello"); err != nil { // idempotent
 		t.Fatal(err)
 	}
 	for _, kind := range Kinds() {
-		inv, err := c.Invoke("c-hello", kind)
+		inv, err := c.Invoke(context.Background(), "c-hello", kind)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -30,10 +31,10 @@ func TestDeployAndInvokeAllKinds(t *testing.T) {
 
 func TestForkBootSubMillisecond(t *testing.T) {
 	c := NewClient()
-	if err := c.Deploy("c-hello"); err != nil {
+	if err := c.Deploy(context.Background(), "c-hello"); err != nil {
 		t.Fatal(err)
 	}
-	inv, err := c.Invoke("c-hello", ForkBoot)
+	inv, err := c.Invoke(context.Background(), "c-hello", ForkBoot)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,32 +46,32 @@ func TestForkBootSubMillisecond(t *testing.T) {
 
 func TestInvokeErrors(t *testing.T) {
 	c := NewClient()
-	if _, err := c.Invoke("c-hello", ForkBoot); err == nil {
+	if _, err := c.Invoke(context.Background(), "c-hello", ForkBoot); err == nil {
 		t.Fatal("invoke before deploy succeeded")
 	}
-	if err := c.Deploy("no-such-function"); err == nil {
+	if err := c.Deploy(context.Background(), "no-such-function"); err == nil {
 		t.Fatal("deploy of unknown function succeeded")
 	}
-	if err := c.Deploy("c-hello"); err != nil {
+	if err := c.Deploy(context.Background(), "c-hello"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke("c-hello", BootKind("bogus")); err == nil {
+	if _, err := c.Invoke(context.Background(), "c-hello", BootKind("bogus")); err == nil {
 		t.Fatal("bogus boot kind accepted")
 	}
-	if _, err := c.Start("c-hello", BootKind("bogus")); err == nil {
+	if _, err := c.Start(context.Background(), "c-hello", BootKind("bogus")); err == nil {
 		t.Fatal("bogus boot kind accepted by Start")
 	}
 }
 
 func TestStartKeepsInstancesRunning(t *testing.T) {
 	c := NewClient()
-	if err := c.Deploy("deathstar-text"); err != nil {
+	if err := c.Deploy(context.Background(), "deathstar-text"); err != nil {
 		t.Fatal(err)
 	}
 	base := c.Running()
 	var instances []*Instance
 	for i := 0; i < 3; i++ {
-		inst, err := c.Start("deathstar-text", ForkBoot)
+		inst, err := c.Start(context.Background(), "deathstar-text", ForkBoot)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +105,7 @@ func TestStartKeepsInstancesRunning(t *testing.T) {
 
 func TestConcurrentInvocations(t *testing.T) {
 	c := NewClient()
-	if err := c.Deploy("c-hello"); err != nil {
+	if err := c.Deploy(context.Background(), "c-hello"); err != nil {
 		t.Fatal(err)
 	}
 	const goroutines = 8
@@ -112,7 +113,7 @@ func TestConcurrentInvocations(t *testing.T) {
 	for g := 0; g < goroutines; g++ {
 		go func() {
 			for i := 0; i < 5; i++ {
-				if _, err := c.Invoke("c-hello", ForkBoot); err != nil {
+				if _, err := c.Invoke(context.Background(), "c-hello", ForkBoot); err != nil {
 					errs <- err
 					return
 				}
@@ -133,10 +134,10 @@ func TestConcurrentInvocations(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() Duration {
 		c := NewClient()
-		if err := c.Deploy("python-django"); err != nil {
+		if err := c.Deploy(context.Background(), "python-django"); err != nil {
 			t.Fatal(err)
 		}
-		inv, err := c.Invoke("python-django", WarmBoot)
+		inv, err := c.Invoke(context.Background(), "python-django", WarmBoot)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,10 +150,10 @@ func TestDeterminism(t *testing.T) {
 
 func TestServerMachineOption(t *testing.T) {
 	c := NewClient(WithServerMachine())
-	if err := c.Deploy("java-specjbb"); err != nil {
+	if err := c.Deploy(context.Background(), "java-specjbb"); err != nil {
 		t.Fatal(err)
 	}
-	inv, err := c.Invoke("java-specjbb", WarmBoot)
+	inv, err := c.Invoke(context.Background(), "java-specjbb", WarmBoot)
 	if err != nil {
 		t.Fatal(err)
 	}

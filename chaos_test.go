@@ -1,6 +1,7 @@
 package catalyzer
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -29,7 +30,12 @@ func typedError(err error) bool {
 	return errors.Is(err, ErrNotRegistered) ||
 		errors.Is(err, ErrNoImage) ||
 		errors.Is(err, ErrNoTemplate) ||
-		errors.Is(err, ErrUnknownSystem)
+		errors.Is(err, ErrUnknownSystem) ||
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrDeadlineExceeded) ||
+		errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrOutOfMemory)
 }
 
 // runChaos drives n invocations across the three Catalyzer boot paths
@@ -50,7 +56,7 @@ func runChaos(t *testing.T, c *Client, n int) FailureStats {
 				t.Fatalf("iteration %d: refresh returned a non-typed error: %v", i, err)
 			}
 		}
-		inv, err := c.Invoke("c-hello", kinds[i%len(kinds)])
+		inv, err := c.Invoke(context.Background(), "c-hello", kinds[i%len(kinds)])
 		if err != nil {
 			if !typedError(err) {
 				t.Fatalf("iteration %d: non-typed error escaped Invoke: %v", i, err)
@@ -73,7 +79,7 @@ func TestChaosInvocations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Deploy("c-hello"); err != nil {
+	if err := c.Deploy(context.Background(), "c-hello"); err != nil {
 		t.Fatal(err)
 	}
 	st := runChaos(t, c, n)
@@ -111,7 +117,7 @@ func TestChaosInvocations(t *testing.T) {
 	// breaker converges back to closed.
 	c.DisarmFaults()
 	for i := 0; i < 30; i++ {
-		if _, err := c.Invoke("c-hello", []BootKind{ForkBoot, WarmBoot, ColdBoot}[i%3]); err != nil {
+		if _, err := c.Invoke(context.Background(), "c-hello", []BootKind{ForkBoot, WarmBoot, ColdBoot}[i%3]); err != nil {
 			t.Fatalf("post-recovery invoke %d: %v", i, err)
 		}
 	}
@@ -135,7 +141,7 @@ func TestChaosDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Deploy("c-hello"); err != nil {
+		if err := c.Deploy(context.Background(), "c-hello"); err != nil {
 			t.Fatal(err)
 		}
 		st := runChaos(t, c, 100)
@@ -164,11 +170,11 @@ func TestHappyPathUnchangedByRecoveryRouting(t *testing.T) {
 	// With no injector installed, Invoke (now routed through the recovery
 	// chain) must report the exact latencies of a direct platform invoke.
 	c := NewClient()
-	if err := c.Deploy("c-hello"); err != nil {
+	if err := c.Deploy(context.Background(), "c-hello"); err != nil {
 		t.Fatal(err)
 	}
 	for _, kind := range []BootKind{ForkBoot, WarmBoot, ColdBoot} {
-		inv, err := c.Invoke("c-hello", kind)
+		inv, err := c.Invoke(context.Background(), "c-hello", kind)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}

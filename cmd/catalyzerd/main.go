@@ -2,7 +2,7 @@
 // it accepts "invoke function" requests, boots sandboxes through the
 // configured strategy, and reports per-invocation latency breakdowns.
 //
-//	catalyzerd -addr :8080
+//	catalyzerd -addr :8080 -max-concurrent 64 -queue-depth 128
 //
 // Endpoints:
 //
@@ -10,23 +10,32 @@
 //	POST /invoke?fn=<workload>&boot=fork  serve one request (boot: cold|warm|fork|gvisor|...)
 //	GET  /functions                       list deployable workloads
 //	GET  /stats                           machine stats (live instances, virtual clock)
-//	GET  /metrics                         boot-latency distributions + failure-recovery counters
-//	GET  /health                          liveness/degradation probe
+//	GET  /metrics                         boot latencies + failure/overload counters
+//	GET  /health                          liveness/degradation/draining probe
 //
 // Errors map to statuses by type: an unknown function is 404, a bad
-// parameter (including an unknown boot kind) is 400, and a boot whose
-// whole fallback chain failed is 500.
+// parameter (including an unknown boot kind) is 400, a shed request is
+// 429 with a Retry-After hint, a request arriving during drain is 503,
+// an expired deadline is 504, a canceled request is 499, and a boot
+// whose whole fallback chain failed is 500. A request with the wrong
+// method gets 405 with an Allow header.
+//
+// Invocations honour an optional deadline_ms query parameter (and the
+// HTTP request context): the deadline bounds admission queueing and the
+// recovery boot chain, which aborts between fallback stages.
 //
 // GET /health returns 200 with {"status":"ok"} while every circuit
-// breaker is closed, and 503 with {"status":"degraded"} plus the list of
+// breaker is closed, 503 with {"status":"degraded"} plus the list of
 // open breakers when the failure-recovery machinery has a boot path shut
-// off. The body also carries live-instance and quarantine counts, so an
+// off, and 503 with {"status":"draining"} once shutdown has begun. The
+// body also carries live-instance and quarantine counts, so an
 // orchestrator can alert on template/image churn before requests fail.
 //
 // The daemon serves real HTTP over net/http; the sandboxes behind it run
 // on the simulated machine, so responses carry virtual-time latencies.
-// SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
-// drain and the client's long-lived artifacts are released.
+// SIGINT/SIGTERM shut the daemon down gracefully: admission stops
+// (health flips to draining), queued work finishes or is shed by the
+// drain deadline, and the client's long-lived artifacts are released.
 package main
 
 import (
@@ -39,11 +48,16 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"catalyzer"
 )
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) for a
+// request whose client went away before the response.
+const statusClientClosedRequest = 499
 
 // server exposes a Client over HTTP. The Client is internally
 // synchronized, so handlers need no additional locking.
@@ -53,17 +67,53 @@ type server struct {
 
 // statusOf maps a client error to an HTTP status by its type: unknown
 // functions are the caller's 404, unknown boot kinds the caller's 400,
-// and everything else — including an exhausted recovery chain — is the
-// server's 500.
+// shed requests 429, drain rejections 503, expired deadlines 504,
+// canceled requests 499, and everything else — including an exhausted
+// recovery chain — is the server's 500.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, catalyzer.ErrNotRegistered):
 		return http.StatusNotFound
 	case errors.Is(err, catalyzer.ErrUnknownSystem):
 		return http.StatusBadRequest
+	case errors.Is(err, catalyzer.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, catalyzer.ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, catalyzer.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, catalyzer.ErrCanceled):
+		return statusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// fail writes err with its mapped status; shed requests carry a
+// Retry-After hint so well-behaved clients back off.
+func fail(w http.ResponseWriter, err error) {
+	code := statusOf(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// requestCtx derives the invocation context from the HTTP request: the
+// request's own context (canceled when the client disconnects) bounded
+// by an optional deadline_ms query parameter.
+func requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	v := r.URL.Query().Get("deadline_ms")
+	if v == "" {
+		return ctx, func() {}, nil
+	}
+	ms, err := strconv.ParseFloat(v, 64)
+	if err != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("bad deadline_ms %q", v)
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(ms*float64(time.Millisecond)))
+	return ctx, cancel, nil
 }
 
 type invokeResponse struct {
@@ -82,8 +132,8 @@ func (s *server) deploy(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing fn parameter", http.StatusBadRequest)
 		return
 	}
-	if err := s.client.Deploy(fn); err != nil {
-		http.Error(w, err.Error(), statusOf(err))
+	if err := s.client.Deploy(r.Context(), fn); err != nil {
+		fail(w, err)
 		return
 	}
 	fmt.Fprintf(w, "deployed %s\n", fn)
@@ -99,9 +149,15 @@ func (s *server) invoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing fn parameter", http.StatusBadRequest)
 		return
 	}
-	inv, err := s.client.Invoke(fn, catalyzer.BootKind(boot))
+	ctx, cancel, err := requestCtx(r)
 	if err != nil {
-		http.Error(w, err.Error(), statusOf(err))
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	inv, err := s.client.Invoke(ctx, fn, catalyzer.BootKind(boot))
+	if err != nil {
+		fail(w, err)
 		return
 	}
 	resp := invokeResponse{
@@ -130,7 +186,7 @@ func (s *server) deployCustom(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	name, err := s.client.DeployCustom(doc)
+	name, err := s.client.DeployCustom(r.Context(), doc)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -179,6 +235,10 @@ type failureMetrics struct {
 	ImagesQuarantined       int                       `json:"images_quarantined"`
 	ImageLoadFaults         int                       `json:"image_load_faults"`
 	Exhausted               int                       `json:"exhausted"`
+	Aborted                 int                       `json:"aborted"`
+	MemoryReclaims          int                       `json:"memory_reclaims"`
+	KeepWarmEvictions       int                       `json:"keep_warm_evictions"`
+	TemplatesRetired        int                       `json:"templates_retired"`
 	InjectedFaults          map[string]map[string]int `json:"injected_faults,omitempty"`
 }
 
@@ -196,6 +256,10 @@ func failureMetricsOf(st catalyzer.FailureStats) failureMetrics {
 		ImagesQuarantined:       st.ImagesQuarantined,
 		ImageLoadFaults:         st.ImageLoadFaults,
 		Exhausted:               st.Exhausted,
+		Aborted:                 st.Aborted,
+		MemoryReclaims:          st.MemoryReclaims,
+		KeepWarmEvictions:       st.KeepWarmEvictions,
+		TemplatesRetired:        st.TemplatesRetired,
 	}
 	if len(st.Faults) > 0 {
 		fm.InjectedFaults = make(map[string]map[string]int, len(st.Faults))
@@ -204,6 +268,33 @@ func failureMetricsOf(st catalyzer.FailureStats) failureMetrics {
 		}
 	}
 	return fm
+}
+
+// overloadMetrics is the JSON form of the admission/overload counters.
+type overloadMetrics struct {
+	Admitted   int            `json:"admitted"`
+	Shed       int            `json:"shed"`
+	Expired    int            `json:"expired"`
+	Canceled   int            `json:"canceled"`
+	InFlight   int            `json:"in_flight"`
+	QueueDepth int            `json:"queue_depth"`
+	QueuePeak  int            `json:"queue_peak"`
+	PerFn      map[string]int `json:"in_flight_per_function"`
+	Draining   bool           `json:"draining"`
+}
+
+func overloadMetricsOf(st catalyzer.OverloadStats) overloadMetrics {
+	return overloadMetrics{
+		Admitted:   st.Admitted,
+		Shed:       st.Shed,
+		Expired:    st.Expired,
+		Canceled:   st.Canceled,
+		InFlight:   st.InFlight,
+		QueueDepth: st.QueueDepth,
+		QueuePeak:  st.QueuePeak,
+		PerFn:      st.PerFunction,
+		Draining:   st.Draining,
+	}
 }
 
 func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
@@ -228,12 +319,14 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"boots":    boots,
 		"failures": failureMetricsOf(s.client.FailureStats()),
+		"overload": overloadMetricsOf(s.client.OverloadStats()),
 	})
 }
 
-// health reports liveness and degradation: 200 while every circuit
-// breaker is closed, 503 with the open breakers listed once the recovery
-// machinery has shut a boot path off.
+// health reports liveness, degradation, and drain: 200 while every
+// circuit breaker is closed, 503 "degraded" with the open breakers
+// listed once the recovery machinery has shut a boot path off, and 503
+// "draining" once shutdown has begun.
 func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 	st := s.client.FailureStats()
 	var open []string
@@ -245,6 +338,9 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 	status, code := "ok", http.StatusOK
 	if len(open) > 0 {
 		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	if s.client.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -266,7 +362,8 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// Handler builds the HTTP mux (exported shape for tests).
+// Handler builds the HTTP mux (exported shape for tests). Method
+// patterns mean a wrong-method request gets 405 with an Allow header.
 func Handler(c *catalyzer.Client) http.Handler {
 	s := &server{client: c}
 	mux := http.NewServeMux()
@@ -285,15 +382,37 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	server := flag.Bool("server-machine", false, "use the 96-core server cost model")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	maxConcurrent := flag.Int("max-concurrent", 0, "global in-flight invocation cap (0 = unlimited)")
+	maxPerFunction := flag.Int("max-per-function", 0, "per-function in-flight invocation cap (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue depth; beyond it requests are shed with 429 (0 = shed at capacity)")
+	memoryBudget := flag.Int("memory-budget", 0, "machine memory budget in pages; boots under pressure evict idle instances (0 = unlimited)")
 	flag.Parse()
 
-	var opts []catalyzer.Option
+	opts := []catalyzer.Option{
+		catalyzer.WithAdmission(catalyzer.AdmissionConfig{
+			MaxConcurrent:  *maxConcurrent,
+			MaxPerFunction: *maxPerFunction,
+			QueueDepth:     *queueDepth,
+		}),
+	}
 	if *server {
 		opts = append(opts, catalyzer.WithServerMachine())
 	}
+	if *memoryBudget > 0 {
+		opts = append(opts, catalyzer.WithMemoryBudget(*memoryBudget))
+	}
 	c := catalyzer.NewClient(opts...)
 
-	srv := &http.Server{Addr: *addr, Handler: Handler(c)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: Handler(c),
+		// Slow-client protection: a peer that trickles headers or a body,
+		// or never reads its response, cannot pin a connection forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -309,12 +428,17 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests for the
-	// grace period, then release the client's long-lived artifacts.
-	log.Printf("catalyzerd shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	// Graceful drain: stop admitting (health flips to draining), give
+	// queued and in-flight work the grace period to finish (stragglers in
+	// the queue are shed), then stop the listener and release the
+	// client's long-lived artifacts.
+	log.Printf("catalyzerd draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
+	if err := c.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
 	c.Close()

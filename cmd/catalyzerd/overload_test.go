@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"catalyzer"
+)
+
+// overloadSection decodes /metrics' overload block.
+type overloadSection struct {
+	Admitted   int            `json:"admitted"`
+	Shed       int            `json:"shed"`
+	Expired    int            `json:"expired"`
+	Canceled   int            `json:"canceled"`
+	InFlight   int            `json:"in_flight"`
+	QueueDepth int            `json:"queue_depth"`
+	QueuePeak  int            `json:"queue_peak"`
+	PerFn      map[string]int `json:"in_flight_per_function"`
+	Draining   bool           `json:"draining"`
+}
+
+func getOverload(t *testing.T, url string) overloadSection {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Overload overloadSection `json:"overload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Overload
+}
+
+func TestWrongMethodIs405WithAllow(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/invoke?fn=c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /invoke = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Fatalf("Allow = %q, want POST", allow)
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/health", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /health = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestShedRequestGets429WithRetryAfter(t *testing.T) {
+	c := catalyzer.NewClient(catalyzer.WithAdmission(catalyzer.AdmissionConfig{
+		MaxConcurrent: 1,
+	}))
+	srv := httptest.NewServer(Handler(c))
+	t.Cleanup(srv.Close)
+	post(t, srv, "/deploy?fn=c-hello")
+
+	// Hold the only slot with a long-running Burst driven through the
+	// client (the daemon shares it), then invoke over HTTP.
+	burstErr := make(chan error, 1)
+	go func() {
+		_, err := c.Burst(nil, "c-hello", catalyzer.ForkBoot, 3000, 8)
+		burstErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.OverloadStats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("burst never entered flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := post(t, srv, "/invoke?fn=c-hello&boot=fork")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("invoke at capacity = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if err := <-burstErr; err != nil {
+		t.Fatalf("burst: %v", err)
+	}
+
+	ov := getOverload(t, srv.URL)
+	if ov.Shed < 1 {
+		t.Fatalf("overload metrics after shed: %+v", ov)
+	}
+	if ov.InFlight != 0 {
+		t.Fatalf("in-flight after completion: %+v", ov)
+	}
+}
+
+func TestDeadlineParameter(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv, "/deploy?fn=c-hello")
+
+	// A nanosecond deadline expires before admission: 504.
+	resp := post(t, srv, "/invoke?fn=c-hello&boot=fork&deadline_ms=0.000001")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline = %d, want 504", resp.StatusCode)
+	}
+	// A generous deadline serves normally.
+	resp2 := post(t, srv, "/invoke?fn=c-hello&boot=fork&deadline_ms=30000")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("generous deadline = %d, want 200", resp2.StatusCode)
+	}
+	// Malformed deadlines are the caller's 400.
+	for _, bad := range []string{"nope", "-5", "0"} {
+		resp := post(t, srv, "/invoke?fn=c-hello&boot=fork&deadline_ms="+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("deadline_ms=%s = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	ov := getOverload(t, srv.URL)
+	if ov.Expired < 1 {
+		t.Fatalf("overload metrics after expiry: %+v", ov)
+	}
+}
+
+func TestDrainFlipsHealthAndRejectsWork(t *testing.T) {
+	c := catalyzer.NewClient()
+	srv := httptest.NewServer(Handler(c))
+	t.Cleanup(srv.Close)
+	post(t, srv, "/deploy?fn=c-hello")
+	if resp := post(t, srv, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain invoke = %d", resp.StatusCode)
+	}
+
+	c.BeginDrain()
+
+	code, h := getHealth(t, srv.URL)
+	if code != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("draining health = %d %+v", code, h)
+	}
+	if resp := post(t, srv, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("invoke during drain = %d, want 503", resp.StatusCode)
+	}
+	ov := getOverload(t, srv.URL)
+	if !ov.Draining {
+		t.Fatalf("overload metrics not draining: %+v", ov)
+	}
+	// With nothing in flight the drain completes immediately.
+	if err := c.Drain(nil); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestOverloadMetricsGauges(t *testing.T) {
+	c := catalyzer.NewClient(catalyzer.WithAdmission(catalyzer.AdmissionConfig{
+		MaxConcurrent: 4, MaxPerFunction: 2, QueueDepth: 8,
+	}))
+	srv := httptest.NewServer(Handler(c))
+	t.Cleanup(srv.Close)
+	post(t, srv, "/deploy?fn=c-hello")
+	for i := 0; i < 3; i++ {
+		if resp := post(t, srv, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("invoke %d = %d", i, resp.StatusCode)
+		}
+	}
+	ov := getOverload(t, srv.URL)
+	if ov.Admitted < 3 || ov.InFlight != 0 || ov.QueueDepth != 0 {
+		t.Fatalf("overload metrics = %+v", ov)
+	}
+	if len(ov.PerFn) != 0 {
+		t.Fatalf("per-function gauge should be empty at rest: %+v", ov.PerFn)
+	}
+}

@@ -1,6 +1,7 @@
 package catalyzer_test
 
 import (
+	"context"
 	"fmt"
 
 	"catalyzer"
@@ -11,10 +12,10 @@ import (
 // output is stable.
 func Example() {
 	client := catalyzer.NewClient()
-	if err := client.Deploy("java-specjbb"); err != nil {
+	if err := client.Deploy(context.Background(), "java-specjbb"); err != nil {
 		panic(err)
 	}
-	inv, err := client.Invoke("java-specjbb", catalyzer.ForkBoot)
+	inv, err := client.Invoke(context.Background(), "java-specjbb", catalyzer.ForkBoot)
 	if err != nil {
 		panic(err)
 	}
@@ -26,13 +27,13 @@ func Example() {
 // Comparing boot strategies on the same function.
 func Example_bootKinds() {
 	client := catalyzer.NewClient()
-	if err := client.Deploy("c-hello"); err != nil {
+	if err := client.Deploy(context.Background(), "c-hello"); err != nil {
 		panic(err)
 	}
 	for _, kind := range []catalyzer.BootKind{
 		catalyzer.BaselineGVisor, catalyzer.ColdBoot, catalyzer.WarmBoot, catalyzer.ForkBoot,
 	} {
-		inv, err := client.Invoke("c-hello", kind)
+		inv, err := client.Invoke(context.Background(), "c-hello", kind)
 		if err != nil {
 			panic(err)
 		}
@@ -48,14 +49,14 @@ func Example_bootKinds() {
 // Keeping instances running and observing page sharing.
 func Example_instances() {
 	client := catalyzer.NewClient()
-	if err := client.Deploy("deathstar-text"); err != nil {
+	if err := client.Deploy(context.Background(), "deathstar-text"); err != nil {
 		panic(err)
 	}
-	a, err := client.Start("deathstar-text", catalyzer.ForkBoot)
+	a, err := client.Start(context.Background(), "deathstar-text", catalyzer.ForkBoot)
 	if err != nil {
 		panic(err)
 	}
-	b, err := client.Start("deathstar-text", catalyzer.ForkBoot)
+	b, err := client.Start(context.Background(), "deathstar-text", catalyzer.ForkBoot)
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ const thumbnailerSpec = `{
 
 func main() {
 	client := catalyzer.NewClient()
-	name, err := client.DeployCustom([]byte(thumbnailerSpec))
+	name, err := client.DeployCustom(context.Background(), []byte(thumbnailerSpec))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 		catalyzer.WarmBoot,
 		catalyzer.ForkBoot,
 	} {
-		inv, err := client.Invoke(name, kind)
+		inv, err := client.Invoke(context.Background(), name, kind)
 		if err != nil {
 			log.Fatal(err)
 		}

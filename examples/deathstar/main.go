@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ var composePostFlow = []string{
 func main() {
 	client := catalyzer.NewClient()
 	for _, fn := range composePostFlow {
-		if err := client.Deploy(fn); err != nil {
+		if err := client.Deploy(context.Background(), fn); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -39,7 +40,7 @@ func main() {
 	for _, kind := range []catalyzer.BootKind{catalyzer.BaselineGVisor, catalyzer.ColdBoot, catalyzer.ForkBoot} {
 		var boot, exec catalyzer.Duration
 		for _, fn := range composePostFlow {
-			inv, err := client.Invoke(fn, kind)
+			inv, err := client.Invoke(context.Background(), fn, kind)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -54,7 +55,7 @@ func main() {
 	// boot any number of instances from a single template", §2.3).
 	fmt.Println("\nburst: 200 simultaneous deathstar-composepost requests, 8 cores")
 	for _, kind := range []catalyzer.BootKind{catalyzer.BaselineGVisor, catalyzer.ForkBoot} {
-		rep, err := client.Burst("deathstar-composepost", kind, 200, 8)
+		rep, err := client.Burst(context.Background(), "deathstar-composepost", kind, 200, 8)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func main() {
 	// Memory: a kept fleet shares the template's pages.
 	instances := make([]*catalyzer.Instance, 0, 50)
 	for i := 0; i < 50; i++ {
-		inst, err := client.Start("deathstar-composepost", catalyzer.ForkBoot)
+		inst, err := client.Start(context.Background(), "deathstar-composepost", catalyzer.ForkBoot)
 		if err != nil {
 			log.Fatal(err)
 		}

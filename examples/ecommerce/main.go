@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ var services = []string{"ecom-purchase", "ecom-advertisement", "ecom-report", "e
 func main() {
 	client := catalyzer.NewClient(catalyzer.WithServerMachine())
 	for _, fn := range services {
-		if err := client.Deploy(fn); err != nil {
+		if err := client.Deploy(context.Background(), fn); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -28,7 +29,7 @@ func main() {
 	fmt.Printf("%-20s %-10s %12s %12s %10s\n", "service", "boot", "startup", "execution", "share")
 	for _, fn := range services {
 		for _, kind := range []catalyzer.BootKind{catalyzer.BaselineGVisor, catalyzer.ForkBoot} {
-			inv, err := client.Invoke(fn, kind)
+			inv, err := client.Invoke(context.Background(), fn, kind)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -41,17 +42,17 @@ func main() {
 	// User-guided pre-initialization (§6.7): moving the func-entry point
 	// past the report generator's in-function preparation logic shifts
 	// that work into the func-image.
-	if err := client.Deploy("java-specjbb"); err != nil {
+	if err := client.Deploy(context.Background(), "java-specjbb"); err != nil {
 		log.Fatal(err)
 	}
-	if err := client.Deploy("java-specjbb-late"); err != nil {
+	if err := client.Deploy(context.Background(), "java-specjbb-late"); err != nil {
 		log.Fatal(err)
 	}
-	early, err := client.Invoke("java-specjbb", catalyzer.ForkBoot)
+	early, err := client.Invoke(context.Background(), "java-specjbb", catalyzer.ForkBoot)
 	if err != nil {
 		log.Fatal(err)
 	}
-	late, err := client.Invoke("java-specjbb-late", catalyzer.ForkBoot)
+	late, err := client.Invoke(context.Background(), "java-specjbb-late", catalyzer.ForkBoot)
 	if err != nil {
 		log.Fatal(err)
 	}

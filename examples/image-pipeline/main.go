@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ var pipeline = []string{"pillow-enhancement", "pillow-filters", "pillow-transpos
 func main() {
 	client := catalyzer.NewClient()
 	for _, fn := range pipeline {
-		if err := client.Deploy(fn); err != nil {
+		if err := client.Deploy(context.Background(), fn); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -35,7 +36,7 @@ func main() {
 	} {
 		var boot, exec catalyzer.Duration
 		for _, fn := range pipeline {
-			inv, err := client.Invoke(fn, kind)
+			inv, err := client.Invoke(context.Background(), fn, kind)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -54,7 +55,7 @@ func main() {
 
 	// Warm path: a second request on an already-running stage pays no
 	// boot at all — only the image work.
-	inst, err := client.Start("pillow-filters", catalyzer.ForkBoot)
+	inst, err := client.Start(context.Background(), "pillow-filters", catalyzer.ForkBoot)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,7 @@ func main() {
 
 	const fn = "java-specjbb"
 	fmt.Printf("deploying %s (offline: func-image + template sandbox)...\n\n", fn)
-	if err := client.Deploy(fn); err != nil {
+	if err := client.Deploy(context.Background(), fn); err != nil {
 		log.Fatal(err)
 	}
 
@@ -31,7 +32,7 @@ func main() {
 	fmt.Printf("%-16s %12s %12s %12s\n", "boot", "startup", "execution", "end-to-end")
 	var baseline catalyzer.Duration
 	for _, kind := range kinds {
-		inv, err := client.Invoke(fn, kind)
+		inv, err := client.Invoke(context.Background(), fn, kind)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func main() {
 	}
 
 	// Phase breakdown of a fork boot: where does the ~1.5ms go?
-	inv, err := client.Invoke(fn, catalyzer.ForkBoot)
+	inv, err := client.Invoke(context.Background(), fn, catalyzer.ForkBoot)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,246 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnlimitedAdmitsEverything(t *testing.T) {
+	c := New(Config{})
+	var releases []func()
+	for i := 0; i < 100; i++ {
+		r, err := c.Acquire(context.Background(), "fn")
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, r)
+	}
+	st := c.Snapshot()
+	if st.InFlight != 100 || st.Admitted != 100 || st.PerFunction["fn"] != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if st := c.Snapshot(); st.InFlight != 0 || len(st.PerFunction) != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+func TestGlobalCapShedsWhenQueueFull(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2, QueueDepth: 0})
+	r1, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire(context.Background(), "c"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over capacity with no queue: %v", err)
+	}
+	if st := c.Snapshot(); st.Shed != 1 {
+		t.Fatalf("shed = %d", st.Shed)
+	}
+	r1()
+	r2()
+}
+
+func TestQueueGrantsFIFOOnRelease(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, QueueDepth: 4})
+	r1, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Stagger arrivals so the FIFO order is deterministic.
+			time.Sleep(time.Duration(i) * 20 * time.Millisecond)
+			r, err := c.Acquire(context.Background(), "a")
+			if err != nil {
+				t.Errorf("queued acquire %d: %v", i, err)
+				return
+			}
+			order <- i
+			time.Sleep(5 * time.Millisecond)
+			r()
+		}(i)
+	}
+	close(start)
+	time.Sleep(80 * time.Millisecond) // both queued behind r1
+	if st := c.Snapshot(); st.QueueDepth != 2 {
+		t.Fatalf("queue depth = %d, want 2", st.QueueDepth)
+	}
+	r1()
+	wg.Wait()
+	if first, second := <-order, <-order; first != 1 || second != 2 {
+		t.Fatalf("grant order = %d, %d; want FIFO 1, 2", first, second)
+	}
+	if st := c.Snapshot(); st.QueuePeak != 2 || st.Admitted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueuedRequestExpires(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, QueueDepth: 4})
+	r1, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Acquire(ctx, "a"); !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired queue wait: %v", err)
+	}
+	st := c.Snapshot()
+	if st.Expired != 1 || st.QueueDepth != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPreExpiredRequestRejectedImmediately(t *testing.T) {
+	c := New(Config{})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := c.Acquire(ctx, "a"); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("pre-expired: %v", err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := c.Acquire(ctx2, "a"); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled: %v", err)
+	}
+	st := c.Snapshot()
+	if st.Expired != 1 || st.Canceled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPerFunctionCapDoesNotBlockOtherFunctions(t *testing.T) {
+	c := New(Config{MaxPerFunction: 1, QueueDepth: 8})
+	ra, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second "a" queues on its per-function cap...
+	done := make(chan error, 1)
+	go func() {
+		r, err := c.Acquire(context.Background(), "a")
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// ...but "b" sails straight past it.
+	rb, err := c.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatalf("independent function blocked: %v", err)
+	}
+	rb()
+	ra()
+	if err := <-done; err != nil {
+		t.Fatalf("queued same-function acquire: %v", err)
+	}
+}
+
+func TestDrainRejectsNewAndShedsQueueByDeadline(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, QueueDepth: 4})
+	r1, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(context.Background(), "a")
+		queued <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	c.BeginDrain()
+	if !c.Draining() {
+		t.Fatal("not draining after BeginDrain")
+	}
+	if _, err := c.Acquire(context.Background(), "b"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("admission during drain: %v", err)
+	}
+
+	// The queued waiter never gets a slot (r1 is held), so the drain
+	// deadline sheds it.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := c.Drain(ctx); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("drain with held slot: %v", err)
+	}
+	if err := <-queued; !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued waiter after drain deadline: %v", err)
+	}
+
+	// Releasing the last slot completes the drain.
+	r1()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := c.Drain(ctx2); err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1})
+	r, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	r() // second call must not double-free the slot
+	if st := c.Snapshot(); st.InFlight != 0 {
+		t.Fatalf("in-flight = %d", st.InFlight)
+	}
+	if _, err := c.Acquire(context.Background(), "a"); err != nil {
+		t.Fatalf("acquire after idempotent release: %v", err)
+	}
+}
+
+// TestConcurrentHammer drives the controller from many goroutines under
+// -race: every outcome must be a grant (later released) or a typed error,
+// and the controller must end idle and balanced.
+func TestConcurrentHammer(t *testing.T) {
+	c := New(Config{MaxConcurrent: 4, MaxPerFunction: 2, QueueDepth: 8})
+	fns := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				r, err := c.Acquire(ctx, fns[(g+i)%len(fns)])
+				if err == nil {
+					r()
+				} else if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, ErrCanceled) {
+					t.Errorf("untyped error: %v", err)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.InFlight != 0 || st.QueueDepth != 0 {
+		t.Fatalf("unbalanced after hammer: %+v", st)
+	}
+	if st.Admitted+st.Shed+st.Expired+st.Canceled != 16*50 {
+		t.Fatalf("accounting mismatch: %+v", st)
+	}
+}

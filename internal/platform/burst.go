@@ -1,9 +1,11 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"catalyzer/internal/admission"
 	"catalyzer/internal/simtime"
 )
 
@@ -65,16 +67,21 @@ func (r *BurstReport) CompletionPercentile(p float64) simtime.Duration {
 
 // SimulateBurst serves n simultaneous requests for fn under sys on a
 // machine with the given core count. Instances are kept running for the
-// burst (they are concurrent) and released afterwards.
-func (p *Platform) SimulateBurst(fn string, sys System, n, cores int) (*BurstReport, error) {
+// burst (they are concurrent) and released afterwards. ctx bounds the
+// whole burst: it is consulted between requests, and expiry aborts the
+// remainder with a typed error (already-booted instances are released).
+func (p *Platform) SimulateBurst(ctx context.Context, fn string, sys System, n, cores int) (*BurstReport, error) {
 	if n <= 0 || cores <= 0 {
 		return nil, fmt.Errorf("platform: burst needs positive requests and cores")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	report := &BurstReport{System: sys, Function: fn, Cores: cores}
 	instances := make([]*Result, 0, n)
 	defer func() {
 		for _, r := range instances {
-			r.Sandbox.Release()
+			p.ReleaseSandbox(r.Sandbox)
 		}
 	}()
 
@@ -83,6 +90,9 @@ func (p *Platform) SimulateBurst(fn string, sys System, n, cores int) (*BurstRep
 	// after the work queued there before it.
 	coreBusy := make([]simtime.Duration, cores)
 	for i := 0; i < n; i++ {
+		if cerr := admission.CtxErr(ctx); cerr != nil {
+			return nil, fmt.Errorf("platform: burst %s aborted after %d/%d requests: %w", fn, i, n, cerr)
+		}
 		r, err := p.InvokeKeep(fn, sys)
 		if err != nil {
 			return nil, err

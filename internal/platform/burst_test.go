@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"testing"
 
 	"catalyzer/internal/costmodel"
@@ -9,7 +10,7 @@ import (
 
 func TestBurstForkBootAbsorbsScaleOut(t *testing.T) {
 	p := prepared(t, "deathstar-text")
-	fork, err := p.SimulateBurst("deathstar-text", CatalyzerSfork, 64, 8)
+	fork, err := p.SimulateBurst(context.Background(), "deathstar-text", CatalyzerSfork, 64, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +21,7 @@ func TestBurstForkBootAbsorbsScaleOut(t *testing.T) {
 	}
 
 	p2 := prepared(t, "deathstar-text")
-	gv, err := p2.SimulateBurst("deathstar-text", GVisor, 64, 8)
+	gv, err := p2.SimulateBurst(context.Background(), "deathstar-text", GVisor, 64, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,13 +51,13 @@ func TestBurstForkBootAbsorbsScaleOut(t *testing.T) {
 
 func TestBurstValidation(t *testing.T) {
 	p := New(costmodel.Default())
-	if _, err := p.SimulateBurst("c-hello", GVisor, 0, 8); err == nil {
+	if _, err := p.SimulateBurst(context.Background(), "c-hello", GVisor, 0, 8); err == nil {
 		t.Fatal("zero requests accepted")
 	}
-	if _, err := p.SimulateBurst("c-hello", GVisor, 4, 0); err == nil {
+	if _, err := p.SimulateBurst(context.Background(), "c-hello", GVisor, 4, 0); err == nil {
 		t.Fatal("zero cores accepted")
 	}
-	if _, err := p.SimulateBurst("unregistered", GVisor, 1, 1); err == nil {
+	if _, err := p.SimulateBurst(context.Background(), "unregistered", GVisor, 1, 1); err == nil {
 		t.Fatal("unregistered function accepted")
 	}
 	var empty BurstReport

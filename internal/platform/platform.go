@@ -5,12 +5,24 @@
 // requests through any of the evaluated boot strategies — the Docker,
 // Hyper Container, FireCracker, gVisor and gVisor-restore baselines, and
 // Catalyzer's cold (restore), warm (Zygote) and fork (sfork) boots.
+//
+// Concurrency model: the simulated machine has one virtual clock, so
+// machine work (boots, executions, releases — anything that charges
+// virtual time or touches frames/KVM state) serializes under the
+// platform's machine lock. Everything around it is fine-grained: the
+// function registry has its own RWMutex, the failure-recovery accounting
+// its own mutex, and virtual-time reads are atomic. Independent
+// functions therefore interleave their boots; each invocation's measured
+// latency is the virtual time its own work consumed, and overlapping
+// requests overlap in virtual time (Invocation.Arrival/Completion in the
+// public API).
 package platform
 
 import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"sync"
 
 	"catalyzer/internal/core"
 	"catalyzer/internal/costmodel"
@@ -51,6 +63,10 @@ type Function struct {
 	Mapping *image.Mapping
 	Cache   *vfs.IOCache
 	Tmpl    *core.Template
+
+	// tmplUse is the virtual time of the template's last sfork, for
+	// LRU-first retirement under memory pressure.
+	tmplUse simtime.Duration
 }
 
 // Platform is the per-machine gateway daemon.
@@ -58,7 +74,17 @@ type Platform struct {
 	M       *sandbox.Machine
 	Cat     *core.Catalyzer
 	Zygotes *core.ZygotePool
-	funcs   map[string]*Function
+
+	// mu is the machine lock: it serializes all machine work (boots,
+	// executions, releases, clock charges, frame-table and KVM
+	// mutations, per-function artifact swaps). Never acquire mu while
+	// holding recMu.
+	mu sync.Mutex
+
+	// fnsMu guards the funcs registry map (not the Function contents —
+	// those change only under mu).
+	fnsMu sync.RWMutex
+	funcs map[string]*Function
 
 	// buildCost is the cost model used for offline image building on a
 	// scratch machine, so offline boots never perturb the platform
@@ -69,8 +95,14 @@ type Platform struct {
 	store *image.Store
 
 	// rec is the failure-recovery state: fallback accounting, circuit
-	// breakers, template quarantine counters.
+	// breakers, template quarantine counters. Guarded by its own mutex
+	// (see recovery.go).
 	rec *recovery
+
+	// reclaimers free idle memory (keep-warm instances, ...) under
+	// pressure, consulted before failing a boot with ErrOutOfMemory.
+	reclaimMu  sync.Mutex
+	reclaimers []Reclaimer
 }
 
 // New creates a platform on a fresh machine.
@@ -96,6 +128,84 @@ func NewWithStore(cost *costmodel.Model, store *image.Store) *Platform {
 	return p
 }
 
+// Now returns the machine's virtual time. Clock reads are atomic; no
+// lock is needed.
+func (p *Platform) Now() simtime.Duration { return p.M.Now() }
+
+// LiveInstances returns the number of live sandboxes on the machine.
+func (p *Platform) LiveInstances() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.M.Live()
+}
+
+// LivePages returns the machine's resident page count.
+func (p *Platform) LivePages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.M.Frames.Live()
+}
+
+// SetMemoryBudget bounds the machine's physical memory in pages (0 =
+// unlimited). Boots that would exceed it trigger memory reclaim
+// (keep-warm eviction, idle-template retirement) before failing.
+func (p *Platform) SetMemoryBudget(pages int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.M.SetMemoryCapacity(pages)
+}
+
+// ExecuteSandbox serves one request on s under the machine lock,
+// returning the execution's virtual latency.
+func (p *Platform) ExecuteSandbox(s *sandbox.Sandbox) (simtime.Duration, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return s.Execute()
+}
+
+// ReleaseSandbox tears s down under the machine lock.
+func (p *Platform) ReleaseSandbox(s *sandbox.Sandbox) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.Release()
+}
+
+// SandboxMem reports s's RSS (bytes) and PSS (bytes) under the machine
+// lock.
+func (p *Platform) SandboxMem(s *sandbox.Sandbox) (rss uint64, pss float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return s.AS.RSS(), s.AS.PSS()
+}
+
+// ArmFault arms a fault-injection site on the machine (creating a seed-0
+// injector if none is installed).
+func (p *Platform) ArmFault(site faults.Site, rate float64) {
+	p.mu.Lock()
+	if p.M.Faults == nil {
+		p.M.Faults = faults.New(0)
+	}
+	inj := p.M.Faults
+	p.mu.Unlock()
+	inj.Arm(site, rate)
+}
+
+// DisarmFaults disarms every fault site; counts are retained.
+func (p *Platform) DisarmFaults() {
+	p.mu.Lock()
+	inj := p.M.Faults
+	p.mu.Unlock()
+	inj.DisarmAll()
+}
+
+// FaultCounts reports per-site injection totals.
+func (p *Platform) FaultCounts() map[faults.Site]faults.SiteCount {
+	p.mu.Lock()
+	inj := p.M.Faults
+	p.mu.Unlock()
+	return inj.Counts()
+}
+
 // newRootFS builds a function's root filesystem: the wrapper binary, the
 // runtime, and a log file eligible for read-write grants.
 func newRootFS(spec *workload.Spec) *vfs.FSServer {
@@ -111,6 +221,13 @@ func newRootFS(spec *workload.Spec) *vfs.FSServer {
 
 // Register adds a function by workload name.
 func (p *Platform) Register(name string) (*Function, error) {
+	p.fnsMu.Lock()
+	defer p.fnsMu.Unlock()
+	return p.registerLocked(name)
+}
+
+// registerLocked is Register with fnsMu already held.
+func (p *Platform) registerLocked(name string) (*Function, error) {
 	if f, ok := p.funcs[name]; ok {
 		return f, nil
 	}
@@ -125,11 +242,24 @@ func (p *Platform) Register(name string) (*Function, error) {
 
 // Lookup returns a registered function.
 func (p *Platform) Lookup(name string) (*Function, error) {
+	p.fnsMu.RLock()
+	defer p.fnsMu.RUnlock()
 	f, ok := p.funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, name)
 	}
 	return f, nil
+}
+
+// registeredFunctions snapshots the current function set.
+func (p *Platform) registeredFunctions() []*Function {
+	p.fnsMu.RLock()
+	defer p.fnsMu.RUnlock()
+	out := make([]*Function, 0, len(p.funcs))
+	for _, f := range p.funcs {
+		out = append(out, f)
+	}
+	return out
 }
 
 // PrepareImage builds the function's func-image offline (on a scratch
@@ -139,8 +269,17 @@ func (p *Platform) PrepareImage(name string) (*Function, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return f, p.prepareImage(f)
+}
+
+// prepareImage populates f's image and I/O cache (machine lock held —
+// the image swap must not race a concurrent boot of the same function).
+func (p *Platform) prepareImage(f *Function) error {
+	name := f.Spec.Name
 	if f.Image != nil {
-		return f, nil
+		return nil
 	}
 	if p.store != nil {
 		img, err := p.store.Load(name)
@@ -157,34 +296,34 @@ func (p *Platform) PrepareImage(name string) (*Function, error) {
 		case err == nil:
 			f.Image = img
 			f.Cache = img.IOCache
-			return f, nil
+			return nil
 		case errors.Is(err, image.ErrCorrupt):
 			// A corrupt stored image is quarantined (moved aside for
 			// inspection), counted, and rebuilt — never silently reused,
 			// never silently discarded.
 			if _, qerr := p.store.Quarantine(name); qerr == nil {
-				p.rec.stats.ImagesQuarantined++
+				p.rec.addStats(func(s *FailureStats) { s.ImagesQuarantined++ })
 			}
 		case errors.Is(err, fs.ErrNotExist):
 			// Plain cache miss: build the image for the first time.
 		default:
 			// Fetch failure without evidence of on-disk corruption:
 			// rebuild, counted, but leave the stored file alone.
-			p.rec.stats.ImageLoadFaults++
+			p.rec.addStats(func(s *FailureStats) { s.ImageLoadFaults++ })
 		}
 	}
 	scratch := sandbox.NewMachine(p.buildCost)
 	s, _, err := sandbox.BootCold(scratch, f.Spec, newRootFS(f.Spec), sandbox.GVisorOptions(scratch))
 	if err != nil {
-		return nil, fmt.Errorf("platform: offline init of %s: %w", name, err)
+		return fmt.Errorf("platform: offline init of %s: %w", name, err)
 	}
 	img, err := s.BuildImage()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Profile one execution to learn the deterministic I/O set.
 	if _, err := s.Execute(); err != nil {
-		return nil, err
+		return err
 	}
 	if s.Cache.Len() > 0 {
 		img.IOCache = s.Cache
@@ -194,10 +333,10 @@ func (p *Platform) PrepareImage(name string) (*Function, error) {
 	s.Release()
 	if p.store != nil {
 		if err := p.store.Save(img); err != nil {
-			return nil, fmt.Errorf("platform: persist image for %s: %w", name, err)
+			return fmt.Errorf("platform: persist image for %s: %w", name, err)
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // RefreshImage discards a function's in-memory func-image and re-runs
@@ -210,13 +349,15 @@ func (p *Platform) RefreshImage(name string) (*Function, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f.Image = nil
 	f.Cache = nil
 	if f.Mapping != nil {
 		f.Mapping.Close()
 		f.Mapping = nil
 	}
-	return p.PrepareImage(name)
+	return f, p.prepareImage(f)
 }
 
 // PrepareTrained derives the user-guided pre-initialization variant of a
@@ -233,21 +374,28 @@ func (p *Platform) PrepareTrained(name string, fraction float64) (*Function, err
 	if err != nil {
 		return nil, err
 	}
+	p.fnsMu.Lock()
 	if _, ok := p.funcs[variant.Name]; !ok {
 		if err := workload.RegisterCustom(variant); err != nil && !errors.Is(err, workload.ErrAlreadyRegistered) {
+			p.fnsMu.Unlock()
 			return nil, err
 		}
-		f := &Function{Spec: variant, FS: newRootFS(variant)}
-		p.funcs[variant.Name] = f
+		p.funcs[variant.Name] = &Function{Spec: variant, FS: newRootFS(variant)}
 	}
+	p.fnsMu.Unlock()
 	return p.PrepareTemplate(variant.Name)
 }
 
 // PrepareTemplate builds the function's template sandbox for fork boot
 // (offline).
 func (p *Platform) PrepareTemplate(name string) (*Function, error) {
-	f, err := p.PrepareImage(name)
+	f, err := p.Register(name)
 	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.prepareImage(f); err != nil {
 		return nil, err
 	}
 	if f.Tmpl != nil {
@@ -258,6 +406,7 @@ func (p *Platform) PrepareTemplate(name string) (*Function, error) {
 		return nil, err
 	}
 	f.Tmpl = tmpl
+	f.tmplUse = p.M.Now()
 	return f, nil
 }
 
@@ -275,8 +424,25 @@ type Result struct {
 func (r *Result) Total() simtime.Duration { return r.BootLatency + r.ExecLatency }
 
 // Boot starts an instance of a registered function under the given
-// system and leaves it running (the caller releases it).
+// system and leaves it running (the caller releases it). A boot that
+// does not fit the machine's memory budget triggers reclaim (keep-warm
+// eviction, idle-template retirement) and retries before failing.
 func (p *Platform) Boot(name string, sys System) (*Result, error) {
+	for round := 0; ; round++ {
+		p.mu.Lock()
+		r, err := p.boot(name, sys)
+		p.mu.Unlock()
+		if err == nil || round >= maxReclaimRounds || !errors.Is(err, sandbox.ErrOutOfMemory) {
+			return r, err
+		}
+		if p.reclaim(name) == 0 {
+			return r, err
+		}
+	}
+}
+
+// boot performs one boot attempt (machine lock held).
+func (p *Platform) boot(name string, sys System) (*Result, error) {
 	f, err := p.Lookup(name)
 	if err != nil {
 		return nil, err
@@ -336,7 +502,7 @@ func (p *Platform) Boot(name string, sys System) (*Result, error) {
 		z := p.Zygotes.Take()
 		if z == nil {
 			// Cache miss: fall back to cold boot.
-			return p.Boot(name, CatalyzerRestore)
+			return p.boot(name, CatalyzerRestore)
 		}
 		// Injection site: the cached Zygote is wedged. The wedged Zygote
 		// is discarded and the pool replenished off the critical path so
@@ -356,6 +522,9 @@ func (p *Platform) Boot(name string, sys System) (*Result, error) {
 			return nil, fmt.Errorf("%w: %s", ErrNoTemplate, name)
 		}
 		s, tl, err = f.Tmpl.Sfork()
+		if err == nil {
+			f.tmplUse = m.Now()
+		}
 	case Replayable:
 		s, tl, err = p.bootReplayable(f)
 	default:
@@ -379,8 +548,8 @@ func (p *Platform) Invoke(name string, sys System) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer r.Sandbox.Release()
-	d, err := r.Sandbox.Execute()
+	defer p.ReleaseSandbox(r.Sandbox)
+	d, err := p.ExecuteSandbox(r.Sandbox)
 	if err != nil {
 		return nil, err
 	}
@@ -395,9 +564,9 @@ func (p *Platform) InvokeKeep(name string, sys System) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := r.Sandbox.Execute()
+	d, err := p.ExecuteSandbox(r.Sandbox)
 	if err != nil {
-		r.Sandbox.Release()
+		p.ReleaseSandbox(r.Sandbox)
 		return nil, err
 	}
 	r.ExecLatency = d

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sync"
 
 	"catalyzer/internal/simtime"
 )
@@ -51,10 +52,13 @@ type fnStats struct {
 // Router is the boot-switching policy engine (§6.9): it picks cold, warm
 // or fork boot per invocation from priorities and recent frequency, and
 // lazily prepares the more expensive artifacts (templates) only for
-// functions that earn them.
+// functions that earn them. Safe for concurrent use; the mutex guards
+// only the frequency bookkeeping, never machine work.
 type Router struct {
-	p     *Platform
-	cfg   RouterConfig
+	p   *Platform
+	cfg RouterConfig
+
+	mu    sync.Mutex
 	stats map[string]*fnStats
 }
 
@@ -71,10 +75,13 @@ func (r *Router) SetPriority(name string, prio Priority) error {
 	if _, err := r.p.Register(name); err != nil {
 		return err
 	}
+	r.mu.Lock()
 	r.fn(name).priority = prio
+	r.mu.Unlock()
 	return nil
 }
 
+// fn returns (lazily creating) name's stats entry (r.mu held).
 func (r *Router) fn(name string) *fnStats {
 	st, ok := r.stats[name]
 	if !ok {
@@ -85,7 +92,7 @@ func (r *Router) fn(name string) *fnStats {
 }
 
 // frequency returns the number of invocations within the window ending
-// now.
+// now (r.mu held; the clock read is atomic and needs no machine lock).
 func (r *Router) frequency(st *fnStats) int {
 	now := r.p.M.Now()
 	cutoff := now - r.cfg.Window
@@ -104,9 +111,12 @@ func (r *Router) Route(name string) (System, error) {
 	if _, err := r.p.Register(name); err != nil {
 		return "", err
 	}
+	r.mu.Lock()
 	st := r.fn(name)
 	freq := r.frequency(st)
-	switch st.priority {
+	prio := st.priority
+	r.mu.Unlock()
+	switch prio {
 	case PriorityHigh:
 		return CatalyzerSfork, nil
 	case PriorityLow:
@@ -148,13 +158,17 @@ func (r *Router) Invoke(name string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
 	st := r.fn(name)
-	st.invocations = append(st.invocations, r.p.M.Now())
+	st.invocations = append(st.invocations, r.p.Now())
+	r.mu.Unlock()
 	return res, nil
 }
 
 // Frequency reports the function's current windowed invocation count.
 func (r *Router) Frequency(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	st, ok := r.stats[name]
 	if !ok {
 		return 0
@@ -188,9 +202,9 @@ func (c *Cluster) Size() int { return len(c.platforms) }
 
 // leastLoaded picks the machine with the fewest live instances.
 func (c *Cluster) leastLoaded() int {
-	best, bestLive := 0, c.platforms[0].M.Live()
+	best, bestLive := 0, c.platforms[0].LiveInstances()
 	for i := 1; i < len(c.platforms); i++ {
-		if l := c.platforms[i].M.Live(); l < bestLive {
+		if l := c.platforms[i].LiveInstances(); l < bestLive {
 			best, bestLive = i, l
 		}
 	}
@@ -224,7 +238,7 @@ func (c *Cluster) Start(name string, sys System) (*Result, int, error) {
 func (c *Cluster) Live() []int {
 	out := make([]int, len(c.platforms))
 	for i, p := range c.platforms {
-		out[i] = p.M.Live()
+		out[i] = p.LiveInstances()
 	}
 	return out
 }

@@ -1,0 +1,75 @@
+package platform
+
+// Memory-pressure handling: a boot that would exceed the machine's
+// memory budget does not fail outright. The platform first asks its
+// registered Reclaimers (the keep-warm cache registers itself) to evict
+// idle instances, then retires idle template sandboxes LRU-first, and
+// only re-fails the boot when a full reclaim round frees nothing.
+
+// maxReclaimRounds bounds how many evict-and-retry rounds one boot may
+// drive before its ErrOutOfMemory is surfaced.
+const maxReclaimRounds = 8
+
+// Reclaimer frees memory held by idle resources under pressure. Reclaim
+// returns how many resources it released; it must not call back into the
+// platform while holding its own locks in a way that could re-enter
+// reclaim (the keep-warm cache evicts outside its lock for this reason).
+type Reclaimer interface {
+	Reclaim(max int) int
+}
+
+// AddReclaimer registers a source of evictable idle memory, consulted
+// (in registration order) before a boot is failed with ErrOutOfMemory.
+func (p *Platform) AddReclaimer(r Reclaimer) {
+	p.reclaimMu.Lock()
+	defer p.reclaimMu.Unlock()
+	p.reclaimers = append(p.reclaimers, r)
+}
+
+// reclaim frees idle memory for a boot of the named function: keep-warm
+// instances first, then idle templates LRU-first (never the requesting
+// function's own template — the boot needs it). Returns the number of
+// resources released; zero means pressure cannot be relieved.
+func (p *Platform) reclaim(forFn string) int {
+	freed := 0
+	p.reclaimMu.Lock()
+	rs := append([]Reclaimer(nil), p.reclaimers...)
+	p.reclaimMu.Unlock()
+	for _, r := range rs {
+		freed += r.Reclaim(1)
+		if freed > 0 {
+			break
+		}
+	}
+	if freed == 0 {
+		freed = p.retireIdleTemplateLRU(forFn)
+	}
+	if freed > 0 {
+		p.rec.addStats(func(s *FailureStats) { s.MemoryReclaims++ })
+	}
+	return freed
+}
+
+// retireIdleTemplateLRU retires the least-recently-forked template
+// (skipping forFn's own) to free its resident pages. Returns 1 if a
+// template was retired, 0 if none were eligible.
+func (p *Platform) retireIdleTemplateLRU(forFn string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var victim *Function
+	for _, f := range p.registeredFunctions() {
+		if f.Spec.Name == forFn || f.Tmpl == nil {
+			continue
+		}
+		if victim == nil || f.tmplUse < victim.tmplUse {
+			victim = f
+		}
+	}
+	if victim == nil {
+		return 0
+	}
+	victim.Tmpl.Retire()
+	victim.Tmpl = nil
+	p.rec.addStats(func(s *FailureStats) { s.TemplatesRetired++ })
+	return 1
+}

@@ -1,0 +1,134 @@
+package platform
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"catalyzer/internal/costmodel"
+)
+
+// TestPressureEvictsKeepWarmBeforeFailing: a boot that does not fit the
+// memory budget evicts an idle keep-warm instance instead of failing.
+func TestPressureEvictsKeepWarmBeforeFailing(t *testing.T) {
+	p := New(costmodel.Default())
+	kw := NewKeepWarmCache(p, 4, GVisor)
+	defer kw.Release()
+
+	// Cache one idle gVisor instance; its private pages are the only
+	// reclaimable memory on the machine.
+	if _, _, err := kw.Invoke("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	if kw.Len() != 1 {
+		t.Fatalf("cache holds %d instances, want 1", kw.Len())
+	}
+
+	// Zero headroom: the next private boot cannot fit without reclaim.
+	p.SetMemoryBudget(p.LivePages())
+	r, err := p.Boot("c-hello", GVisor)
+	if err != nil {
+		t.Fatalf("boot under pressure: %v", err)
+	}
+	defer p.ReleaseSandbox(r.Sandbox)
+
+	if kw.Len() != 0 {
+		t.Fatalf("cache still holds %d instances; eviction expected", kw.Len())
+	}
+	st := p.FailureStats()
+	if st.KeepWarmEvictions < 1 || st.MemoryReclaims < 1 {
+		t.Fatalf("reclaim accounting: evictions=%d reclaims=%d, want >=1 each",
+			st.KeepWarmEvictions, st.MemoryReclaims)
+	}
+	if st.TemplatesRetired != 0 {
+		t.Fatalf("retired %d templates; keep-warm eviction should have sufficed",
+			st.TemplatesRetired)
+	}
+}
+
+// TestPressureRetiresIdleTemplatesLRUFirst: with no keep-warm instances
+// to evict, pressure retires the least-recently-forked template — never
+// the requesting function's own.
+func TestPressureRetiresIdleTemplatesLRUFirst(t *testing.T) {
+	p := New(costmodel.Default())
+	for _, fn := range []string{"java-specjbb", "c-hello"} {
+		if _, err := p.PrepareTemplate(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fork order stamps template LRU age: specjbb first (older), then
+	// c-hello. specjbb's resident template is the big reclaim target.
+	if _, err := p.Invoke("java-specjbb", CatalyzerSfork); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("c-hello", CatalyzerSfork); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register("python-hello"); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetMemoryBudget(p.LivePages())
+	r, err := p.Boot("python-hello", GVisor)
+	if err != nil {
+		t.Fatalf("boot under pressure: %v", err)
+	}
+	p.ReleaseSandbox(r.Sandbox)
+	p.SetMemoryBudget(0)
+
+	if st := p.FailureStats(); st.TemplatesRetired != 1 {
+		t.Fatalf("retired %d templates, want exactly the LRU one", st.TemplatesRetired)
+	}
+	// The newer template survived; the older one is gone.
+	if rr, err := p.Boot("c-hello", CatalyzerSfork); err != nil {
+		t.Fatalf("c-hello template should have survived: %v", err)
+	} else {
+		p.ReleaseSandbox(rr.Sandbox)
+	}
+	if _, err := p.Boot("java-specjbb", CatalyzerSfork); !errors.Is(err, ErrNoTemplate) {
+		t.Fatalf("java-specjbb sfork after retirement = %v, want ErrNoTemplate", err)
+	}
+}
+
+// TestKeepWarmCacheConcurrent is the -race regression for the cache:
+// concurrent invokes across functions racing with reclaim and stats
+// reads must neither corrupt the LRU nor leak instances.
+func TestKeepWarmCacheConcurrent(t *testing.T) {
+	p := New(costmodel.Default())
+	kw := NewKeepWarmCache(p, 2, GVisor)
+	fns := []string{"c-hello", "java-hello", "python-hello"}
+
+	const goroutines, iters = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fn := fns[(g+i)%len(fns)]
+				if _, _, err := kw.Invoke(fn); err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				if i%7 == 0 {
+					kw.Reclaim(1)
+				}
+				kw.Len()
+				kw.Counts()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits, misses := kw.Counts()
+	if hits+misses != goroutines*iters {
+		t.Fatalf("hits %d + misses %d != %d requests", hits, misses, goroutines*iters)
+	}
+	if n := kw.Len(); n > 2 {
+		t.Fatalf("cache over capacity at rest: %d idle", n)
+	}
+	kw.Release()
+	if n := p.LiveInstances(); n != 0 {
+		t.Fatalf("%d instances leaked after release", n)
+	}
+}

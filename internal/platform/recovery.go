@@ -1,8 +1,11 @@
 package platform
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
+	"catalyzer/internal/admission"
 	"catalyzer/internal/faults"
 	"catalyzer/internal/simtime"
 )
@@ -70,6 +73,16 @@ type FailureStats struct {
 	ImageLoadFaults   int
 	// Exhausted counts invocations whose whole fallback chain failed.
 	Exhausted int
+	// Aborted counts invocations whose fallback chain was cut short by
+	// the caller's context (deadline or cancellation) mid-chain.
+	Aborted int
+	// MemoryReclaims counts boots that relieved memory pressure by
+	// reclaiming instead of failing; KeepWarmEvictions and
+	// TemplatesRetired break down what was freed (keep-warm instances
+	// evicted, idle templates retired LRU-first).
+	MemoryReclaims    int
+	KeepWarmEvictions int
+	TemplatesRetired  int
 }
 
 func newFailureStats() FailureStats {
@@ -99,8 +112,14 @@ type brKey struct {
 	sys System
 }
 
-// recovery is the platform's failure-recovery state.
+// recovery is the platform's failure-recovery state, guarded by its own
+// mutex so breaker checks and failure accounting never contend with (or
+// deadlock against) the machine lock. Lock ordering: the machine lock
+// may be taken before mu (stats from boot paths), but mu must NEVER be
+// held while acquiring the machine lock — breakers read virtual time
+// through the atomic clock, so they never need it.
 type recovery struct {
+	mu         sync.Mutex
 	cfg        RecoveryConfig
 	breakers   map[brKey]*faults.Breaker
 	sforkFails map[string]int // consecutive sfork failures per function
@@ -116,7 +135,15 @@ func newRecovery() *recovery {
 	}
 }
 
-// breaker returns (lazily creating) the breaker guarding fn × sys.
+// addStats applies a mutation to the failure accounting under mu.
+func (r *recovery) addStats(f func(*FailureStats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// breaker returns (lazily creating) the breaker guarding fn × sys
+// (r.mu held).
 func (r *recovery) breaker(m interface{ Now() simtime.Duration }, fn string, sys System) *faults.Breaker {
 	k := brKey{fn, sys}
 	b, ok := r.breakers[k]
@@ -139,19 +166,31 @@ func (p *Platform) SetRecoveryConfig(cfg RecoveryConfig) {
 	if cfg.QuarantineThreshold < 1 {
 		cfg.QuarantineThreshold = 1
 	}
+	p.rec.mu.Lock()
+	defer p.rec.mu.Unlock()
 	p.rec.cfg = cfg
 	p.rec.breakers = make(map[brKey]*faults.Breaker)
 }
 
 // RecoveryConfig returns the active recovery tuning.
-func (p *Platform) RecoveryConfig() RecoveryConfig { return p.rec.cfg }
+func (p *Platform) RecoveryConfig() RecoveryConfig {
+	p.rec.mu.Lock()
+	defer p.rec.mu.Unlock()
+	return p.rec.cfg
+}
 
 // FailureStats returns a copy of the recovery accounting.
-func (p *Platform) FailureStats() FailureStats { return p.rec.stats.clone() }
+func (p *Platform) FailureStats() FailureStats {
+	p.rec.mu.Lock()
+	defer p.rec.mu.Unlock()
+	return p.rec.stats.clone()
+}
 
 // BreakerStates reports every instantiated breaker's state, keyed
 // "function/system".
 func (p *Platform) BreakerStates() map[string]string {
+	p.rec.mu.Lock()
+	defer p.rec.mu.Unlock()
 	out := make(map[string]string, len(p.rec.breakers))
 	for k, b := range p.rec.breakers {
 		out[k.fn+"/"+string(k.sys)] = b.State().String()
@@ -175,6 +214,23 @@ func fallbackChain(sys System) []System {
 	}
 }
 
+// chargeBackoff charges retry backoff as virtual time under the machine
+// lock (virtual time only advances while machine work is serialized).
+func (p *Platform) chargeBackoff(d simtime.Duration) {
+	p.mu.Lock()
+	p.M.Env.Charge(d)
+	p.mu.Unlock()
+}
+
+// abortChain wraps the caller's context error into a typed mid-chain
+// abort: errors.Is still sees ErrDeadlineExceeded / ErrCanceled (and the
+// underlying context error) through the wrap.
+func (p *Platform) abortChain(name string, sys System, attempts int, cerr error) error {
+	p.rec.addStats(func(s *FailureStats) { s.Aborted++ })
+	return fmt.Errorf("platform: boot %s via %s aborted mid-chain after %d attempts: %w",
+		name, sys, attempts, cerr)
+}
+
 // BootRecover boots an instance through the failure-recovery machinery:
 // the requested stage is tried first (with per-stage retries and
 // virtual-time backoff), each failing stage degrades to the next stage
@@ -182,22 +238,40 @@ func fallbackChain(sys System) []System {
 // skipped, and repeated sfork failures quarantine and rebuild the
 // template. With nothing failing it performs exactly the work of Boot —
 // the happy path charges no extra virtual time.
-func (p *Platform) BootRecover(name string, sys System) (*Result, error) {
+//
+// ctx bounds the whole chain: it is consulted before each stage and
+// before each retry, and an expired or canceled context aborts the chain
+// with a typed error (admission.ErrDeadlineExceeded / ErrCanceled). A
+// boot already in flight is never interrupted mid-stage — the abort
+// points sit between stages, where no instance is half-built.
+func (p *Platform) BootRecover(ctx context.Context, name string, sys System) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if _, err := p.Lookup(name); err != nil {
 		return nil, err
 	}
 	r := p.rec
 	be := &BootError{Function: name, Requested: sys}
+	attempts := 0
 	for _, stage := range fallbackChain(sys) {
+		if cerr := admission.CtxErr(ctx); cerr != nil {
+			return nil, p.abortChain(name, sys, attempts, cerr)
+		}
+		r.mu.Lock()
 		br := r.breaker(p.M, name, stage)
 		if !br.Allow() {
 			r.stats.BreakerSkips++
+			r.mu.Unlock()
 			be.Skipped = append(be.Skipped, stage)
 			continue
 		}
+		r.mu.Unlock()
 		for attempt := 0; ; attempt++ {
 			res, err := p.Boot(name, stage)
+			attempts++
 			if err == nil {
+				r.mu.Lock()
 				br.Success()
 				if stage == CatalyzerSfork {
 					delete(r.sforkFails, name)
@@ -207,6 +281,7 @@ func (p *Platform) BootRecover(name string, sys System) (*Result, error) {
 				if res.System != sys {
 					r.stats.Fallbacks[res.System]++
 				}
+				r.mu.Unlock()
 				return res, nil
 			}
 			if isPrecondition(err) {
@@ -215,19 +290,29 @@ func (p *Platform) BootRecover(name string, sys System) (*Result, error) {
 				be.Attempts = append(be.Attempts, Attempt{System: stage, Err: err})
 				break
 			}
+			r.mu.Lock()
 			trips := br.Trips()
 			br.Failure()
 			r.stats.BootFailures[stage]++
 			r.stats.BreakerTrips += br.Trips() - trips
+			mayRetry := attempt < r.cfg.MaxRetries && br.State() == faults.BreakerClosed
+			backoff := r.cfg.BackoffBase << attempt
+			r.mu.Unlock()
 			if stage == CatalyzerSfork {
 				p.noteSforkFailure(name)
 			}
 			a := Attempt{System: stage, Err: err}
-			if attempt < r.cfg.MaxRetries && br.State() == faults.BreakerClosed {
-				a.Backoff = r.cfg.BackoffBase << attempt
-				p.M.Env.Charge(a.Backoff)
-				r.stats.Retries++
-				r.stats.BackoffTotal += a.Backoff
+			if mayRetry {
+				if cerr := admission.CtxErr(ctx); cerr != nil {
+					be.Attempts = append(be.Attempts, a)
+					return nil, p.abortChain(name, sys, attempts, cerr)
+				}
+				a.Backoff = backoff
+				p.chargeBackoff(backoff)
+				r.addStats(func(s *FailureStats) {
+					s.Retries++
+					s.BackoffTotal += backoff
+				})
 				be.Attempts = append(be.Attempts, a)
 				continue
 			}
@@ -235,7 +320,7 @@ func (p *Platform) BootRecover(name string, sys System) (*Result, error) {
 			break
 		}
 	}
-	r.stats.Exhausted++
+	r.addStats(func(s *FailureStats) { s.Exhausted++ })
 	return nil, be
 }
 
@@ -245,33 +330,55 @@ func (p *Platform) BootRecover(name string, sys System) (*Result, error) {
 // template (subsequent fork boots degrade via ErrNoTemplate until a
 // PrepareTemplate succeeds).
 func (p *Platform) noteSforkFailure(name string) {
-	r := p.rec
-	f, ok := p.funcs[name]
-	if !ok || f.Tmpl == nil {
+	f, err := p.Lookup(name)
+	if err != nil {
 		return
 	}
+	r := p.rec
+	r.mu.Lock()
 	r.sforkFails[name]++
 	if r.sforkFails[name] < r.cfg.QuarantineThreshold {
+		r.mu.Unlock()
 		return
 	}
 	r.sforkFails[name] = 0
-	r.stats.TemplatesQuarantined++
+	r.mu.Unlock()
+	// Quarantine and rebuild under the machine lock (template work is
+	// machine work); stats afterwards under the recovery mutex.
+	p.mu.Lock()
+	if f.Tmpl == nil {
+		p.mu.Unlock()
+		return
+	}
+	rebuildFailed := false
 	if err := f.Tmpl.Refresh(); err != nil {
 		f.Tmpl.Retire()
 		f.Tmpl = nil
-		r.stats.TemplateRebuildFailures++
+		rebuildFailed = true
+	} else {
+		f.tmplUse = p.M.Now()
 	}
+	p.mu.Unlock()
+	r.addStats(func(s *FailureStats) {
+		s.TemplatesQuarantined++
+		if rebuildFailed {
+			s.TemplateRebuildFailures++
+		}
+	})
 }
 
 // InvokeRecover is Invoke through the recovery machinery: boot with
-// fallback, execute one request, release the instance.
-func (p *Platform) InvokeRecover(name string, sys System) (*Result, error) {
-	r, err := p.BootRecover(name, sys)
+// fallback (bounded by ctx), execute one request, release the instance.
+func (p *Platform) InvokeRecover(ctx context.Context, name string, sys System) (*Result, error) {
+	r, err := p.BootRecover(ctx, name, sys)
 	if err != nil {
 		return nil, err
 	}
-	defer r.Sandbox.Release()
-	d, err := r.Sandbox.Execute()
+	defer p.ReleaseSandbox(r.Sandbox)
+	if cerr := admission.CtxErr(ctx); cerr != nil {
+		return nil, p.abortChain(name, sys, 1, cerr)
+	}
+	d, err := p.ExecuteSandbox(r.Sandbox)
 	if err != nil {
 		return nil, fmt.Errorf("platform: execute %s: %w", name, err)
 	}
@@ -279,16 +386,20 @@ func (p *Platform) InvokeRecover(name string, sys System) (*Result, error) {
 	return r, nil
 }
 
-// InvokeKeepRecover boots with fallback and executes but keeps the
-// instance running, returning it in the result.
-func (p *Platform) InvokeKeepRecover(name string, sys System) (*Result, error) {
-	r, err := p.BootRecover(name, sys)
+// InvokeKeepRecover boots with fallback (bounded by ctx) and executes
+// but keeps the instance running, returning it in the result.
+func (p *Platform) InvokeKeepRecover(ctx context.Context, name string, sys System) (*Result, error) {
+	r, err := p.BootRecover(ctx, name, sys)
 	if err != nil {
 		return nil, err
 	}
-	d, err := r.Sandbox.Execute()
+	if cerr := admission.CtxErr(ctx); cerr != nil {
+		p.ReleaseSandbox(r.Sandbox)
+		return nil, p.abortChain(name, sys, 1, cerr)
+	}
+	d, err := p.ExecuteSandbox(r.Sandbox)
 	if err != nil {
-		r.Sandbox.Release()
+		p.ReleaseSandbox(r.Sandbox)
 		return nil, fmt.Errorf("platform: execute %s: %w", name, err)
 	}
 	r.ExecLatency = d
@@ -301,7 +412,9 @@ func (p *Platform) InvokeKeepRecover(name string, sys System) (*Result, error) {
 // artifacts. After Close (and the release of any kept instances) the
 // machine reports zero live sandboxes.
 func (p *Platform) Close() {
-	for _, f := range p.funcs {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.registeredFunctions() {
 		if f.Tmpl != nil {
 			f.Tmpl.Retire()
 			f.Tmpl = nil

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -41,7 +42,7 @@ func TestHappyPathIdenticalToRawBoot(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: raw boot: %v", sys, err)
 		}
-		r2, err := rec.BootRecover("c-hello", sys)
+		r2, err := rec.BootRecover(context.Background(), "c-hello", sys)
 		if err != nil {
 			t.Fatalf("%s: recovered boot: %v", sys, err)
 		}
@@ -58,7 +59,7 @@ func TestFallbackServesWhenSforkFails(t *testing.T) {
 	p := preparedPlatform(t, 11)
 	p.M.Faults.Arm(faults.SiteSfork, 1)
 
-	r, err := p.BootRecover("c-hello", CatalyzerSfork)
+	r, err := p.BootRecover(context.Background(), "c-hello", CatalyzerSfork)
 	if err != nil {
 		t.Fatalf("fallback chain failed: %v", err)
 	}
@@ -91,7 +92,7 @@ func TestRetrySucceedsWithoutFallback(t *testing.T) {
 		}
 		p := preparedPlatform(t, seed)
 		p.M.Faults.Arm(faults.SiteSfork, 0.5)
-		r, err := p.BootRecover("c-hello", CatalyzerSfork)
+		r, err := p.BootRecover(context.Background(), "c-hello", CatalyzerSfork)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -120,7 +121,7 @@ func TestBreakerOpensAndSkipsStage(t *testing.T) {
 
 	// Three invocations fail the sfork stage three times → breaker opens.
 	for i := 0; i < 3; i++ {
-		r, err := p.BootRecover("c-hello", CatalyzerSfork)
+		r, err := p.BootRecover(context.Background(), "c-hello", CatalyzerSfork)
 		if err != nil {
 			t.Fatalf("invocation %d: %v", i, err)
 		}
@@ -137,7 +138,7 @@ func TestBreakerOpensAndSkipsStage(t *testing.T) {
 
 	// The next invocation skips sfork without attempting it.
 	fails := st.BootFailures[CatalyzerSfork]
-	r, err := p.BootRecover("c-hello", CatalyzerSfork)
+	r, err := p.BootRecover(context.Background(), "c-hello", CatalyzerSfork)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestBreakerOpensAndSkipsStage(t *testing.T) {
 	// half-opens, the probe succeeds, and the path closes again.
 	p.M.Faults.DisarmAll()
 	p.M.Env.Charge(simtime.Second)
-	r, err = p.BootRecover("c-hello", CatalyzerSfork)
+	r, err = p.BootRecover(context.Background(), "c-hello", CatalyzerSfork)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestTemplateQuarantineAndRebuild(t *testing.T) {
 	f, _ := p.Lookup("c-hello")
 	oldTmpl := f.Tmpl
 	for i := 0; i < 3; i++ {
-		r, err := p.BootRecover("c-hello", CatalyzerSfork)
+		r, err := p.BootRecover(context.Background(), "c-hello", CatalyzerSfork)
 		if err != nil {
 			t.Fatalf("invocation %d: %v", i, err)
 		}
@@ -200,7 +201,7 @@ func TestTemplateQuarantineAndRebuild(t *testing.T) {
 
 	// The rebuilt template works once faults stop.
 	p.M.Faults.DisarmAll()
-	r, err := p.BootRecover("c-hello", CatalyzerSfork)
+	r, err := p.BootRecover(context.Background(), "c-hello", CatalyzerSfork)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestChainExhaustionReturnsTypedError(t *testing.T) {
 		t.Fatal(err)
 	}
 	live := p.M.Live()
-	_, err := p.BootRecover("c-hello", GVisorRestore)
+	_, err := p.BootRecover(context.Background(), "c-hello", GVisorRestore)
 	if err == nil {
 		t.Fatal("restore without an image booted")
 	}
@@ -255,7 +256,7 @@ func TestAllFaultsArmedStillServesViaGVisor(t *testing.T) {
 	for _, s := range faults.Sites() {
 		p.M.Faults.Arm(s, 1)
 	}
-	r, err := p.BootRecover("c-hello", CatalyzerSfork)
+	r, err := p.BootRecover(context.Background(), "c-hello", CatalyzerSfork)
 	if err != nil {
 		t.Fatalf("chain with gvisor terminal failed: %v", err)
 	}
@@ -280,7 +281,7 @@ func TestPreconditionSkipsStageWithoutBreakerCharge(t *testing.T) {
 	if _, err := p.PrepareImage("c-hello"); err != nil {
 		t.Fatal(err)
 	}
-	r, err := p.BootRecover("c-hello", CatalyzerSfork)
+	r, err := p.BootRecover(context.Background(), "c-hello", CatalyzerSfork)
 	if err != nil {
 		t.Fatalf("chain with missing template failed: %v", err)
 	}
@@ -299,7 +300,7 @@ func TestPreconditionSkipsStageWithoutBreakerCharge(t *testing.T) {
 
 func TestBootRecoverUnknownFunction(t *testing.T) {
 	p := New(costmodel.Default())
-	_, err := p.BootRecover("no-such-fn", CatalyzerSfork)
+	_, err := p.BootRecover(context.Background(), "no-such-fn", CatalyzerSfork)
 	if !errors.Is(err, ErrNotRegistered) {
 		t.Fatalf("err = %v, want ErrNotRegistered", err)
 	}
@@ -384,7 +385,7 @@ func TestPlatformCloseReleasesEverything(t *testing.T) {
 	if _, err := p.PrepareTemplate("python-hello"); err != nil {
 		t.Fatal(err)
 	}
-	r, err := p.InvokeRecover("c-hello", CatalyzerRestore)
+	r, err := p.InvokeRecover(context.Background(), "c-hello", CatalyzerRestore)
 	if err != nil {
 		t.Fatal(err)
 	}

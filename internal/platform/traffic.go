@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sync"
 
 	"catalyzer/internal/simtime"
 )
@@ -72,46 +73,105 @@ func GenerateTrace(cfg TrafficConfig) (*Trace, error) {
 // Capacity idle instances are kept in memory, keyed by function; a hit
 // reuses the instance with near-zero latency, a miss pays a full cold
 // boot. Eviction is LRU.
+//
+// The cache is safe for concurrent use. Its mutex is never held across
+// machine work (boots, executions, releases): a hit removes the idle
+// instance from the cache while it executes and reinserts it afterwards,
+// so two hits on the same function never share a sandbox, and the
+// reclaim path (the cache registers itself as a memory-pressure
+// Reclaimer) can never deadlock against a boot the cache itself drives.
 type KeepWarmCache struct {
 	p        *Platform
 	capacity int
-	order    []string // LRU order, most recent last
-	idle     map[string]*Result
 	ColdSys  System // which system a miss boots with
 
+	mu    sync.Mutex
+	order []string // LRU order, most recent last
+	idle  map[string]*Result
+
+	// Hits and Misses are maintained under mu; concurrent readers should
+	// use Counts.
 	Hits, Misses int
 }
 
-// NewKeepWarmCache builds a cache over p with the given capacity.
+// NewKeepWarmCache builds a cache over p with the given capacity and
+// registers it as a memory-pressure reclaimer: under a machine memory
+// budget, idle cached instances are evicted LRU-first before any boot is
+// failed for memory.
 func NewKeepWarmCache(p *Platform, capacity int, coldSys System) *KeepWarmCache {
-	return &KeepWarmCache{
+	c := &KeepWarmCache{
 		p:        p,
 		capacity: capacity,
 		idle:     make(map[string]*Result),
 		ColdSys:  coldSys,
 	}
+	p.AddReclaimer(c)
+	return c
 }
 
-func (c *KeepWarmCache) touch(name string) {
+// removeOrderLocked drops name from the LRU order (c.mu held).
+func (c *KeepWarmCache) removeOrderLocked(name string) {
 	for i, n := range c.order {
 		if n == name {
 			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
+			return
 		}
 	}
+}
+
+// take removes and returns name's idle instance, if cached.
+func (c *KeepWarmCache) take(name string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.idle[name]
+	if !ok {
+		c.Misses++
+		return nil, false
+	}
+	delete(c.idle, name)
+	c.removeOrderLocked(name)
+	c.Hits++
+	return r, true
+}
+
+// put caches a now-idle instance at MRU position, evicting (outside the
+// lock) whatever no longer fits: a raced duplicate for the same name,
+// then LRU entries over capacity.
+func (c *KeepWarmCache) put(name string, r *Result) {
+	var victims []*Result
+	c.mu.Lock()
+	if old, ok := c.idle[name]; ok {
+		victims = append(victims, old)
+		c.removeOrderLocked(name)
+	}
+	c.idle[name] = r
 	c.order = append(c.order, name)
+	for c.capacity >= 0 && len(c.idle) > c.capacity {
+		v := c.order[0]
+		c.order = c.order[1:]
+		if vr, ok := c.idle[v]; ok {
+			victims = append(victims, vr)
+			delete(c.idle, v)
+		}
+	}
+	c.mu.Unlock()
+	for _, v := range victims {
+		c.p.ReleaseSandbox(v.Sandbox)
+	}
 }
 
 // Invoke serves one request: cache hit executes on the idle instance
 // (boot latency zero), miss cold-boots and caches the instance.
 func (c *KeepWarmCache) Invoke(name string) (boot, exec simtime.Duration, err error) {
-	if r, ok := c.idle[name]; ok {
-		c.Hits++
-		c.touch(name)
-		d, err := r.Sandbox.Execute()
-		return 0, d, err
+	if r, ok := c.take(name); ok {
+		d, err := c.p.ExecuteSandbox(r.Sandbox)
+		if err != nil {
+			c.p.ReleaseSandbox(r.Sandbox)
+			return 0, 0, err
+		}
+		c.put(name, r)
+		return 0, d, nil
 	}
-	c.Misses++
 	if _, err := c.p.PrepareImage(name); err != nil {
 		return 0, 0, err
 	}
@@ -119,30 +179,67 @@ func (c *KeepWarmCache) Invoke(name string) (boot, exec simtime.Duration, err er
 	if err != nil {
 		return 0, 0, err
 	}
-	d, err := r.Sandbox.Execute()
+	d, err := c.p.ExecuteSandbox(r.Sandbox)
 	if err != nil {
-		r.Sandbox.Release()
+		c.p.ReleaseSandbox(r.Sandbox)
 		return 0, 0, err
 	}
-	// Cache the now-idle instance, evicting LRU if needed.
-	if len(c.idle) >= c.capacity {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		c.idle[victim].Sandbox.Release()
-		delete(c.idle, victim)
-	}
-	c.idle[name] = r
-	c.order = append(c.order, name)
+	c.put(name, r)
 	return r.BootLatency, d, nil
+}
+
+// Counts reports the cache's hit/miss totals.
+func (c *KeepWarmCache) Counts() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Hits, c.Misses
+}
+
+// Len reports the number of currently cached idle instances.
+func (c *KeepWarmCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idle)
+}
+
+// Reclaim implements Reclaimer: under memory pressure, evict up to max
+// idle instances LRU-first. In-use instances (hits mid-execution) are
+// not in the cache and cannot be reclaimed.
+func (c *KeepWarmCache) Reclaim(max int) int {
+	var victims []*Result
+	c.mu.Lock()
+	for len(victims) < max && len(c.order) > 0 {
+		v := c.order[0]
+		c.order = c.order[1:]
+		if r, ok := c.idle[v]; ok {
+			victims = append(victims, r)
+			delete(c.idle, v)
+		}
+	}
+	c.mu.Unlock()
+	for _, r := range victims {
+		c.p.ReleaseSandbox(r.Sandbox)
+	}
+	if len(victims) > 0 {
+		n := len(victims)
+		c.p.rec.addStats(func(s *FailureStats) { s.KeepWarmEvictions += n })
+	}
+	return len(victims)
 }
 
 // Release frees all cached instances.
 func (c *KeepWarmCache) Release() {
+	c.mu.Lock()
+	victims := make([]*Result, 0, len(c.idle))
 	for name, r := range c.idle {
-		r.Sandbox.Release()
+		victims = append(victims, r)
 		delete(c.idle, name)
 	}
 	c.order = nil
+	c.mu.Unlock()
+	for _, r := range victims {
+		c.p.ReleaseSandbox(r.Sandbox)
+	}
 }
 
 // TailLatencyComparison runs the same trace through a keep-warm cache and

@@ -14,6 +14,7 @@ package simtime
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -33,16 +34,20 @@ const (
 // Clock is a monotonically advancing virtual clock. The zero value is a
 // clock at virtual time zero, ready to use.
 //
-// Clock is not safe for concurrent use; simulations are single-threaded by
-// design (parallelism inside the simulated system is modelled by dividing
-// cost across virtual CPUs, see AdvanceParallel).
+// Reads (Now) are atomic and safe from any goroutine — circuit breakers,
+// health probes and metrics read virtual time without holding the machine
+// lock. Writes (Advance) must still be externally serialized: the work
+// that charges virtual time is machine work, and the platform serializes
+// it under its machine lock. Parallelism inside the simulated system is
+// modelled by dividing cost across virtual CPUs (AdvanceParallel), not by
+// concurrent charging.
 type Clock struct {
-	now Duration
+	now atomic.Int64
 }
 
 // Now returns the current virtual time as an offset from the simulation
 // epoch.
-func (c *Clock) Now() Duration { return c.now }
+func (c *Clock) Now() Duration { return Duration(c.now.Load()) }
 
 // Advance moves the clock forward by d. Negative durations are a
 // programming error and panic: virtual time is monotonic.
@@ -50,7 +55,7 @@ func (c *Clock) Advance(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("simtime: negative advance %v", d))
 	}
-	c.now += d
+	c.now.Add(int64(d))
 }
 
 // AdvanceParallel charges total work that is perfectly divisible across
@@ -67,9 +72,9 @@ func (c *Clock) AdvanceParallel(total Duration, ncpu int) {
 // Span measures the virtual duration of fn: it records Now, runs fn, and
 // returns how far the clock advanced.
 func (c *Clock) Span(fn func()) Duration {
-	start := c.now
+	start := c.Now()
 	fn()
-	return c.now - start
+	return c.Now() - start
 }
 
 // A Phase is a named, measured portion of a larger operation, mirroring the

@@ -141,6 +141,8 @@ func RegisterCustom(s *Spec) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, exists := registry[s.Name]; exists {
 		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, s.Name)
 	}
@@ -154,6 +156,8 @@ func RegisterCustom(s *Spec) error {
 // workloads cannot be removed. It reports whether a custom workload was
 // removed.
 func Unregister(name string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
 	if builtins[name] {
 		return false
 	}

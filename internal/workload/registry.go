@@ -3,11 +3,14 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Registry returns the named workload spec.
 func Registry(name string) (*Spec, error) {
+	regMu.RLock()
 	s, ok := registry[name]
+	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown workload %q", name)
 	}
@@ -27,10 +30,12 @@ func MustGet(name string) *Spec {
 
 // Names returns all registered workload names, sorted.
 func Names() []string {
+	regMu.RLock()
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	regMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -74,6 +79,9 @@ func EndToEndWorkloads() []string {
 }
 
 var (
+	// regMu guards registry: custom workloads register and unregister at
+	// runtime while concurrent invocations look specs up.
+	regMu    sync.RWMutex
 	registry = map[string]*Spec{}
 	builtins = map[string]bool{}
 )
@@ -82,6 +90,8 @@ func register(s *Spec) {
 	if err := s.Validate(); err != nil {
 		panic(err)
 	}
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := registry[s.Name]; dup {
 		panic("workload: duplicate " + s.Name)
 	}

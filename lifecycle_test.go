@@ -1,6 +1,7 @@
 package catalyzer
 
 import (
+	"context"
 	"testing"
 
 	"catalyzer/internal/simtime"
@@ -23,7 +24,7 @@ func TestFullLifecycle(t *testing.T) {
 	  "execConns": 4
 	}`
 	c := NewClient()
-	name, err := c.DeployCustom([]byte(doc))
+	name, err := c.DeployCustom(context.Background(), []byte(doc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestFullLifecycle(t *testing.T) {
 	// Serve through every path; boot ordering must hold.
 	var fork, warm, cold Duration
 	for _, kind := range []BootKind{ForkBoot, WarmBoot, ColdBoot} {
-		inv, err := c.Invoke(name, kind)
+		inv, err := c.Invoke(context.Background(), name, kind)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -55,11 +56,11 @@ func TestFullLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer workload.Unregister(variant)
-	base, err := c.Invoke(name, ForkBoot)
+	base, err := c.Invoke(context.Background(), name, ForkBoot)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trained, err := c.Invoke(variant, ForkBoot)
+	trained, err := c.Invoke(context.Background(), variant, ForkBoot)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFullLifecycle(t *testing.T) {
 	}
 
 	// Burst: 32 simultaneous requests drain fast under fork boot.
-	rep, err := c.Burst(name, ForkBoot, 32, 8)
+	rep, err := c.Burst(context.Background(), name, ForkBoot, 32, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFullLifecycle(t *testing.T) {
 	if rep.Makespan > 150*simtime.Millisecond {
 		t.Fatalf("burst makespan = %v", rep.Makespan)
 	}
-	if _, err := c.Burst(name, BootKind("bogus"), 1, 1); err == nil {
+	if _, err := c.Burst(context.Background(), name, BootKind("bogus"), 1, 1); err == nil {
 		t.Fatal("bogus kind accepted by Burst")
 	}
 
@@ -94,10 +95,10 @@ func TestFullLifecycle(t *testing.T) {
 
 func TestSandboxFootprintMatchesSpec(t *testing.T) {
 	c := NewClient()
-	if err := c.Deploy("c-nginx"); err != nil {
+	if err := c.Deploy(context.Background(), "c-nginx"); err != nil {
 		t.Fatal(err)
 	}
-	inst, err := c.Start("c-nginx", BaselineGVisor)
+	inst, err := c.Start(context.Background(), "c-nginx", BaselineGVisor)
 	if err != nil {
 		t.Fatal(err)
 	}

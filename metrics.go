@@ -2,6 +2,7 @@ package catalyzer
 
 import (
 	"sort"
+	"sync"
 
 	"catalyzer/internal/platform"
 )
@@ -17,8 +18,10 @@ type KindStats struct {
 	MaxBoot  Duration
 }
 
-// statsCollector accumulates per-kind boot metrics inside a Client.
+// statsCollector accumulates per-kind boot metrics inside a Client. It
+// has its own mutex so stats never contend with invocation locks.
 type statsCollector struct {
+	mu     sync.Mutex
 	byKind map[BootKind]*platform.Metrics
 }
 
@@ -27,6 +30,8 @@ func newStatsCollector() *statsCollector {
 }
 
 func (sc *statsCollector) observe(kind BootKind, boot Duration) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
 	m, ok := sc.byKind[kind]
 	if !ok {
 		m = platform.NewMetrics(string(kind))
@@ -38,8 +43,8 @@ func (sc *statsCollector) observe(kind BootKind, boot Duration) {
 // Stats returns the per-kind boot latency distribution of everything this
 // client has served.
 func (c *Client) Stats() map[BootKind]KindStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.stats.mu.Lock()
+	defer c.stats.mu.Unlock()
 	out := make(map[BootKind]KindStats, len(c.stats.byKind))
 	for kind, m := range c.stats.byKind {
 		out[kind] = KindStats{
@@ -56,8 +61,8 @@ func (c *Client) Stats() map[BootKind]KindStats {
 
 // StatsKinds returns the kinds with recorded invocations, sorted.
 func (c *Client) StatsKinds() []BootKind {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.stats.mu.Lock()
+	defer c.stats.mu.Unlock()
 	out := make([]BootKind, 0, len(c.stats.byKind))
 	for k := range c.stats.byKind {
 		out = append(out, k)

@@ -1,26 +1,27 @@
 package catalyzer
 
 import (
+	"context"
 	"testing"
 )
 
 func TestClientStats(t *testing.T) {
 	c := NewClient()
-	if err := c.Deploy("c-hello"); err != nil {
+	if err := c.Deploy(context.Background(), "c-hello"); err != nil {
 		t.Fatal(err)
 	}
 	if len(c.Stats()) != 0 || len(c.StatsKinds()) != 0 {
 		t.Fatal("fresh client has stats")
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := c.Invoke("c-hello", ForkBoot); err != nil {
+		if _, err := c.Invoke(context.Background(), "c-hello", ForkBoot); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.Invoke("c-hello", WarmBoot); err != nil {
+	if _, err := c.Invoke(context.Background(), "c-hello", WarmBoot); err != nil {
 		t.Fatal(err)
 	}
-	inst, err := c.Start("c-hello", ColdBoot)
+	inst, err := c.Start(context.Background(), "c-hello", ColdBoot)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,10 +3,12 @@ package catalyzer
 import (
 	"fmt"
 
+	"catalyzer/internal/admission"
 	"catalyzer/internal/costmodel"
 	"catalyzer/internal/faults"
 	"catalyzer/internal/image"
 	"catalyzer/internal/platform"
+	"catalyzer/internal/sandbox"
 	"catalyzer/internal/workload"
 )
 
@@ -29,6 +31,22 @@ var (
 	// quarantined and rebuilt automatically; the sentinel surfaces in
 	// wrapped causes).
 	ErrCorruptImage = image.ErrCorrupt
+
+	// ErrOverloaded: the request was shed — the admission concurrency
+	// caps and queue (WithAdmission) are full, or the drain deadline
+	// expired with the request still queued.
+	ErrOverloaded = admission.ErrOverloaded
+	// ErrDraining: the client is draining and admits nothing new.
+	ErrDraining = admission.ErrDraining
+	// ErrDeadlineExceeded: the request's context deadline expired —
+	// before admission, while queued, or mid-boot between fallback
+	// stages. errors.Is also matches context.DeadlineExceeded.
+	ErrDeadlineExceeded = admission.ErrDeadlineExceeded
+	// ErrCanceled: the request's context was canceled.
+	ErrCanceled = admission.ErrCanceled
+	// ErrOutOfMemory: a boot did not fit the memory budget even after
+	// reclaim (keep-warm eviction, idle-template retirement).
+	ErrOutOfMemory = sandbox.ErrOutOfMemory
 )
 
 // BootError is the typed error Invoke returns when a whole fallback
@@ -84,9 +102,13 @@ func NewClientWithStore(dir string, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{p: platform.NewWithStore(cfg.cost, store), stats: newStatsCollector()}
+	c := newClient(cfg)
+	c.p = platform.NewWithStore(cfg.cost, store)
 	if cfg.faultSeed != nil {
 		c.p.M.Faults = faults.New(*cfg.faultSeed)
+	}
+	if cfg.memPages > 0 {
+		c.p.SetMemoryBudget(cfg.memPages)
 	}
 	return c, nil
 }
@@ -99,30 +121,17 @@ func (c *Client) ArmFault(site string, rate float64) error {
 	if !faults.ValidSite(faults.Site(site)) {
 		return fmt.Errorf("catalyzer: unknown fault site %q (known: %v)", site, FaultSites())
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.p.M.Faults == nil {
-		c.p.M.Faults = faults.New(0)
-	}
-	c.p.M.Faults.Arm(faults.Site(site), rate)
+	c.p.ArmFault(faults.Site(site), rate)
 	return nil
 }
 
 // DisarmFaults disarms every fault site; injection counts are retained
 // for FailureStats.
-func (c *Client) DisarmFaults() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.p.M.Faults.DisarmAll()
-}
+func (c *Client) DisarmFaults() { c.p.DisarmFaults() }
 
 // SetRecoveryConfig replaces the recovery tuning (retries, breakers,
 // quarantine thresholds). Existing breaker state is reset.
-func (c *Client) SetRecoveryConfig(cfg RecoveryConfig) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.p.SetRecoveryConfig(cfg)
-}
+func (c *Client) SetRecoveryConfig(cfg RecoveryConfig) { c.p.SetRecoveryConfig(cfg) }
 
 // FaultCount reports one injection site's draw/injection totals.
 type FaultCount struct {
@@ -159,6 +168,15 @@ type FailureStats struct {
 	ImageLoadFaults   int
 	// Exhausted counts invocations whose whole fallback chain failed.
 	Exhausted int
+	// Aborted counts invocations whose fallback chain was cut short by
+	// the caller's context (deadline or cancellation) mid-chain.
+	Aborted int
+	// MemoryReclaims counts boots that relieved memory pressure by
+	// reclaiming instead of failing; KeepWarmEvictions and
+	// TemplatesRetired break down what was freed.
+	MemoryReclaims    int
+	KeepWarmEvictions int
+	TemplatesRetired  int
 	// Breakers reports every instantiated circuit breaker's state
 	// ("closed", "open", "half-open"), keyed "function/system".
 	Breakers map[string]string
@@ -169,8 +187,6 @@ type FailureStats struct {
 // FailureStats returns a snapshot of the client's failure-recovery
 // accounting.
 func (c *Client) FailureStats() FailureStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	st := c.p.FailureStats()
 	out := FailureStats{
 		BootFailures:            make(map[string]int, len(st.BootFailures)),
@@ -184,6 +200,10 @@ func (c *Client) FailureStats() FailureStats {
 		ImagesQuarantined:       st.ImagesQuarantined,
 		ImageLoadFaults:         st.ImageLoadFaults,
 		Exhausted:               st.Exhausted,
+		Aborted:                 st.Aborted,
+		MemoryReclaims:          st.MemoryReclaims,
+		KeepWarmEvictions:       st.KeepWarmEvictions,
+		TemplatesRetired:        st.TemplatesRetired,
 		Breakers:                c.p.BreakerStates(),
 		Faults:                  make(map[string]FaultCount),
 	}
@@ -193,7 +213,7 @@ func (c *Client) FailureStats() FailureStats {
 	for sys, n := range st.Fallbacks {
 		out.Fallbacks[string(sys)] = n
 	}
-	for site, fc := range c.p.M.Faults.Counts() {
+	for site, fc := range c.p.FaultCounts() {
 		out.Faults[string(site)] = FaultCount{Checks: fc.Checks, Injected: fc.Injected}
 	}
 	return out
@@ -202,10 +222,13 @@ func (c *Client) FailureStats() FailureStats {
 // Refresh discards a deployed function's in-memory func-image and
 // re-prepares it, re-exercising the store load path (including
 // quarantine-and-rebuild of corrupt stored images). The template sandbox
-// is untouched.
+// is untouched. Refresh write-locks the function: concurrent invocations
+// of the same function wait out the artifact swap, other functions are
+// unaffected.
 func (c *Client) Refresh(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	l := c.fnLock(name)
+	l.Lock()
+	defer l.Unlock()
 	_, err := c.p.RefreshImage(name)
 	return err
 }
@@ -214,8 +237,4 @@ func (c *Client) Refresh(name string) error {
 // sandboxes, base memory mappings). Deployed functions stay registered;
 // re-deploying rebuilds the artifacts. After Close and the release of any
 // kept instances, Running reports zero.
-func (c *Client) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.p.Close()
-}
+func (c *Client) Close() { c.p.Close() }
