@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet staticcheck stress chaos ci clean
+.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos ci clean
 
 build:
 	$(GO) build ./...
@@ -18,13 +18,28 @@ race:
 vet:
 	$(GO) vet ./...
 
-# staticcheck is optional tooling; skip quietly where it isn't installed.
+# The repo's own invariant suite (wallclock, ctxflow, typederr,
+# lockdiscipline, metricsreg); see DESIGN.md "Enforced invariants".
+lint:
+	$(GO) run ./cmd/catalyzer-vet ./...
+
+# staticcheck is optional tooling locally, mandatory in CI: skip quietly
+# where it isn't installed unless $$CI is set.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "staticcheck required in CI but not installed" >&2; exit 1; \
 	else \
 		echo "staticcheck not installed; skipping"; \
 	fi
+
+# Seed corpora for every fuzz target, then a short randomized budget.
+fuzz-smoke:
+	$(GO) test -run Fuzz ./internal/serial/ ./internal/vfs/
+	$(GO) test -fuzz FuzzDecodeBaseline -fuzztime 5s ./internal/serial/
+	$(GO) test -fuzz FuzzDecodeRecords -fuzztime 5s ./internal/serial/
+	$(GO) test -fuzz FuzzDecodeMounts -fuzztime 5s ./internal/vfs/
 
 # Concurrency hardening: the overload/stress/keep-warm suites twice each
 # under the race detector.
@@ -35,7 +50,7 @@ stress:
 chaos:
 	$(GO) test -run 'Chaos' -v .
 
-ci: vet staticcheck race
+ci: vet staticcheck lint race
 
 clean:
 	$(GO) clean ./...

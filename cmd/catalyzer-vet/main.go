@@ -1,0 +1,129 @@
+// Command catalyzer-vet runs the repo's invariant-enforcement suite
+// (internal/analysis) over the module: wallclock, ctxflow, typederr,
+// lockdiscipline and metricsreg. It exits non-zero if any diagnostic
+// survives //lint:allow suppression, so `make lint` / CI fail on
+// invariant regressions.
+//
+// Usage:
+//
+//	catalyzer-vet [-run name,name] [pattern ...]
+//
+// Patterns are import paths or "./..." (the default) for the whole
+// module. Test files are not analyzed: the invariants guard production
+// code, and tests (chaos, stress) violate them on purpose.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"catalyzer/internal/analysis"
+	"catalyzer/internal/analysis/ctxflow"
+	"catalyzer/internal/analysis/lockdiscipline"
+	"catalyzer/internal/analysis/metricsreg"
+	"catalyzer/internal/analysis/typederr"
+	"catalyzer/internal/analysis/wallclock"
+)
+
+var all = []*analysis.Analyzer{
+	wallclock.Analyzer,
+	ctxflow.Analyzer,
+	typederr.Analyzer,
+	lockdiscipline.Analyzer,
+	metricsreg.Analyzer,
+}
+
+func main() {
+	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *runList != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "catalyzer-vet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, modPath, err := analysis.ModuleRootFromGoMod(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := analysis.NewLoader(root, modPath)
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var paths []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "all":
+			ps, err := loader.ModulePackages()
+			if err != nil {
+				fatal(err)
+			}
+			paths = append(paths, ps...)
+		case strings.HasPrefix(pat, "./"):
+			rel := strings.TrimPrefix(pat, "./")
+			if rel == "" || rel == "." {
+				paths = append(paths, modPath)
+			} else {
+				paths = append(paths, modPath+"/"+strings.TrimSuffix(rel, "/"))
+			}
+		default:
+			paths = append(paths, pat)
+		}
+	}
+
+	failed := false
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		diags, bad, err := analysis.RunAnalyzers(pkg, loader.Fset, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range bad {
+			failed = true
+			fmt.Printf("%s: [suppression] %s\n", loader.Fset.Position(m.Pos), m.Msg)
+		}
+		for _, d := range diags {
+			failed = true
+			fmt.Printf("%s: [%s] %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "catalyzer-vet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Package analysis is a small, dependency-free analog of
+// golang.org/x/tools/go/analysis: just enough driver machinery to run
+// catalyzer's invariant checkers (cmd/catalyzer-vet) over the module
+// using only the standard library's go/ast, go/types and go/importer.
+//
+// The repo's correctness rests on invariants the compiler cannot see —
+// all timing flows through internal/simtime, boot paths propagate
+// context.Context, failures crossing the platform boundary are typed,
+// platform mutexes are never held across machine work, and every
+// counter that is incremented is surfaced. Each invariant is an
+// Analyzer; the suite runs in CI so regressions fail the build instead
+// of silently rotting.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports violations via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked form to an
+// Analyzer, plus the report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the package's import path ("catalyzer/internal/platform").
+	PkgPath string
+	// Report records one violation.
+	Report func(Diagnostic)
+}
+
+// Reportf is a convenience formatter around Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is filled in by the driver.
+	Analyzer string
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil
+// for builtins, conversions and calls through function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// ReceiverTypeName returns the bare name of fn's receiver's named type
+// ("Platform" for func (p *Platform) Boot), or "" for non-methods.
+func ReceiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

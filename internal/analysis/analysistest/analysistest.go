@@ -1,0 +1,130 @@
+// Package analysistest runs an Analyzer over packages rooted in a
+// testdata/src tree and checks its diagnostics against // want
+// comments, in the style of golang.org/x/tools/go/analysis/analysistest
+// but built on the repo's stdlib-only driver.
+//
+// Layout: <testdata>/src/<pkg>/*.go. A line that should be flagged
+// carries a trailing comment
+//
+//	// want "regexp"
+//
+// (backquoted strings work too; several quoted patterns on one line
+// mean several diagnostics on that line). Lines with no want comment
+// must produce no diagnostic. //lint:allow suppressions are honoured,
+// so testdata can also prove the escape hatch works.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"catalyzer/internal/analysis"
+)
+
+// Run checks a single analyzer against the named testdata packages.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader("", "")
+	loader.ExtraRoots = []string{filepath.Join(testdata, "src")}
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgPath, err)
+		}
+		diags, bad, err := analysis.RunAnalyzers(pkg, loader.Fset, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		for _, m := range bad {
+			t.Errorf("%s: malformed suppression: %s", loader.Fset.Position(m.Pos), m.Msg)
+		}
+		checkWants(t, loader, pkg, diags)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func checkWants(t *testing.T, loader *analysis.Loader, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				for _, pat := range splitPatterns(rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		if w := match(wants, pos.Filename, pos.Line, d.Message); w != nil {
+			w.hit = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: missing diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func match(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// splitPatterns parses a sequence of Go-quoted or backquoted strings.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			// Not a quoted pattern; treat the rest as opaque (e.g. a
+			// trailing prose comment) and stop.
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			out = append(out, s[1:])
+			return out
+		}
+		raw := s[:end+2]
+		if uq, err := strconv.Unquote(raw); err == nil {
+			out = append(out, uq)
+		} else {
+			out = append(out, fmt.Sprint(raw[1:len(raw)-1]))
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package ctxflow enforces context.Context propagation along the boot
+// paths (PR 2's deadline/cancellation plumbing):
+//
+//  1. a context parameter must be the first parameter, everywhere;
+//  2. library code must not mint fresh roots with context.Background()
+//     or context.TODO() — that silently detaches a call from its
+//     caller's deadline. package main and the `if ctx == nil { ctx =
+//     context.Background() }` compatibility guard are allowed;
+//  3. in the boot-path packages (the root API, internal/platform,
+//     internal/sandbox), exported functions named like boot verbs
+//     (Invoke*, Boot*, Deploy*, Burst*, Start, Drain) must accept a
+//     context first — deliberate synchronous machine-layer exceptions
+//     carry a //lint:allow ctxflow comment.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"catalyzer/internal/analysis"
+)
+
+// BootPkgPattern selects the packages rule 3 applies to. Tests may
+// override it.
+var BootPkgPattern = regexp.MustCompile(`^catalyzer(/internal/(platform|sandbox))?$`)
+
+// bootVerb matches exported boot-path entry-point names.
+var bootVerb = regexp.MustCompile(`^(Invoke|Boot|Deploy|Burst)([A-Z].*)?$|^(Start|Drain)$`)
+
+// Analyzer is the ctxflow invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context must be the first parameter, must not be re-rooted via context.Background/TODO in library code, and boot-path entry points must accept one",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	bootPkg := BootPkgPattern.MatchString(pass.PkgPath)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkParams(pass, n.Type)
+				if bootPkg && n.Name.IsExported() && bootVerb.MatchString(n.Name.Name) &&
+					returnsError(pass, n.Type) && !firstParamIsCtx(pass, n.Type) {
+					pass.Reportf(n.Pos(), "boot-path entry point %s must take a context.Context first parameter", n.Name.Name)
+				}
+			case *ast.FuncLit:
+				checkParams(pass, n.Type)
+			case *ast.CallExpr:
+				fn := analysis.CalleeFunc(pass.Info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if name := fn.Name(); name == "Background" || name == "TODO" {
+					if !isMain && !isNilGuard(f, n) {
+						pass.Reportf(n.Pos(), "context.%s detaches this call from the caller's deadline: thread the caller's ctx instead", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkParams flags a context.Context parameter that is not first.
+func checkParams(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	seen := 0 // parameter index, counting names within a field
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t, ok := pass.Info.Types[field.Type]; ok && analysis.IsContextType(t.Type) && seen > 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		seen += n
+	}
+}
+
+// returnsError reports whether the function can fail: infallible
+// accessors (BootMix, Stats getters) are not abort points and do not
+// need a context.
+func returnsError(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		if t, ok := pass.Info.Types[field.Type]; ok {
+			if named, ok := t.Type.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func firstParamIsCtx(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return false
+	}
+	t, ok := pass.Info.Types[ft.Params.List[0].Type]
+	return ok && analysis.IsContextType(t.Type)
+}
+
+// isNilGuard recognises the deliberate compatibility idiom
+//
+//	if ctx == nil {
+//		ctx = context.Background()
+//	}
+//
+// which defaults a nil context rather than discarding a live one.
+func isNilGuard(file *ast.File, call *ast.CallExpr) bool {
+	guard := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || guard {
+			return !guard
+		}
+		bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op.String() != "==" {
+			return true
+		}
+		lhs, lok := bin.X.(*ast.Ident)
+		rhs, rok := bin.Y.(*ast.Ident)
+		var ctxName string
+		switch {
+		case lok && rok && rhs.Name == "nil":
+			ctxName = lhs.Name
+		case lok && rok && lhs.Name == "nil":
+			ctxName = rhs.Name
+		default:
+			return true
+		}
+		for _, stmt := range ifStmt.Body.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				continue
+			}
+			target, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok || target.Name != ctxName {
+				continue
+			}
+			if assign.Rhs[0] == ast.Expr(call) {
+				guard = true
+				return false
+			}
+		}
+		return true
+	})
+	return guard
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"regexp"
+	"testing"
+
+	"catalyzer/internal/analysis/analysistest"
+	"catalyzer/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	old := ctxflow.BootPkgPattern
+	ctxflow.BootPkgPattern = regexp.MustCompile(`^bootpath$`)
+	defer func() { ctxflow.BootPkgPattern = old }()
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "ctxpkg", "bootpath")
+}

@@ -1,0 +1,26 @@
+// Package bootpath stands in for the boot-path package set (the test
+// overrides BootPkgPattern to match it): exported fallible boot-verb
+// entry points must take a context.
+package bootpath
+
+import "context"
+
+func Boot(name string) error { // want `boot-path entry point Boot must take a context.Context first parameter`
+	_ = name
+	return nil
+}
+
+func InvokeKeep(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Infallible accessors are not abort points, boot verb or not.
+func BootMix() map[string]int { return nil }
+
+// Unexported helpers are the callee side; the exported wrapper owns the
+// context.
+func bootCold(name string) error {
+	_ = name
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package ctxpkg exercises the ctxflow ordering and
+// Background/TODO rules outside the boot-path package set.
+package ctxpkg
+
+import "context"
+
+func CtxSecond(name string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	_ = name
+	_ = ctx
+	return nil
+}
+
+func CtxFirst(ctx context.Context, name string) error {
+	_ = name
+	return nil
+}
+
+func MintsContext() error {
+	ctx := context.Background() // want `context.Background detaches this call from the caller's deadline`
+	_ = ctx
+	return nil
+}
+
+func MintsTODO() {
+	_ = context.TODO() // want `context.TODO detaches this call from the caller's deadline`
+}
+
+// The nil-guard idiom is the sanctioned way for an exported entry point
+// to tolerate nil contexts; it must not be flagged.
+func NilGuard(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx.Err()
+}
+
+func SuppressedMint() {
+	//lint:allow ctxflow detached background task owns its own lifetime
+	_ = context.Background()
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"catalyzer/internal/analysis/analysistest"
+	"catalyzer/internal/analysis/lockdiscipline"
+)
+
+func TestLockdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "keepwarm")
+}

@@ -1,0 +1,82 @@
+// Package keepwarm is the regression testdata for the PR 2
+// KeepWarmCache bug: a cache mutex held across a Platform boot, which
+// deadlocks against the memory-pressure reclaim path re-entering the
+// cache from inside the machine.
+package keepwarm
+
+import (
+	"sync"
+
+	"sandbox"
+)
+
+// Platform mimics the real machine owner: its own methods are the
+// machine-lock domain and exempt from the held-lock rule.
+type Platform struct {
+	mu sync.Mutex
+}
+
+// Boot is in the machine-work method set.
+func (p *Platform) Boot(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return sandbox.BootCold(name)
+}
+
+// Cache is the KeepWarmCache shape from PR 2.
+type Cache struct {
+	mu   sync.Mutex
+	p    *Platform
+	warm map[string]int
+}
+
+// GetBuggy reproduces the original bug verbatim: the cache lock is
+// still held (deferred unlock) when the boot runs.
+func (c *Cache) GetBuggy(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.warm[name]; ok {
+		return nil
+	}
+	return c.p.Boot(name) // want `Platform.Boot called while c.mu is held`
+}
+
+// GetBuggyExplicit is the same bug with an explicit unlock after the
+// machine work instead of a defer.
+func (c *Cache) GetBuggyExplicit(name string) error {
+	c.mu.Lock()
+	err := sandbox.BootCold(name) // want `sandbox.BootCold called while c.mu is held`
+	c.mu.Unlock()
+	return err
+}
+
+// GetFixed is the PR 2 fix: decide under the lock, boot outside it.
+func (c *Cache) GetFixed(name string) error {
+	c.mu.Lock()
+	_, ok := c.warm[name]
+	c.mu.Unlock()
+	if ok {
+		return nil
+	}
+	return c.p.Boot(name)
+}
+
+// leaks never releases the lock on any path.
+func (c *Cache) leaks() {
+	c.mu.Lock() // want `c.mu is locked but never unlocked in leaks`
+	c.warm = nil
+}
+
+// byValue copies the mutex, so the callee locks a private copy.
+func byValue(mu sync.Mutex) { // want `byValue passes a lock by value: use a pointer`
+	mu.Lock()
+	mu.Unlock()
+}
+
+// suppressed shows the escape hatch for a documented exception.
+func (c *Cache) suppressed(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:allow lockdiscipline testdata demonstration of the suppression escape hatch
+	return c.p.Boot(name)
+}

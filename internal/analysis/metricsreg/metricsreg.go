@@ -1,0 +1,132 @@
+// Package metricsreg catches silently-dropped observability: a counter
+// added to a *Stats struct (FailureStats.KeepWarmEvictions,
+// OverloadStats.Shed, ...) is worthless if the /metrics projection
+// forgets to surface it — the increment compiles, the tests pass, and
+// the operator never sees the number.
+//
+// The mechanical rule: any function that takes a parameter of a named
+// struct type ending in "Stats" and builds a composite literal of a
+// type ending in "Metrics"/"metrics" is a metrics projection, and a
+// projection must read every exported field of its Stats parameter.
+// Passing the whole struct onward (st used as a value, not just
+// st.Field selectors) counts as surfacing everything.
+package metricsreg
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"catalyzer/internal/analysis"
+)
+
+// Analyzer is the metricsreg invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricsreg",
+	Doc:  "a *Stats -> *Metrics projection must read every exported field of the Stats struct, so no counter is silently dropped from /metrics",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					st, stName := statsStruct(obj.Type())
+					if st == nil {
+						continue
+					}
+					if !buildsMetrics(pass, fd.Body) {
+						continue
+					}
+					checkProjection(pass, fd, obj, st, stName)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// statsStruct returns the struct type and name if t is a named struct
+// whose name ends in "Stats".
+func statsStruct(t types.Type) (*types.Struct, string) {
+	named, ok := t.(*types.Named)
+	if !ok || !strings.HasSuffix(named.Obj().Name(), "Stats") {
+		return nil, ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	return st, named.Obj().Name()
+}
+
+// buildsMetrics reports whether body contains a composite literal of a
+// named type ending in "Metrics"/"metrics".
+func buildsMetrics(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || found {
+			return !found
+		}
+		t, ok := pass.Info.Types[lit]
+		if !ok {
+			return true
+		}
+		if named, ok := t.Type.(*types.Named); ok &&
+			strings.HasSuffix(strings.ToLower(named.Obj().Name()), "metrics") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkProjection verifies every exported field of the Stats parameter
+// is read somewhere in the function.
+func checkProjection(pass *analysis.Pass, fd *ast.FuncDecl, param *types.Var, st *types.Struct, stName string) {
+	read := map[string]bool{}
+	wholeUse := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok && pass.Info.Uses[id] == param {
+				read[n.Sel.Name] = true
+				return false
+			}
+		case *ast.Ident:
+			// The bare parameter used as a value (copied, passed on)
+			// surfaces every field.
+			if pass.Info.Uses[n] == param {
+				wholeUse = true
+			}
+		}
+		return true
+	})
+	if wholeUse {
+		return
+	}
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Exported() && !read[f.Name()] {
+			missing = append(missing, f.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(fd.Pos(), "metrics projection %s drops %s field(s) %s: surface every counter or the increment is invisible",
+			fd.Name.Name, stName, strings.Join(missing, ", "))
+	}
+}

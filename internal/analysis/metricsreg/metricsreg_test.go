@@ -1,0 +1,12 @@
+package metricsreg_test
+
+import (
+	"testing"
+
+	"catalyzer/internal/analysis/analysistest"
+	"catalyzer/internal/analysis/metricsreg"
+)
+
+func TestMetricsreg(t *testing.T) {
+	analysistest.Run(t, "testdata", metricsreg.Analyzer, "metpkg")
+}

@@ -1,0 +1,48 @@
+// Package metpkg exercises metricsreg: a function projecting a *Stats
+// struct into a metrics composite literal must read every exported
+// counter, or the increment is maintained but never visible on
+// /metrics.
+package metpkg
+
+// BootStats is the counter snapshot being projected.
+type BootStats struct {
+	Boots     int
+	Failures  int
+	Evictions int
+	internal  int // unexported: not part of the surfaced contract
+}
+
+type bootMetrics struct {
+	boots    int
+	failures int
+	evicted  int
+}
+
+func projectDropsField(st BootStats) bootMetrics { // want `metrics projection projectDropsField drops BootStats field\(s\) Evictions`
+	return bootMetrics{
+		boots:    st.Boots,
+		failures: st.Failures,
+	}
+}
+
+func projectComplete(st BootStats) bootMetrics {
+	return bootMetrics{
+		boots:    st.Boots,
+		failures: st.Failures,
+		evicted:  st.Evictions,
+	}
+}
+
+// Passing the whole value onward counts as surfacing every field.
+func projectWholeValue(st BootStats) bootMetrics {
+	return fromStats(st)
+}
+
+func fromStats(st BootStats) bootMetrics {
+	return bootMetrics{boots: st.Boots, failures: st.Failures, evicted: st.Evictions}
+}
+
+//lint:allow metricsreg legacy endpoint intentionally reports boots only
+func projectSuppressed(st BootStats) bootMetrics {
+	return bootMetrics{boots: st.Boots}
+}

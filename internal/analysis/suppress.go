@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Suppression is one parsed //lint:allow comment. The form is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// and it silences diagnostics from <analyzer> on the same line or the
+// line immediately below (so it can sit above the offending statement
+// or trail it). A reason is mandatory: a suppression without one is
+// malformed and does not suppress anything.
+type Suppression struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// Malformed is a //lint:allow comment the parser rejected, reported by
+// the driver so broken escape hatches fail loudly instead of silently
+// not suppressing.
+type Malformed struct {
+	Pos token.Pos
+	Msg string
+}
+
+const allowPrefix = "lint:allow"
+
+// ParseSuppressions scans a loaded package's comments for //lint:allow
+// directives.
+func ParseSuppressions(pkg *Package, fset *token.FileSet) ([]Suppression, []Malformed) {
+	var sups []Suppression
+	var bad []Malformed
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) == 0 {
+					bad = append(bad, Malformed{Pos: c.Pos(), Msg: "lint:allow needs an analyzer name and a reason"})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Malformed{Pos: c.Pos(), Msg: "lint:allow " + fields[0] + " needs a reason"})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				sups = append(sups, Suppression{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// Suppressed reports whether d (from the named analyzer) is silenced by
+// one of sups.
+func Suppressed(fset *token.FileSet, d Diagnostic, sups []Suppression) bool {
+	pos := fset.Position(d.Pos)
+	for _, s := range sups {
+		if s.Analyzer != d.Analyzer || s.File != pos.Filename {
+			continue
+		}
+		if s.Line == pos.Line || s.Line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs each analyzer over pkg and returns the surviving
+// (unsuppressed) diagnostics in source order, plus any malformed
+// suppression comments.
+func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, []Malformed, error) {
+	sups, bad := ParseSuppressions(pkg, fset)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			if !Suppressed(fset, d, sups) {
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, bad, nil
+}

@@ -1,0 +1,34 @@
+// Package boundary stands in for the platform-boundary package set
+// (the test overrides BoundaryPkgPattern to match it): errors built
+// inside function bodies must wrap a sentinel.
+package boundary
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the approved pattern, never flagged.
+var ErrGone = errors.New("boundary: gone")
+
+func bareNew(name string) error {
+	return errors.New("gone: " + name) // want `bare errors.New creates an untyped error`
+}
+
+func errorfNoWrap(name string) error {
+	return fmt.Errorf("gone: %s", name) // want `fmt.Errorf without %w drops the error type`
+}
+
+func errorfWrap(name string) error {
+	return fmt.Errorf("%w: %s", ErrGone, name)
+}
+
+func dynamicFormat(format, name string) error {
+	// A non-literal format cannot be proven %w-free; left alone.
+	return fmt.Errorf(format, name)
+}
+
+func suppressed() error {
+	//lint:allow typederr transient diagnostic message, never matched by callers
+	return errors.New("scratch")
+}

@@ -1,0 +1,9 @@
+// Package offpath is outside the boundary pattern: the analyzer must
+// leave it alone entirely.
+package offpath
+
+import "errors"
+
+func anythingGoes() error {
+	return errors.New("internal detail")
+}

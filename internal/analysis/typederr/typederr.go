@@ -1,0 +1,77 @@
+// Package typederr keeps the PR 1 typed-error taxonomy intact on the
+// paths that cross the platform boundary (the root API,
+// internal/platform, internal/sandbox): callers dispatch on
+// errors.Is(err, ErrNotRegistered)/ErrNoImage/BootError, so an error
+// minted inside a function body with bare errors.New or an unwrapped
+// fmt.Errorf is invisible to that dispatch — catalyzerd would map it to
+// a blanket 500 instead of the intended status.
+//
+// Package-level `var ErrX = errors.New(...)` sentinel declarations are
+// the taxonomy itself and stay legal; the rules apply inside function
+// bodies only.
+package typederr
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"catalyzer/internal/analysis"
+)
+
+// BoundaryPkgPattern selects the packages whose errors cross the
+// platform boundary. Tests may override it.
+var BoundaryPkgPattern = regexp.MustCompile(`^catalyzer(/internal/(platform|sandbox))?$`)
+
+// Analyzer is the typederr invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc:  "on platform-boundary paths, reject bare errors.New and fmt.Errorf without %w: wrap a package sentinel so errors.Is dispatch keeps working",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !BoundaryPkgPattern.MatchString(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.CalleeFunc(pass.Info, call)
+				if fn == nil {
+					return true
+				}
+				switch {
+				case analysis.IsPkgFunc(fn, "errors", "New"):
+					pass.Reportf(call.Pos(), "bare errors.New creates an untyped error: declare a package-level sentinel and wrap it with %%w")
+				case analysis.IsPkgFunc(fn, "fmt", "Errorf"):
+					if len(call.Args) == 0 {
+						return true
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok {
+						return true // dynamic format: give it the benefit of the doubt
+					}
+					format, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						return true
+					}
+					if !strings.Contains(format, "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %%w drops the error type: wrap a sentinel (e.g. fmt.Errorf(\"%%w: detail\", ErrX))")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package typederr_test
+
+import (
+	"regexp"
+	"testing"
+
+	"catalyzer/internal/analysis/analysistest"
+	"catalyzer/internal/analysis/typederr"
+)
+
+func TestTypederr(t *testing.T) {
+	old := typederr.BoundaryPkgPattern
+	typederr.BoundaryPkgPattern = regexp.MustCompile(`^boundary$`)
+	defer func() { typederr.BoundaryPkgPattern = old }()
+	analysistest.Run(t, "testdata", typederr.Analyzer, "boundary", "offpath")
+}

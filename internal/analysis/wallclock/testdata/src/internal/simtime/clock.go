@@ -1,0 +1,8 @@
+// Package simtime stands in for the real virtual clock: it is on the
+// wallclock exempt list, so its host-clock reads produce no
+// diagnostics.
+package simtime
+
+import "time"
+
+func Now() int64 { return time.Now().UnixNano() }

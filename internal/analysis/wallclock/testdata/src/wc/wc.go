@@ -1,0 +1,35 @@
+// Package wc exercises the wallclock analyzer: wall-clock reads and
+// unseeded global randomness are flagged, seeded sources and pure
+// conversions are not.
+package wc
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                   // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)     // want `time.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})      // want `time.Since reads the wall clock`
+	<-time.After(time.Millisecond)   // want `time.After reads the wall clock`
+	_ = time.NewTimer(time.Second)   // want `time.NewTimer reads the wall clock`
+	_ = rand.Intn(10)                // want `math/rand.Intn uses the unseeded global source`
+	rand.Shuffle(1, func(i, j int) {}) // want `math/rand.Shuffle uses the unseeded global source`
+}
+
+func good() {
+	// Pure constructors/conversions never touch the host clock.
+	_ = time.Unix(0, 0)
+	_, _ = time.ParseDuration("1ms")
+	_ = 5 * time.Millisecond
+
+	// Explicitly seeded randomness is deterministic and allowed.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(10)
+}
+
+func suppressed() {
+	//lint:allow wallclock deliberate host-clock read to demonstrate the escape hatch
+	_ = time.Now()
+}

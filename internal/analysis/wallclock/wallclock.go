@@ -1,0 +1,78 @@
+// Package wallclock forbids wall-clock time and unseeded global
+// randomness outside the packages that own them. Catalyzer's
+// sub-millisecond startup numbers are only reproducible under
+// deterministic virtual time (internal/simtime); a single stray
+// time.Now() silently re-couples the simulation to the host clock and
+// every latency assertion becomes flaky.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"catalyzer/internal/analysis"
+)
+
+// ExemptPkgs lists the package-path suffixes allowed to touch the real
+// clock and the global math/rand source: simtime is the virtual clock
+// itself, faults owns its explicitly seeded injector RNG.
+var ExemptPkgs = []string{"internal/simtime", "internal/faults"}
+
+// bannedTime are the time-package functions that read or schedule
+// against the host clock. Pure constructors/conversions (time.Unix,
+// time.Date, time.ParseDuration) are fine.
+var bannedTime = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Since": true, "Until": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand are the math/rand constructors that force the caller to
+// supply a source (and therefore a seed).
+var allowedRand = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+// Analyzer is the wallclock invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Sleep/After/... and unseeded math/rand outside internal/simtime and internal/faults; all timing must flow through virtual time",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, suffix := range ExemptPkgs {
+		if pass.PkgPath == suffix || hasPathSuffix(pass.PkgPath, suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on a *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock: use internal/simtime virtual time", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(call.Pos(), "%s.%s uses the unseeded global source: construct a seeded *rand.Rand (see internal/faults)", fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	return len(path) > len(suffix)+1 && path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"catalyzer/internal/analysis/analysistest"
+	"catalyzer/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "wc", "internal/simtime")
+}

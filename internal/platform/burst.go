@@ -72,7 +72,7 @@ func (r *BurstReport) CompletionPercentile(p float64) simtime.Duration {
 // remainder with a typed error (already-booted instances are released).
 func (p *Platform) SimulateBurst(ctx context.Context, fn string, sys System, n, cores int) (*BurstReport, error) {
 	if n <= 0 || cores <= 0 {
-		return nil, fmt.Errorf("platform: burst needs positive requests and cores")
+		return nil, fmt.Errorf("%w: burst needs positive requests and cores", ErrBadConfig)
 	}
 	if ctx == nil {
 		ctx = context.Background()

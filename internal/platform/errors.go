@@ -21,6 +21,9 @@ var (
 	ErrNoTemplate = errors.New("platform: no template (run PrepareTemplate)")
 	// ErrUnknownSystem: the requested boot strategy does not exist.
 	ErrUnknownSystem = errors.New("platform: unknown system")
+	// ErrBadConfig: a caller-supplied configuration (traffic shape,
+	// burst size, cluster size) is invalid.
+	ErrBadConfig = errors.New("platform: invalid configuration")
 )
 
 // isPrecondition reports whether err is a configuration miss rather than

@@ -427,6 +427,7 @@ func (r *Result) Total() simtime.Duration { return r.BootLatency + r.ExecLatency
 // system and leaves it running (the caller releases it). A boot that
 // does not fit the machine's memory budget triggers reclaim (keep-warm
 // eviction, idle-template retirement) and retries before failing.
+//lint:allow ctxflow machine-layer boots are synchronous virtual-time work; deadline aborts happen above, in BootRecover's fallback chain
 func (p *Platform) Boot(name string, sys System) (*Result, error) {
 	for round := 0; ; round++ {
 		p.mu.Lock()
@@ -543,6 +544,7 @@ func (p *Platform) boot(name string, sys System) (*Result, error) {
 }
 
 // Invoke boots, executes one request, and releases the instance.
+//lint:allow ctxflow machine-layer invoke is synchronous virtual-time work; deadline aborts happen above, in InvokeRecover
 func (p *Platform) Invoke(name string, sys System) (*Result, error) {
 	r, err := p.Boot(name, sys)
 	if err != nil {
@@ -559,6 +561,7 @@ func (p *Platform) Invoke(name string, sys System) (*Result, error) {
 
 // InvokeKeep boots and executes but keeps the instance running,
 // returning it in the result (concurrency and memory experiments).
+//lint:allow ctxflow machine-layer invoke is synchronous virtual-time work; deadline aborts happen above, in InvokeKeepRecover
 func (p *Platform) InvokeKeep(name string, sys System) (*Result, error) {
 	r, err := p.Boot(name, sys)
 	if err != nil {

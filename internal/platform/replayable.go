@@ -24,7 +24,7 @@ const Replayable System = "replayable"
 // re-do of every I/O connection.
 func (p *Platform) bootReplayable(f *Function) (*sandbox.Sandbox, *simtime.Timeline, error) {
 	if f.Image == nil {
-		return nil, nil, fmt.Errorf("platform: %s: no func-image (run PrepareImage)", f.Spec.Name)
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoImage, f.Spec.Name)
 	}
 	m := p.M
 	env := m.Env

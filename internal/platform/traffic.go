@@ -38,7 +38,7 @@ type Trace struct {
 // GenerateTrace builds the request sequence.
 func GenerateTrace(cfg TrafficConfig) (*Trace, error) {
 	if len(cfg.Functions) == 0 || cfg.Requests <= 0 {
-		return nil, fmt.Errorf("platform: empty traffic config")
+		return nil, fmt.Errorf("%w: empty traffic config", ErrBadConfig)
 	}
 	// Harmonic weights: function i has weight 1/(i+1).
 	weights := make([]float64, len(cfg.Functions))
@@ -162,6 +162,7 @@ func (c *KeepWarmCache) put(name string, r *Result) {
 
 // Invoke serves one request: cache hit executes on the idle instance
 // (boot latency zero), miss cold-boots and caches the instance.
+//lint:allow ctxflow keep-warm is the paper's synchronous baseline comparator; it has no deadline semantics
 func (c *KeepWarmCache) Invoke(name string) (boot, exec simtime.Duration, err error) {
 	if r, ok := c.take(name); ok {
 		d, err := c.p.ExecuteSandbox(r.Sandbox)

@@ -1,0 +1,18 @@
+package sandbox
+
+import "errors"
+
+// Typed sandbox errors. Like the platform sentinels, callers branch on
+// these with errors.Is instead of matching message text; ErrOutOfMemory
+// (machine.go) is part of the same taxonomy.
+var (
+	// ErrReleased: the sandbox was already torn down; it cannot serve
+	// requests or be captured.
+	ErrReleased = errors.New("sandbox: sandbox already released")
+	// ErrNotAtEntry: image capture requires a sandbox paused at its
+	// func-entry point that has not served requests yet.
+	ErrNotAtEntry = errors.New("sandbox: sandbox not at func-entry point")
+	// ErrImageMismatch: a func-image's memory section does not match the
+	// registered spec (stale image or changed workload).
+	ErrImageMismatch = errors.New("sandbox: image does not match spec")
+)

@@ -17,6 +17,7 @@ import (
 // is recovered from the func-image's baseline checkpoint — decompressing
 // and deserializing every object one-by-one, loading all application
 // memory, and re-doing every I/O connection, all on the critical path.
+//lint:allow ctxflow leaf machine work below the recovery layer's abort points; virtual time cannot block on the host
 func BootGVisorRestore(m *Machine, img *image.Image, fs *vfs.FSServer, opts Options) (*Sandbox, *simtime.Timeline, error) {
 	spec, err := specForImage(img)
 	if err != nil {
@@ -140,7 +141,7 @@ func specForImage(img *image.Image) (*workload.Spec, error) {
 		return nil, err
 	}
 	if uint64(spec.InitHeapPages) != img.Mem.Pages {
-		return nil, fmt.Errorf("sandbox: image %s memory section (%d pages) does not match spec (%d)", img.Name, img.Mem.Pages, spec.InitHeapPages)
+		return nil, fmt.Errorf("%w: image %s memory section (%d pages) vs spec (%d)", ErrImageMismatch, img.Name, img.Mem.Pages, spec.InitHeapPages)
 	}
 	return spec, nil
 }

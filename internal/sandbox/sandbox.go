@@ -214,6 +214,7 @@ func (s *Sandbox) Rebase(delta uint64) {
 // BootCold performs the full from-scratch boot of Figure 2's upper path:
 // every phase is measured on the returned timeline, and the sandbox ends
 // at its func-entry point.
+//lint:allow ctxflow leaf machine work below the recovery layer's abort points; virtual time cannot block on the host
 func BootCold(m *Machine, spec *workload.Spec, fs *vfs.FSServer, opts Options) (*Sandbox, *simtime.Timeline, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
@@ -436,7 +437,7 @@ func (s *Sandbox) LogWritten() int64 {
 // pending). It returns the execution latency.
 func (s *Sandbox) Execute() (simtime.Duration, error) {
 	if s.released {
-		return 0, fmt.Errorf("sandbox: execute on released sandbox %s", s.Spec.Name)
+		return 0, fmt.Errorf("%w: execute on %s", ErrReleased, s.Spec.Name)
 	}
 	env := s.M.Env
 	start := env.Now()
@@ -510,7 +511,7 @@ func (s *Sandbox) Execute() (simtime.Duration, error) {
 // have served requests yet.
 func (s *Sandbox) BuildImage() (*image.Image, error) {
 	if !s.AtEntry {
-		return nil, fmt.Errorf("sandbox: BuildImage requires the sandbox at its func-entry point")
+		return nil, fmt.Errorf("%w: BuildImage on %s", ErrNotAtEntry, s.Spec.Name)
 	}
 	cp, err := s.Kernel.Capture()
 	if err != nil {

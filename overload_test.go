@@ -3,6 +3,7 @@ package catalyzer
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -90,6 +91,12 @@ func TestOverloadProtectionUnderBurst(t *testing.T) {
 // (last completion − first arrival) is strictly less than the
 // serialized sum of their individual latencies.
 func TestIndependentFunctionsOverlapInVirtualTime(t *testing.T) {
+	// On a single-CPU machine GOMAXPROCS=1 runs each goroutine to
+	// completion before the next starts, so no arrival window can ever
+	// overlap; give the scheduler room to interleave.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
 	c := NewClient()
 	defer c.Close()
 	fns := []string{"c-hello", "java-hello"}

@@ -1,6 +1,7 @@
 package catalyzer
 
 import (
+	"errors"
 	"fmt"
 
 	"catalyzer/internal/admission"
@@ -47,6 +48,10 @@ var (
 	// ErrOutOfMemory: a boot did not fit the memory budget even after
 	// reclaim (keep-warm eviction, idle-template retirement).
 	ErrOutOfMemory = sandbox.ErrOutOfMemory
+
+	// ErrUnknownFaultSite: ArmFault was given a site name not in
+	// FaultSites.
+	ErrUnknownFaultSite = errors.New("catalyzer: unknown fault site")
 )
 
 // BootError is the typed error Invoke returns when a whole fallback
@@ -119,7 +124,7 @@ func NewClientWithStore(dir string, opts ...Option) (*Client, error) {
 // names are rejected (see FaultSites).
 func (c *Client) ArmFault(site string, rate float64) error {
 	if !faults.ValidSite(faults.Site(site)) {
-		return fmt.Errorf("catalyzer: unknown fault site %q (known: %v)", site, FaultSites())
+		return fmt.Errorf("%w: %q (known: %v)", ErrUnknownFaultSite, site, FaultSites())
 	}
 	c.p.ArmFault(faults.Site(site), rate)
 	return nil
@@ -229,6 +234,7 @@ func (c *Client) Refresh(name string) error {
 	l := c.fnLock(name)
 	l.Lock()
 	defer l.Unlock()
+	//lint:allow lockdiscipline write-held fn lock is the documented artifact-swap exclusion; the reclaim path takes no fn locks
 	_, err := c.p.RefreshImage(name)
 	return err
 }
