@@ -165,6 +165,11 @@ type Client struct {
 	// (read-locked) of the same function without serializing the rest.
 	fnMu    sync.Mutex
 	fnLocks map[string]*sync.RWMutex
+
+	// recMu guards lastRecovery, the cached report of the most recent
+	// Recover pass.
+	recMu        sync.Mutex
+	lastRecovery *RecoveryReport
 }
 
 func newClient(cfg config) *Client {
@@ -185,7 +190,7 @@ func NewClient(opts ...Option) *Client {
 	c := newClient(cfg)
 	c.p = platform.New(cfg.cost)
 	if cfg.faultSeed != nil {
-		c.p.M.Faults = faults.New(*cfg.faultSeed)
+		c.p.InstallFaults(faults.New(*cfg.faultSeed))
 	}
 	if cfg.memPages > 0 {
 		c.p.SetMemoryBudget(cfg.memPages)

@@ -166,6 +166,84 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosCrashRestartReinvoke is the crash-restart-reinvoke loop: each
+// round opens a client over the same store directory, recovers the
+// registry from the manifest, invokes under armed store crash sites
+// (every durability boundary a Save can die at), and closes. The
+// invariants: recovery always succeeds, a recovered function serves
+// without a fresh Deploy, and only typed errors ever escape.
+func TestChaosCrashRestartReinvoke(t *testing.T) {
+	rounds := 12
+	if testing.Short() {
+		rounds = 5
+	}
+	dir := t.TempDir()
+	storeSites := []string{"store-write", "store-rename", "journal-append", "manifest-compact"}
+
+	// Round 0 deploys for real; later rounds must recover from the store.
+	for round := 0; round < rounds; round++ {
+		c, err := NewClientWithStore(dir, WithFaultSeed(int64(round)))
+		if err != nil {
+			t.Fatalf("round %d: reopen store: %v", round, err)
+		}
+		rep, err := c.Recover(context.Background())
+		if err != nil {
+			t.Fatalf("round %d: recover: %v", round, err)
+		}
+		if round == 0 {
+			if err := c.Deploy(context.Background(), "c-hello"); err != nil {
+				t.Fatal(err)
+			}
+		} else if len(rep.Recovered) != 1 || rep.Recovered[0] != "c-hello" {
+			t.Fatalf("round %d: recovered %v (failed %v), want [c-hello]", round, rep.Recovered, rep.Failed)
+		}
+
+		// Arm every store crash site plus boot-phase noise, then push
+		// traffic through Refresh (which re-runs the store load/save path)
+		// and the three Catalyzer boot kinds.
+		site := storeSites[round%len(storeSites)]
+		if err := c.ArmFault(site, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ArmFault("image-load", 0.2); err != nil {
+			t.Fatal(err)
+		}
+		kinds := []BootKind{ForkBoot, WarmBoot, ColdBoot}
+		for i := 0; i < 9; i++ {
+			if i%3 == 2 {
+				if err := c.Refresh("c-hello"); err != nil && !typedError(err) {
+					t.Fatalf("round %d iter %d: refresh non-typed error: %v", round, i, err)
+				}
+			}
+			if _, err := c.Invoke(context.Background(), "c-hello", kinds[i%3]); err != nil && !typedError(err) {
+				t.Fatalf("round %d iter %d: non-typed error escaped Invoke: %v", round, i, err)
+			}
+		}
+		c.Close()
+		if got := c.Running(); got != 0 {
+			t.Fatalf("round %d: leaked instances: %d", round, got)
+		}
+	}
+
+	// After every round of crashes the store still reopens to a
+	// serviceable state with c-hello live.
+	c, err := NewClientWithStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 1 || rep.Recovered[0] != "c-hello" {
+		t.Fatalf("final recovery = %v (failed %v)", rep.Recovered, rep.Failed)
+	}
+	if _, err := c.Invoke(context.Background(), "c-hello", ColdBoot); err != nil {
+		t.Fatalf("final invoke after crash-restart loop: %v", err)
+	}
+	c.Close()
+}
+
 func TestHappyPathUnchangedByRecoveryRouting(t *testing.T) {
 	// With no injector installed, Invoke (now routed through the recovery
 	// chain) must report the exact latencies of a direct platform invoke.

@@ -31,6 +31,15 @@
 // body also carries live-instance and quarantine counts, so an
 // orchestrator can alert on template/image churn before requests fail.
 //
+// With -store-dir the daemon persists func-images in a crash-consistent
+// on-disk store (journaled manifest, per-image generations with a
+// last-known-good fallback). On restart it rehydrates the function
+// registry from the store's manifest, so previously deployed functions
+// serve without a fresh /deploy; /metrics carries the recovery outcome
+// and the store's durability counters (rollbacks, scrub repairs,
+// quarantines, orphan sweeps), and /health reports rollbacks and the
+// recovered-function count.
+//
 // The daemon serves real HTTP over net/http; the sandboxes behind it run
 // on the simulated machine, so responses carry virtual-time latencies.
 // SIGINT/SIGTERM shut the daemon down gracefully: admission stops
@@ -234,6 +243,13 @@ type failureMetrics struct {
 	TemplateRebuildFailures int                       `json:"template_rebuild_failures"`
 	ImagesQuarantined       int                       `json:"images_quarantined"`
 	ImageLoadFaults         int                       `json:"image_load_faults"`
+	Rollbacks               int                       `json:"rollbacks"`
+	ImageRebuilds           int                       `json:"image_rebuilds"`
+	ImageRebuildFailures    int                       `json:"image_rebuild_failures"`
+	ImageSaveFailures       int                       `json:"image_save_failures"`
+	OrphansSwept            int                       `json:"orphans_swept"`
+	ScrubRepaired           int                       `json:"scrub_repaired"`
+	ScrubQuarantined        int                       `json:"scrub_quarantined"`
 	Exhausted               int                       `json:"exhausted"`
 	Aborted                 int                       `json:"aborted"`
 	MemoryReclaims          int                       `json:"memory_reclaims"`
@@ -255,6 +271,13 @@ func failureMetricsOf(st catalyzer.FailureStats) failureMetrics {
 		TemplateRebuildFailures: st.TemplateRebuildFailures,
 		ImagesQuarantined:       st.ImagesQuarantined,
 		ImageLoadFaults:         st.ImageLoadFaults,
+		Rollbacks:               st.Rollbacks,
+		ImageRebuilds:           st.ImageRebuilds,
+		ImageRebuildFailures:    st.ImageRebuildFailures,
+		ImageSaveFailures:       st.ImageSaveFailures,
+		OrphansSwept:            st.OrphansSwept,
+		ScrubRepaired:           st.ScrubRepaired,
+		ScrubQuarantined:        st.ScrubQuarantined,
 		Exhausted:               st.Exhausted,
 		Aborted:                 st.Aborted,
 		MemoryReclaims:          st.MemoryReclaims,
@@ -315,12 +338,20 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 			MaxMS:  float64(st.MaxBoot) / 1e6,
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"boots":    boots,
 		"failures": failureMetricsOf(s.client.FailureStats()),
 		"overload": overloadMetricsOf(s.client.OverloadStats()),
-	})
+	}
+	if rep := s.client.RecoveryReport(); rep != nil {
+		body["recovery"] = map[string]any{
+			"recovered_functions": len(rep.Recovered),
+			"recovered":           rep.Recovered,
+			"failed":              rep.Failed,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 // health reports liveness, degradation, and drain: 200 while every
@@ -342,16 +373,21 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 	if s.client.Draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":                status,
 		"live_instances":        s.client.Running(),
 		"open_breakers":         open,
 		"templates_quarantined": st.TemplatesQuarantined,
 		"images_quarantined":    st.ImagesQuarantined,
+		"rollbacks":             st.Rollbacks,
 		"exhausted_boots":       st.Exhausted,
-	})
+	}
+	if rep := s.client.RecoveryReport(); rep != nil {
+		body["recovered_functions"] = len(rep.Recovered)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
@@ -386,6 +422,7 @@ func main() {
 	maxPerFunction := flag.Int("max-per-function", 0, "per-function in-flight invocation cap (0 = unlimited)")
 	queueDepth := flag.Int("queue-depth", 0, "admission queue depth; beyond it requests are shed with 429 (0 = shed at capacity)")
 	memoryBudget := flag.Int("memory-budget", 0, "machine memory budget in pages; boots under pressure evict idle instances (0 = unlimited)")
+	storeDir := flag.String("store-dir", "", "directory for the crash-consistent func-image store; deployed functions are recovered from it on restart (empty = in-memory only)")
 	flag.Parse()
 
 	opts := []catalyzer.Option{
@@ -401,7 +438,26 @@ func main() {
 	if *memoryBudget > 0 {
 		opts = append(opts, catalyzer.WithMemoryBudget(*memoryBudget))
 	}
-	c := catalyzer.NewClient(opts...)
+	var c *catalyzer.Client
+	if *storeDir != "" {
+		var err error
+		c, err = catalyzer.NewClientWithStore(*storeDir, opts...)
+		if err != nil {
+			log.Fatalf("open image store %s: %v", *storeDir, err)
+		}
+		// Rehydrate the registry from the store's manifest: functions
+		// deployed before a restart serve again without a fresh /deploy.
+		rep, err := c.Recover(context.Background())
+		if err != nil {
+			log.Fatalf("recover from image store: %v", err)
+		}
+		log.Printf("recovered %d function(s) from %s: %v", len(rep.Recovered), *storeDir, rep.Recovered)
+		for fn, cause := range rep.Failed {
+			log.Printf("could not recover %s: %s", fn, cause)
+		}
+	} else {
+		c = catalyzer.NewClient(opts...)
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,

@@ -301,6 +301,98 @@ func TestDeployCustomAndTrain(t *testing.T) {
 	}
 }
 
+// TestRestartRecovery is the daemon half of the restart-recovery
+// contract: a second daemon over the same store directory serves the
+// first daemon's functions without a fresh /deploy, and /metrics and
+// /health expose the recovery outcome.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	// Daemon 1: deploy + invoke, then shut down.
+	c1, err := catalyzer.NewClientWithStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(Handler(c1))
+	if resp := post(t, srv1, "/deploy?fn=c-hello"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy = %d", resp.StatusCode)
+	}
+	if resp := post(t, srv1, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke = %d", resp.StatusCode)
+	}
+	srv1.Close()
+	c1.Close()
+
+	// Daemon 2 ("restarted") over the same store: recover, then serve
+	// WITHOUT a /deploy.
+	c2, err := catalyzer.NewClientWithStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c2.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 1 || rep.Recovered[0] != "c-hello" {
+		t.Fatalf("recovered = %v (failed %v)", rep.Recovered, rep.Failed)
+	}
+	srv2 := httptest.NewServer(Handler(c2))
+	t.Cleanup(func() { srv2.Close(); c2.Close() })
+	resp := post(t, srv2, "/invoke?fn=c-hello&boot=cold")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke after restart without re-deploy = %d", resp.StatusCode)
+	}
+	var inv invokeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Function != "c-hello" || inv.BootMS <= 0 {
+		t.Fatalf("recovered invocation = %+v", inv)
+	}
+
+	// /metrics exposes the recovery outcome and durability counters.
+	mresp, err := http.Get(srv2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m struct {
+		Failures map[string]any `json:"failures"`
+		Recovery struct {
+			RecoveredFunctions int      `json:"recovered_functions"`
+			Recovered          []string `json:"recovered"`
+		} `json:"recovery"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Recovery.RecoveredFunctions != 1 || len(m.Recovery.Recovered) != 1 {
+		t.Fatalf("metrics recovery section = %+v", m.Recovery)
+	}
+	for _, key := range []string{"rollbacks", "scrub_repaired", "scrub_quarantined", "orphans_swept", "image_rebuilds", "image_save_failures"} {
+		if _, ok := m.Failures[key]; !ok {
+			t.Fatalf("metrics failures missing durability counter %q: %v", key, m.Failures)
+		}
+	}
+
+	// /health carries the recovered-function count and rollback gauge.
+	hresp, err := http.Get(srv2.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := h["recovered_functions"].(float64); !ok || got != 1 {
+		t.Fatalf("health recovered_functions = %v", h["recovered_functions"])
+	}
+	if _, ok := h["rollbacks"]; !ok {
+		t.Fatalf("health missing rollbacks: %v", h)
+	}
+}
+
 func TestMethodRouting(t *testing.T) {
 	srv := newTestServer(t)
 	resp, err := http.Get(srv.URL + "/deploy?fn=c-hello")

@@ -46,3 +46,37 @@ func fromStats(st BootStats) bootMetrics {
 func projectSuppressed(st BootStats) bootMetrics {
 	return bootMetrics{boots: st.Boots}
 }
+
+// DurabilityStats is the image store's crash-recovery accounting: every
+// one of these counters must reach /metrics, or a store quietly rolling
+// back generations (or quarantining files at every scrub) is invisible
+// to the operator.
+type DurabilityStats struct {
+	Rollbacks        int
+	ScrubRepaired    int
+	ScrubQuarantined int
+	OrphansSwept     int
+}
+
+type durabilityMetrics struct {
+	rollbacks   int
+	repaired    int
+	quarantined int
+	orphans     int
+}
+
+func projectDropsDurability(st DurabilityStats) durabilityMetrics { // want `metrics projection projectDropsDurability drops DurabilityStats field\(s\) OrphansSwept, ScrubQuarantined`
+	return durabilityMetrics{
+		rollbacks: st.Rollbacks,
+		repaired:  st.ScrubRepaired,
+	}
+}
+
+func projectDurabilityComplete(st DurabilityStats) durabilityMetrics {
+	return durabilityMetrics{
+		rollbacks:   st.Rollbacks,
+		repaired:    st.ScrubRepaired,
+		quarantined: st.ScrubQuarantined,
+		orphans:     st.OrphansSwept,
+	}
+}

@@ -41,12 +41,38 @@ const (
 	// SiteZygoteTake is taking a Zygote from the pool (a wedged cached
 	// sandbox, §3.4).
 	SiteZygoteTake Site = "zygote-take"
+
+	// The remaining sites simulate a process kill at each durability
+	// boundary of the on-disk image store: the step's partial effect is
+	// left on disk exactly as a crash would leave it, and the store
+	// returns without cleaning up. Reopening the store directory then
+	// exercises journal replay + scrub, which must converge to either the
+	// pre-operation or post-operation state.
+
+	// SiteStoreWrite kills mid-write of an image's temp file (a torn
+	// payload that never reached its rename).
+	SiteStoreWrite Site = "store-write"
+	// SiteStoreRename kills between the fsynced temp write and the
+	// rename into place (an orphaned, complete temp file).
+	SiteStoreRename Site = "store-rename"
+	// SiteJournalAppend kills mid-append of a store journal record (a
+	// torn record at the journal tail).
+	SiteJournalAppend Site = "journal-append"
+	// SiteManifestCompact kills after writing the new manifest's temp
+	// file but before renaming it over MANIFEST.
+	SiteManifestCompact Site = "manifest-compact"
 )
 
 // Sites lists every injection point.
 func Sites() []Site {
 	return []Site{SiteImageLoad, SiteImageDecode, SiteEPTMap,
-		SiteMetaFixup, SiteIOReconnect, SiteSfork, SiteZygoteTake}
+		SiteMetaFixup, SiteIOReconnect, SiteSfork, SiteZygoteTake,
+		SiteStoreWrite, SiteStoreRename, SiteJournalAppend, SiteManifestCompact}
+}
+
+// StoreSites lists the store durability crash points.
+func StoreSites() []Site {
+	return []Site{SiteStoreWrite, SiteStoreRename, SiteJournalAppend, SiteManifestCompact}
 }
 
 // ValidSite reports whether s names a known injection point.

@@ -1,0 +1,337 @@
+package image
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"catalyzer/internal/faults"
+)
+
+// The store crash-point suite. Each faults.StoreSites() site simulates a
+// process kill at one durability boundary of Save; the invariant under
+// test is the one DESIGN.md §11 states: after any single crash point,
+// reopening the store yields either the pre-Save or the post-Save state
+// — an acknowledged save is never lost, and nothing half-written is ever
+// served.
+
+// crashStore saves one acknowledged generation, then attempts a second
+// Save with the given site armed at rate 1. It returns the store dir.
+func crashStore(t *testing.T, site faults.Site) (dir string, img *Image) {
+	t.Helper()
+	dir = t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img = buildImage(t, 120, 8)
+	if err := s.Save(img); err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(1)
+	inj.Arm(site, 1)
+	s.SetFaults(inj)
+	if err := s.Save(img); err == nil {
+		t.Fatalf("save with %s armed did not crash", site)
+	} else if !faults.IsFault(err) {
+		t.Fatalf("save with %s armed failed with a non-fault error: %v", site, err)
+	}
+	return dir, img
+}
+
+func TestStoreCrashPointsSave(t *testing.T) {
+	// Per-site expectation for the generation served after reopening:
+	// a crash before the rename loses the in-flight (unacknowledged)
+	// save; a crash after it may legitimately surface the new bytes.
+	wantGen := map[faults.Site]uint64{
+		faults.SiteStoreWrite:    1, // torn temp file: pre-Save state
+		faults.SiteStoreRename:   1, // orphaned temp file: pre-Save state
+		faults.SiteJournalAppend: 2, // renamed but unjournaled: adopted (post-Save)
+	}
+	for site, want := range wantGen {
+		t.Run(string(site), func(t *testing.T) {
+			dir, img := crashStore(t, site)
+			s2, err := NewStore(dir)
+			if err != nil {
+				t.Fatalf("reopen after %s crash: %v", site, err)
+			}
+			got, err := s2.Load(img.Name)
+			if err != nil {
+				t.Fatalf("load after %s crash: %v", site, err)
+			}
+			if got.Mem != img.Mem {
+				t.Fatalf("load after %s crash served wrong content", site)
+			}
+			if g := s2.ActiveGen(img.Name); g != want {
+				t.Fatalf("active generation after %s crash = %d, want %d", site, g, want)
+			}
+			// Crash debris must be gone: no temp files survive reopen.
+			des, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, de := range des {
+				if filepath.Ext(de.Name()) == tmpExt {
+					t.Fatalf("temp debris survived reopen after %s: %s", site, de.Name())
+				}
+			}
+			st := s2.Stats()
+			switch site {
+			case faults.SiteStoreWrite, faults.SiteStoreRename:
+				if st.OrphansSwept == 0 {
+					t.Fatalf("no orphan swept after %s crash: %+v", site, st)
+				}
+			case faults.SiteJournalAppend:
+				if st.ScrubRepaired == 0 {
+					t.Fatalf("unacknowledged save not adopted after %s crash: %+v", site, st)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreCrashPointCompact arms the manifest-compact site: every
+// compaction attempt "crashes" after writing MANIFEST.tmp. Saves keep
+// being acknowledged (compaction is off the acknowledgment path), and a
+// reopen must still see every acknowledged generation via the journal.
+func TestStoreCrashPointCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(1)
+	inj.Arm(faults.SiteManifestCompact, 1)
+	s.SetFaults(inj)
+	img := buildImage(t, 100, 4)
+	n := compactThreshold + 5
+	for i := 0; i < n; i++ {
+		if err := s.Save(img); err != nil {
+			t.Fatalf("save %d: %v", i+1, err)
+		}
+	}
+	if st := s.Stats(); st.Compactions != 0 {
+		t.Fatalf("compaction succeeded despite armed crash site: %+v", st)
+	}
+	if c := inj.Counts()[faults.SiteManifestCompact]; c.Injected == 0 {
+		t.Fatal("manifest-compact site never drew")
+	}
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after compact crashes: %v", err)
+	}
+	if g := s2.ActiveGen(img.Name); g != uint64(n) {
+		t.Fatalf("active generation after reopen = %d, want %d", g, n)
+	}
+	if _, err := s2.Load(img.Name); err != nil {
+		t.Fatalf("load after reopen: %v", err)
+	}
+}
+
+// copyDir clones a store directory so destructive reopen experiments
+// can run against a scratch copy.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	des, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, de.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestStoreTornJournalEveryByte truncates the on-disk journal at every
+// byte boundary — the full torn-write space of a crash mid-append — and
+// asserts reopening always converges to the acknowledged state: the
+// image files are intact, so even a fully-emptied journal is healed by
+// scrub adoption.
+func TestStoreTornJournalEveryByte(t *testing.T) {
+	src := t.TempDir()
+	s, err := NewStore(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := buildImage(t, 100, 4)
+	for i := 0; i < 2; i++ {
+		if err := s.Save(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jdata, err := os.ReadFile(s.journalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l <= len(jdata); l++ {
+		dir := copyDir(t, src)
+		if err := os.WriteFile(filepath.Join(dir, journalName), jdata[:l], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewStore(dir)
+		if err != nil {
+			t.Fatalf("reopen with journal torn at %d/%d: %v", l, len(jdata), err)
+		}
+		got, err := s2.Load(img.Name)
+		if err != nil {
+			t.Fatalf("load with journal torn at %d/%d: %v", l, len(jdata), err)
+		}
+		if got.Mem != img.Mem {
+			t.Fatalf("journal torn at %d: wrong content served", l)
+		}
+		if g := s2.ActiveGen(img.Name); g != 2 {
+			t.Fatalf("journal torn at %d: active generation %d, want 2", l, g)
+		}
+	}
+}
+
+// TestStoreTornManifestEveryByte truncates MANIFEST at every byte
+// boundary: any damage to the atomically-written manifest triggers a
+// quarantine-and-rescan that still recovers the acknowledged state from
+// the image files.
+func TestStoreTornManifestEveryByte(t *testing.T) {
+	src := t.TempDir()
+	s, err := NewStore(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := buildImage(t, 100, 4)
+	for i := 0; i < compactThreshold; i++ {
+		if err := s.Save(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Compactions == 0 {
+		t.Fatal("setup never compacted")
+	}
+	mdata, err := os.ReadFile(s.manifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1
+	if testing.Short() {
+		step = 7
+	}
+	for l := 0; l < len(mdata); l += step {
+		dir := copyDir(t, src)
+		if err := os.WriteFile(filepath.Join(dir, manifestName), mdata[:l], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewStore(dir)
+		if err != nil {
+			t.Fatalf("reopen with manifest torn at %d/%d: %v", l, len(mdata), err)
+		}
+		got, err := s2.Load(img.Name)
+		if err != nil {
+			t.Fatalf("load with manifest torn at %d/%d: %v", l, len(mdata), err)
+		}
+		if got.Mem != img.Mem {
+			t.Fatalf("manifest torn at %d: wrong content served", l)
+		}
+		if g := s2.ActiveGen(img.Name); g != uint64(compactThreshold) {
+			t.Fatalf("manifest torn at %d: active generation %d, want %d", l, g, compactThreshold)
+		}
+		st := s2.Stats()
+		if st.ScrubQuarantined == 0 {
+			t.Fatalf("manifest torn at %d: damaged manifest not quarantined: %+v", l, st)
+		}
+		if _, err := os.Stat(filepath.Join(dir, manifestName+".quarantined")); err != nil {
+			t.Fatalf("manifest torn at %d: no quarantined control file: %v", l, err)
+		}
+	}
+}
+
+// TestStoreStaleJournalAfterCompaction simulates a crash between the
+// manifest rename and the journal truncation of a compaction: replaying
+// the stale journal over the fresh manifest must be idempotent.
+func TestStoreStaleJournalAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := buildImage(t, 100, 4)
+	var stale []byte
+	for i := 0; i < compactThreshold; i++ {
+		if err := s.Save(img); err != nil {
+			t.Fatal(err)
+		}
+		if i == compactThreshold-2 {
+			stale, err = os.ReadFile(s.journalPath())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := s.Stats(); st.Compactions == 0 {
+		t.Fatal("setup never compacted")
+	}
+	// Reinstate the pre-compaction journal next to the new MANIFEST.
+	if err := os.WriteFile(s.journalPath(), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := s2.ActiveGen(img.Name); g != uint64(compactThreshold) {
+		t.Fatalf("active generation after stale-journal replay = %d, want %d", g, compactThreshold)
+	}
+	if _, err := s2.Load(img.Name); err != nil {
+		t.Fatalf("load after stale-journal replay: %v", err)
+	}
+}
+
+// TestStoreCrashLoop drives repeated crash/reopen cycles across every
+// store site and asserts the monotone invariant: the served generation
+// never goes backwards past an acknowledged save, and the store always
+// reopens serviceable.
+func TestStoreCrashLoop(t *testing.T) {
+	dir := t.TempDir()
+	img := buildImage(t, 100, 4)
+	var acked uint64
+
+	sites := faults.StoreSites()
+	rounds := 4 * len(sites)
+	if testing.Short() {
+		rounds = len(sites)
+	}
+	for round := 0; round < rounds; round++ {
+		s, err := NewStore(dir)
+		if err != nil {
+			t.Fatalf("round %d: reopen: %v", round, err)
+		}
+		if acked > 0 {
+			got, err := s.Load(img.Name)
+			if err != nil {
+				t.Fatalf("round %d: load acknowledged image: %v", round, err)
+			}
+			if got.Mem != img.Mem {
+				t.Fatalf("round %d: wrong content", round)
+			}
+			if g := s.ActiveGen(img.Name); g < acked {
+				t.Fatalf("round %d: generation went backwards: %d < acked %d", round, g, acked)
+			}
+		}
+		// One clean save (acknowledged), then one save under an armed
+		// crash site (maybe lost, maybe adopted — both legal).
+		if err := s.Save(img); err != nil {
+			t.Fatalf("round %d: clean save: %v", round, err)
+		}
+		acked = s.ActiveGen(img.Name)
+		inj := faults.New(int64(round))
+		inj.Arm(sites[round%len(sites)], 1)
+		s.SetFaults(inj)
+		_ = s.Save(img) // crash (site manifest-compact may even ack)
+	}
+}

@@ -1,0 +1,132 @@
+package image
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The manifest is the journal's compacted form: a point-in-time snapshot
+// of every image's generation state, written atomically (temp + fsync +
+// rename) so the journal can be truncated. Opening the store replays
+// MANIFEST first, then whatever journal records were appended after the
+// last compaction.
+//
+// File layout (little-endian):
+//
+//	u32 magic "CMAN" | u32 version | u32 entry count | frame per entry
+//
+// The entry count makes truncation detectable even when it lands
+// exactly on a frame boundary.
+//
+// Each entry frame's payload:
+//
+//	name (u32 len + bytes) | nextGen u64 | activeGen u64 | activeSum u64 |
+//	prevGen u64 | prevSum u64
+//
+// activeGen 0 is a tombstone: the image was deleted but nextGen is kept
+// so a re-Save never reuses a generation number that may still exist in
+// a quarantine file. prevGen 0 means no last-known-good generation.
+//
+// The manifest shares the journal's frame codec, so a torn tail from a
+// crash mid-compaction truncates to the last complete entry; but unlike
+// the journal a manifest is written atomically, so any damage at all is
+// treated as ErrCorrupt and the store falls back to a directory rescan.
+const (
+	manifestMagic   uint32 = 0x434d414e // "CMAN"
+	manifestVersion uint32 = 1
+)
+
+// manifestEntry is one image's persisted generation state.
+type manifestEntry struct {
+	Name      string
+	NextGen   uint64
+	ActiveGen uint64 // 0 = tombstone (deleted)
+	ActiveSum uint64
+	PrevGen   uint64 // 0 = no last-known-good
+	PrevSum   uint64
+}
+
+// encodeManifest serializes entries (sorted by name for determinism).
+func encodeManifest(entries []manifestEntry) []byte {
+	sorted := make([]manifestEntry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	buf := make([]byte, 0, 12+len(sorted)*64)
+	buf = binary.LittleEndian.AppendUint32(buf, manifestMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, manifestVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sorted)))
+	for _, e := range sorted {
+		payload := make([]byte, 0, 4+len(e.Name)+5*8)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(e.Name)))
+		payload = append(payload, e.Name...)
+		payload = binary.LittleEndian.AppendUint64(payload, e.NextGen)
+		payload = binary.LittleEndian.AppendUint64(payload, e.ActiveGen)
+		payload = binary.LittleEndian.AppendUint64(payload, e.ActiveSum)
+		payload = binary.LittleEndian.AppendUint64(payload, e.PrevGen)
+		payload = binary.LittleEndian.AppendUint64(payload, e.PrevSum)
+		buf = appendFrame(buf, payload)
+	}
+	return buf
+}
+
+// decodeManifest parses a manifest file. Any damage — bad magic, torn
+// tail, checksum failure, undecodable entry — is ErrCorrupt: manifests
+// are written atomically, so a damaged one is evidence of bit rot or a
+// non-atomic filesystem, and the store rebuilds state from the image
+// files instead.
+func decodeManifest(data []byte) ([]manifestEntry, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("%w: manifest truncated (%d bytes)", ErrCorrupt, len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[:4]); m != manifestMagic {
+		return nil, fmt.Errorf("%w: bad manifest magic %#x", ErrCorrupt, m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != manifestVersion {
+		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrCorrupt, v)
+	}
+	count := binary.LittleEndian.Uint32(data[8:12])
+	payloads, cleanLen, err := readFrames(data[12:])
+	if err != nil {
+		return nil, err
+	}
+	if cleanLen != len(data)-12 {
+		return nil, fmt.Errorf("%w: manifest has a torn tail at offset %d", ErrCorrupt, 12+cleanLen)
+	}
+	if uint64(count) != uint64(len(payloads)) {
+		return nil, fmt.Errorf("%w: manifest has %d entries, header says %d", ErrCorrupt, len(payloads), count)
+	}
+	entries := make([]manifestEntry, 0, len(payloads))
+	for _, p := range payloads {
+		e, derr := decodeManifestEntry(p)
+		if derr != nil {
+			return nil, derr
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func decodeManifestEntry(p []byte) (manifestEntry, error) {
+	var e manifestEntry
+	if len(p) < 4 {
+		return e, fmt.Errorf("%w: manifest entry too short (%d bytes)", ErrCorrupt, len(p))
+	}
+	n := binary.LittleEndian.Uint32(p[:4])
+	rest := p[4:]
+	if uint64(n) > uint64(len(rest)) {
+		return e, fmt.Errorf("%w: manifest entry name length %d exceeds payload", ErrCorrupt, n)
+	}
+	e.Name = string(rest[:n])
+	rest = rest[n:]
+	if len(rest) != 5*8 {
+		return e, fmt.Errorf("%w: manifest entry trailing length %d, want 40", ErrCorrupt, len(rest))
+	}
+	e.NextGen = binary.LittleEndian.Uint64(rest[0:8])
+	e.ActiveGen = binary.LittleEndian.Uint64(rest[8:16])
+	e.ActiveSum = binary.LittleEndian.Uint64(rest[16:24])
+	e.PrevGen = binary.LittleEndian.Uint64(rest[24:32])
+	e.PrevSum = binary.LittleEndian.Uint64(rest[32:40])
+	return e, nil
+}

@@ -55,7 +55,7 @@ func (s *RegistryServer) get(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	p, err := s.store.path(name)
+	p, err := s.store.ActivePath(name)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

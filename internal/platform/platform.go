@@ -94,6 +94,13 @@ type Platform struct {
 	// store, when set, persists func-images across platform restarts.
 	store *image.Store
 
+	// Off-critical-path image rebuilds (after a rollback to the
+	// last-known-good generation). rebuilding dedups in-flight rebuilds
+	// per function; rebuildWG lets Close and tests wait for them.
+	rebuildMu  sync.Mutex
+	rebuilding map[string]bool
+	rebuildWG  sync.WaitGroup
+
 	// rec is the failure-recovery state: fallback accounting, circuit
 	// breakers, template quarantine counters. Guarded by its own mutex
 	// (see recovery.go).
@@ -110,12 +117,13 @@ func New(cost *costmodel.Model) *Platform {
 	m := sandbox.NewMachine(cost)
 	cat := core.New(m)
 	return &Platform{
-		M:         m,
-		Cat:       cat,
-		Zygotes:   core.NewZygotePool(cat, 4),
-		funcs:     make(map[string]*Function),
-		buildCost: cost,
-		rec:       newRecovery(),
+		M:          m,
+		Cat:        cat,
+		Zygotes:    core.NewZygotePool(cat, 4),
+		funcs:      make(map[string]*Function),
+		buildCost:  cost,
+		rec:        newRecovery(),
+		rebuilding: make(map[string]bool),
 	}
 }
 
@@ -178,8 +186,20 @@ func (p *Platform) SandboxMem(s *sandbox.Sandbox) (rss uint64, pss float64) {
 	return s.AS.RSS(), s.AS.PSS()
 }
 
-// ArmFault arms a fault-injection site on the machine (creating a seed-0
-// injector if none is installed).
+// InstallFaults installs inj as the fault source for both the machine's
+// boot-pipeline sites and the image store's durability crash sites, so
+// one seed drives the whole schedule.
+func (p *Platform) InstallFaults(inj *faults.Injector) {
+	p.mu.Lock()
+	p.M.Faults = inj
+	p.mu.Unlock()
+	if p.store != nil {
+		p.store.SetFaults(inj)
+	}
+}
+
+// ArmFault arms a fault-injection site on the machine and store
+// (creating a seed-0 injector if none is installed).
 func (p *Platform) ArmFault(site faults.Site, rate float64) {
 	p.mu.Lock()
 	if p.M.Faults == nil {
@@ -187,6 +207,9 @@ func (p *Platform) ArmFault(site faults.Site, rate float64) {
 	}
 	inj := p.M.Faults
 	p.mu.Unlock()
+	if p.store != nil {
+		p.store.SetFaults(inj)
+	}
 	inj.Arm(site, rate)
 }
 
@@ -276,6 +299,12 @@ func (p *Platform) PrepareImage(name string) (*Function, error) {
 
 // prepareImage populates f's image and I/O cache (machine lock held —
 // the image swap must not race a concurrent boot of the same function).
+//
+// Corruption handling: a corrupt active generation is quarantined and
+// the store rolls back to the last-known-good generation, which is
+// served immediately; the rebuild of a fresh image then proceeds off
+// the critical path. Only when no good generation remains does the
+// caller pay for a synchronous offline rebuild.
 func (p *Platform) prepareImage(f *Function) error {
 	name := f.Spec.Name
 	if f.Image != nil {
@@ -299,10 +328,24 @@ func (p *Platform) prepareImage(f *Function) error {
 			return nil
 		case errors.Is(err, image.ErrCorrupt):
 			// A corrupt stored image is quarantined (moved aside for
-			// inspection), counted, and rebuilt — never silently reused,
-			// never silently discarded.
-			if _, qerr := p.store.Quarantine(name); qerr == nil {
+			// inspection), counted, and the store promotes the previous
+			// generation — never silently reused, never silently
+			// discarded.
+			for errors.Is(err, image.ErrCorrupt) {
+				if _, qerr := p.store.Quarantine(name); qerr != nil {
+					break
+				}
 				p.rec.addStats(func(s *FailureStats) { s.ImagesQuarantined++ })
+				img, err = p.store.Load(name)
+			}
+			if err == nil {
+				// Rollback-to-last-known-good: serve yesterday's image
+				// now, rebuild today's off the critical path.
+				f.Image = img
+				f.Cache = img.IOCache
+				p.rec.addStats(func(s *FailureStats) { s.Rollbacks++ })
+				p.startRebuild(f)
+				return nil
 			}
 		case errors.Is(err, fs.ErrNotExist):
 			// Plain cache miss: build the image for the first time.
@@ -312,31 +355,109 @@ func (p *Platform) prepareImage(f *Function) error {
 			p.rec.addStats(func(s *FailureStats) { s.ImageLoadFaults++ })
 		}
 	}
-	scratch := sandbox.NewMachine(p.buildCost)
-	s, _, err := sandbox.BootCold(scratch, f.Spec, newRootFS(f.Spec), sandbox.GVisorOptions(scratch))
+	img, err := p.buildOffline(f.Spec)
 	if err != nil {
-		return fmt.Errorf("platform: offline init of %s: %w", name, err)
+		return err
+	}
+	f.Image = img
+	f.Cache = img.IOCache
+	p.persistImage(img)
+	return nil
+}
+
+// buildOffline runs offline initialization on a scratch machine
+// (including the profiling execution that learns the I/O cache), so the
+// platform machine's clock and instance count are never perturbed.
+func (p *Platform) buildOffline(spec *workload.Spec) (*image.Image, error) {
+	scratch := sandbox.NewMachine(p.buildCost)
+	s, _, err := sandbox.BootCold(scratch, spec, newRootFS(spec), sandbox.GVisorOptions(scratch))
+	if err != nil {
+		return nil, fmt.Errorf("platform: offline init of %s: %w", spec.Name, err)
 	}
 	img, err := s.BuildImage()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Profile one execution to learn the deterministic I/O set.
 	if _, err := s.Execute(); err != nil {
-		return err
+		return nil, err
 	}
 	if s.Cache.Len() > 0 {
 		img.IOCache = s.Cache
 	}
+	s.Release()
+	return img, nil
+}
+
+// persistImage saves a freshly built image to the store. A save failure
+// is counted, not fatal: the image is fully usable in memory, and
+// failing the deploy would turn a durability hiccup into an outage.
+func (p *Platform) persistImage(img *image.Image) {
+	if p.store == nil {
+		return
+	}
+	if err := p.store.Save(img); err != nil {
+		p.rec.addStats(func(s *FailureStats) { s.ImageSaveFailures++ })
+	}
+}
+
+// startRebuild kicks off an off-critical-path image rebuild for f,
+// deduplicating concurrent requests per function.
+func (p *Platform) startRebuild(f *Function) {
+	name := f.Spec.Name
+	p.rebuildMu.Lock()
+	if p.rebuilding[name] {
+		p.rebuildMu.Unlock()
+		return
+	}
+	p.rebuilding[name] = true
+	p.rebuildMu.Unlock()
+	p.rebuildWG.Add(1)
+	go p.rebuildImage(f)
+}
+
+// rebuildImage rebuilds f's func-image offline and swaps it in under
+// the machine lock. The base memory mapping survives the swap when the
+// rebuilt image has identical memory geometry (deterministic builds
+// do); otherwise it is closed and lazily re-established by the next
+// restore boot.
+func (p *Platform) rebuildImage(f *Function) {
+	name := f.Spec.Name
+	defer p.rebuildWG.Done()
+	defer func() {
+		p.rebuildMu.Lock()
+		delete(p.rebuilding, name)
+		p.rebuildMu.Unlock()
+	}()
+	img, err := p.buildOffline(f.Spec)
+	if err != nil {
+		p.rec.addStats(func(s *FailureStats) { s.ImageRebuildFailures++ })
+		return
+	}
+	p.mu.Lock()
+	if f.Mapping != nil && (f.Image == nil || f.Image.Mem != img.Mem) {
+		f.Mapping.Close()
+		f.Mapping = nil
+	}
 	f.Image = img
 	f.Cache = img.IOCache
-	s.Release()
-	if p.store != nil {
-		if err := p.store.Save(img); err != nil {
-			return fmt.Errorf("platform: persist image for %s: %w", name, err)
-		}
+	p.mu.Unlock()
+	p.persistImage(img)
+	p.rec.addStats(func(s *FailureStats) { s.ImageRebuilds++ })
+}
+
+// WaitRebuilds blocks until every in-flight off-critical-path image
+// rebuild has completed (tests and shutdown).
+func (p *Platform) WaitRebuilds() { p.rebuildWG.Wait() }
+
+// StoredFunctions lists the function names with a live image in the
+// platform's store (empty without a store) — the set a restarted daemon
+// can rehydrate without re-running offline initialization.
+func (p *Platform) StoredFunctions() ([]string, error) {
+	if p.store == nil {
+		return nil, nil
 	}
-	return nil
+	return p.store.List()
 }
 
 // RefreshImage discards a function's in-memory func-image and re-runs
@@ -427,6 +548,7 @@ func (r *Result) Total() simtime.Duration { return r.BootLatency + r.ExecLatency
 // system and leaves it running (the caller releases it). A boot that
 // does not fit the machine's memory budget triggers reclaim (keep-warm
 // eviction, idle-template retirement) and retries before failing.
+//
 //lint:allow ctxflow machine-layer boots are synchronous virtual-time work; deadline aborts happen above, in BootRecover's fallback chain
 func (p *Platform) Boot(name string, sys System) (*Result, error) {
 	for round := 0; ; round++ {
@@ -544,6 +666,7 @@ func (p *Platform) boot(name string, sys System) (*Result, error) {
 }
 
 // Invoke boots, executes one request, and releases the instance.
+//
 //lint:allow ctxflow machine-layer invoke is synchronous virtual-time work; deadline aborts happen above, in InvokeRecover
 func (p *Platform) Invoke(name string, sys System) (*Result, error) {
 	r, err := p.Boot(name, sys)
@@ -561,6 +684,7 @@ func (p *Platform) Invoke(name string, sys System) (*Result, error) {
 
 // InvokeKeep boots and executes but keeps the instance running,
 // returning it in the result (concurrency and memory experiments).
+//
 //lint:allow ctxflow machine-layer invoke is synchronous virtual-time work; deadline aborts happen above, in InvokeKeepRecover
 func (p *Platform) InvokeKeep(name string, sys System) (*Result, error) {
 	r, err := p.Boot(name, sys)

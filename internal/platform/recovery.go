@@ -71,6 +71,21 @@ type FailureStats struct {
 	// of corruption (rebuilt, not quarantined).
 	ImagesQuarantined int
 	ImageLoadFaults   int
+	// Rollbacks counts corrupt active generations served from the
+	// last-known-good generation instead (rebuild off the critical
+	// path). ImageRebuilds / ImageRebuildFailures count those
+	// off-critical-path rebuilds; ImageSaveFailures counts store
+	// persists that failed (the in-memory image kept serving).
+	Rollbacks            int
+	ImageRebuilds        int
+	ImageRebuildFailures int
+	ImageSaveFailures    int
+	// Durability counters merged from the image store's startup scrub:
+	// temp/stale files swept, divergences healed without data loss, and
+	// artifacts quarantined as corrupt. Zero without a store.
+	OrphansSwept     int
+	ScrubRepaired    int
+	ScrubQuarantined int
 	// Exhausted counts invocations whose whole fallback chain failed.
 	Exhausted int
 	// Aborted counts invocations whose fallback chain was cut short by
@@ -179,11 +194,19 @@ func (p *Platform) RecoveryConfig() RecoveryConfig {
 	return p.rec.cfg
 }
 
-// FailureStats returns a copy of the recovery accounting.
+// FailureStats returns a copy of the recovery accounting, with the
+// image store's durability counters folded in.
 func (p *Platform) FailureStats() FailureStats {
 	p.rec.mu.Lock()
-	defer p.rec.mu.Unlock()
-	return p.rec.stats.clone()
+	out := p.rec.stats.clone()
+	p.rec.mu.Unlock()
+	if p.store != nil {
+		st := p.store.Stats()
+		out.OrphansSwept = st.OrphansSwept
+		out.ScrubRepaired = st.ScrubRepaired
+		out.ScrubQuarantined = st.ScrubQuarantined
+	}
+	return out
 }
 
 // BreakerStates reports every instantiated breaker's state, keyed
@@ -412,6 +435,9 @@ func (p *Platform) InvokeKeepRecover(ctx context.Context, name string, sys Syste
 // artifacts. After Close (and the release of any kept instances) the
 // machine reports zero live sandboxes.
 func (p *Platform) Close() {
+	// Drain off-critical-path image rebuilds first — they take the
+	// machine lock to swap images and may reopen mappings.
+	p.rebuildWG.Wait()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, f := range p.registeredFunctions() {

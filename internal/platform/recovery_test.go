@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"os"
-	"path/filepath"
 	"testing"
 
 	"catalyzer/internal/costmodel"
@@ -317,8 +316,11 @@ func TestCorruptStoredImageQuarantinedAndRebuilt(t *testing.T) {
 	if _, err := p1.PrepareImage("c-hello"); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the stored payload.
-	path := filepath.Join(dir, "c-hello.cimg")
+	// Corrupt the stored payload (the active generation file).
+	path, err := store.ActivePath("c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

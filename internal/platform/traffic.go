@@ -162,6 +162,7 @@ func (c *KeepWarmCache) put(name string, r *Result) {
 
 // Invoke serves one request: cache hit executes on the idle instance
 // (boot latency zero), miss cold-boots and caches the instance.
+//
 //lint:allow ctxflow keep-warm is the paper's synchronous baseline comparator; it has no deadline semantics
 func (c *KeepWarmCache) Invoke(name string) (boot, exec simtime.Duration, err error) {
 	if r, ok := c.take(name); ok {

@@ -1,6 +1,7 @@
 package catalyzer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -70,8 +71,11 @@ type RecoveryConfig = platform.RecoveryConfig
 func DefaultRecoveryConfig() RecoveryConfig { return platform.DefaultRecoveryConfig() }
 
 // FaultSites lists the fault-injection site names accepted by ArmFault:
-// image-load, image-decode, base-ept-map, metadata-fixup, io-reconnect,
-// sfork, zygote-take.
+// the boot-pipeline sites (image-load, image-decode, base-ept-map,
+// metadata-fixup, io-reconnect, sfork, zygote-take) and the image store's
+// durability crash points (store-write, store-rename, journal-append,
+// manifest-compact), which simulate a kill at each point a Save could be
+// interrupted.
 func FaultSites() []string {
 	sites := faults.Sites()
 	out := make([]string, len(sites))
@@ -110,12 +114,66 @@ func NewClientWithStore(dir string, opts ...Option) (*Client, error) {
 	c := newClient(cfg)
 	c.p = platform.NewWithStore(cfg.cost, store)
 	if cfg.faultSeed != nil {
-		c.p.M.Faults = faults.New(*cfg.faultSeed)
+		c.p.InstallFaults(faults.New(*cfg.faultSeed))
 	}
 	if cfg.memPages > 0 {
 		c.p.SetMemoryBudget(cfg.memPages)
 	}
 	return c, nil
+}
+
+// RecoveryReport summarizes one Recover pass: which stored functions
+// were rehydrated from the image store and which could not be.
+type RecoveryReport struct {
+	// Recovered lists the functions re-deployed from their stored
+	// func-images, sorted by name.
+	Recovered []string
+	// Failed maps function names that could not be rehydrated — for
+	// example trained variants, whose base workload must be re-Trained —
+	// to the formatted failure. Per-function failures never abort the
+	// rest of the pass.
+	Failed map[string]string
+}
+
+// Recover rehydrates the client's function registry from the on-disk
+// image store (NewClientWithStore): every function with a live stored
+// image is re-deployed, loading its func-image instead of re-running
+// offline initialization, so a restarted daemon serves previously
+// deployed functions without a fresh Deploy. Functions that cannot be
+// rehydrated are reported in the RecoveryReport, not fatal; a client
+// without a store recovers nothing. The report is cached for
+// RecoveryReport. ctx bounds the whole pass.
+func (c *Client) Recover(ctx context.Context) (*RecoveryReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	names, err := c.p.StoredFunctions()
+	if err != nil {
+		return nil, err
+	}
+	rep := &RecoveryReport{Failed: make(map[string]string)}
+	for _, name := range names {
+		if err := c.Deploy(ctx, name); err != nil {
+			if admission.CtxErr(ctx) != nil {
+				return nil, err // the caller's deadline, not a per-function failure
+			}
+			rep.Failed[name] = err.Error()
+			continue
+		}
+		rep.Recovered = append(rep.Recovered, name)
+	}
+	c.recMu.Lock()
+	c.lastRecovery = rep
+	c.recMu.Unlock()
+	return rep, nil
+}
+
+// RecoveryReport returns the report of the most recent Recover pass, or
+// nil if Recover has not run.
+func (c *Client) RecoveryReport() *RecoveryReport {
+	c.recMu.Lock()
+	defer c.recMu.Unlock()
+	return c.lastRecovery
 }
 
 // ArmFault arms a fault-injection site with a failure probability in
@@ -171,6 +229,24 @@ type FailureStats struct {
 	// of corruption.
 	ImagesQuarantined int
 	ImageLoadFaults   int
+	// Rollbacks counts corrupt active generations served from their
+	// last-known-good predecessor instead of a synchronous rebuild;
+	// ImageRebuilds counts the off-critical-path rebuilds that followed
+	// (ImageRebuildFailures the ones that themselves failed).
+	Rollbacks            int
+	ImageRebuilds        int
+	ImageRebuildFailures int
+	// ImageSaveFailures counts image persists that failed at a durability
+	// boundary; the deploy still succeeds on the in-memory image.
+	ImageSaveFailures int
+	// Store scrub accounting, from every open of the on-disk image store:
+	// OrphansSwept counts abandoned temp/stale generation files removed,
+	// ScrubRepaired counts divergences repaired in place (torn journal
+	// tails truncated, unjournaled generations adopted), ScrubQuarantined
+	// counts files that failed verification and were moved aside.
+	OrphansSwept     int
+	ScrubRepaired    int
+	ScrubQuarantined int
 	// Exhausted counts invocations whose whole fallback chain failed.
 	Exhausted int
 	// Aborted counts invocations whose fallback chain was cut short by
@@ -204,6 +280,13 @@ func (c *Client) FailureStats() FailureStats {
 		TemplateRebuildFailures: st.TemplateRebuildFailures,
 		ImagesQuarantined:       st.ImagesQuarantined,
 		ImageLoadFaults:         st.ImageLoadFaults,
+		Rollbacks:               st.Rollbacks,
+		ImageRebuilds:           st.ImageRebuilds,
+		ImageRebuildFailures:    st.ImageRebuildFailures,
+		ImageSaveFailures:       st.ImageSaveFailures,
+		OrphansSwept:            st.OrphansSwept,
+		ScrubRepaired:           st.ScrubRepaired,
+		ScrubQuarantined:        st.ScrubQuarantined,
 		Exhausted:               st.Exhausted,
 		Aborted:                 st.Aborted,
 		MemoryReclaims:          st.MemoryReclaims,
