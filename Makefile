@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos ci clean
+.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos chaos-supervision ci clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,11 @@ stress:
 # Full seeded chaos run (500 invocations at 30% fault rates) on its own.
 chaos:
 	$(GO) test -run 'Chaos' -v .
+
+# Supervision & self-healing suite (probes, watchdog, lineage poisoning,
+# crash-loop parking) under the race detector; mirrors the CI race job.
+chaos-supervision:
+	$(GO) test -race -count=2 -run 'TestChaosSupervision|TestPoisonedTemplateContainment|TestWatchdogKillReleasesAdmissionSlot|TestCrashLoopParksAndRecovers|TestShutdownDrainsSupervision' ./...
 
 ci: vet staticcheck lint race
 

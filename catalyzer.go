@@ -112,10 +112,25 @@ type AdmissionConfig struct {
 type Option func(*config)
 
 type config struct {
-	cost      *costmodel.Model
-	faultSeed *int64
-	adm       admission.Config
-	memPages  int
+	cost       *costmodel.Model
+	faultSeed  *int64
+	adm        admission.Config
+	memPages   int
+	zygotePool *int
+	supervise  *SuperviseConfig
+}
+
+// platformConfig assembles the platform tuning from the client options.
+// Options sanitize their inputs, so the result always validates.
+func platformConfig(cfg config) platform.Config {
+	pcfg := platform.DefaultConfig()
+	if cfg.zygotePool != nil {
+		pcfg.ZygotePoolSize = *cfg.zygotePool
+	}
+	if cfg.supervise != nil {
+		pcfg.Supervise = *cfg.supervise
+	}
+	return pcfg
 }
 
 // WithServerMachine runs the client on the paper's 96-core server
@@ -149,6 +164,52 @@ func WithAdmission(cfg AdmissionConfig) Option {
 // failing with an out-of-memory error.
 func WithMemoryBudget(pages int) Option {
 	return func(c *config) { c.memPages = pages }
+}
+
+// WithZygotePool sets the Zygote pool's target size: the pool is built
+// to n at client creation and refilled back to n after warm boots and
+// after the supervisor prunes wedged Zygotes. Zero disables the pool
+// (warm boots degrade to cold); negative values are treated as zero.
+func WithZygotePool(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		v := n
+		c.zygotePool = &v
+	}
+}
+
+// WithSupervision tunes the client's runtime supervision layer (probe
+// cadence, watchdog multiple, poisoning verdict threshold, crash-loop
+// parking). Zero fields keep their defaults; negative fields are
+// sanitized to zero (i.e. the default).
+func WithSupervision(cfg SuperviseConfig) Option {
+	return func(c *config) {
+		if cfg.ProbeInterval < 0 {
+			cfg.ProbeInterval = 0
+		}
+		if cfg.WatchdogMultiple < 0 {
+			cfg.WatchdogMultiple = 0
+		}
+		if cfg.PoisonThreshold < 0 {
+			cfg.PoisonThreshold = 0
+		}
+		if cfg.CrashLoopWindow < 0 {
+			cfg.CrashLoopWindow = 0
+		}
+		if cfg.CrashLoopThreshold < 0 {
+			cfg.CrashLoopThreshold = 0
+		}
+		if cfg.ParkBase < 0 {
+			cfg.ParkBase = 0
+		}
+		if cfg.ParkMax < 0 {
+			cfg.ParkMax = 0
+		}
+		v := cfg
+		c.supervise = &v
+	}
 }
 
 // Client is a handle to one simulated serverless host. It is safe for
@@ -188,7 +249,13 @@ func NewClient(opts ...Option) *Client {
 		o(&cfg)
 	}
 	c := newClient(cfg)
-	c.p = platform.New(cfg.cost)
+	p, err := platform.NewWithConfig(cfg.cost, platformConfig(cfg))
+	if err != nil {
+		// Options sanitize their inputs; an invalid platform config here
+		// is a programming error, not a user error.
+		panic(err)
+	}
+	c.p = p
 	if cfg.faultSeed != nil {
 		c.p.InstallFaults(faults.New(*cfg.faultSeed))
 	}

@@ -35,7 +35,11 @@ func typedError(err error) bool {
 		errors.Is(err, ErrDraining) ||
 		errors.Is(err, ErrDeadlineExceeded) ||
 		errors.Is(err, ErrCanceled) ||
-		errors.Is(err, ErrOutOfMemory)
+		errors.Is(err, ErrOutOfMemory) ||
+		errors.Is(err, ErrWedged) ||
+		errors.Is(err, ErrPoisoned) ||
+		errors.Is(err, ErrInvocationHung) ||
+		errors.Is(err, ErrCrashLooping)
 }
 
 // runChaos drives n invocations across the three Catalyzer boot paths

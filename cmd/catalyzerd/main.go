@@ -57,6 +57,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"sort"
 	"strconv"
 	"syscall"
 	"time"
@@ -88,6 +89,10 @@ func statusOf(err error) int {
 	case errors.Is(err, catalyzer.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, catalyzer.ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, catalyzer.ErrCrashLooping):
+		// The function is parked with backoff; the condition clears on its
+		// own, so it is a retryable 503, not a permanent failure.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, catalyzer.ErrDeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -241,6 +246,10 @@ type failureMetrics struct {
 	Breakers                map[string]string         `json:"breakers"`
 	TemplatesQuarantined    int                       `json:"templates_quarantined"`
 	TemplateRebuildFailures int                       `json:"template_rebuild_failures"`
+	WatchdogKills           int                       `json:"watchdog_kills"`
+	TemplatesPoisoned       int                       `json:"templates_poisoned"`
+	TemplateRegens          int                       `json:"template_regens"`
+	TemplateRegenFailures   int                       `json:"template_regen_failures"`
 	ImagesQuarantined       int                       `json:"images_quarantined"`
 	ImageLoadFaults         int                       `json:"image_load_faults"`
 	Rollbacks               int                       `json:"rollbacks"`
@@ -269,6 +278,10 @@ func failureMetricsOf(st catalyzer.FailureStats) failureMetrics {
 		Breakers:                st.Breakers,
 		TemplatesQuarantined:    st.TemplatesQuarantined,
 		TemplateRebuildFailures: st.TemplateRebuildFailures,
+		WatchdogKills:           st.WatchdogKills,
+		TemplatesPoisoned:       st.TemplatesPoisoned,
+		TemplateRegens:          st.TemplateRegens,
+		TemplateRegenFailures:   st.TemplateRegenFailures,
 		ImagesQuarantined:       st.ImagesQuarantined,
 		ImageLoadFaults:         st.ImageLoadFaults,
 		Rollbacks:               st.Rollbacks,
@@ -291,6 +304,27 @@ func failureMetricsOf(st catalyzer.FailureStats) failureMetrics {
 		}
 	}
 	return fm
+}
+
+// superviseMetrics is the JSON form of the runtime supervision counters.
+type superviseMetrics struct {
+	ProbesRun        int `json:"probes_run"`
+	TargetsProbed    int `json:"targets_probed"`
+	WedgedEvicted    int `json:"wedged_evicted"`
+	CrashLoopsParked int `json:"crash_loops_parked"`
+	CrashLoopRejects int `json:"crash_loop_rejects"`
+	ParkedFunctions  int `json:"parked_functions"`
+}
+
+func superviseMetricsOf(st catalyzer.SuperviseStats) superviseMetrics {
+	return superviseMetrics{
+		ProbesRun:        st.ProbesRun,
+		TargetsProbed:    st.TargetsProbed,
+		WedgedEvicted:    st.WedgedEvicted,
+		CrashLoopsParked: st.CrashLoopsParked,
+		CrashLoopRejects: st.CrashLoopRejects,
+		ParkedFunctions:  st.ParkedFunctions,
+	}
 }
 
 // overloadMetrics is the JSON form of the admission/overload counters.
@@ -339,9 +373,10 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	body := map[string]any{
-		"boots":    boots,
-		"failures": failureMetricsOf(s.client.FailureStats()),
-		"overload": overloadMetricsOf(s.client.OverloadStats()),
+		"boots":     boots,
+		"failures":  failureMetricsOf(s.client.FailureStats()),
+		"overload":  overloadMetricsOf(s.client.OverloadStats()),
+		"supervise": superviseMetricsOf(s.client.SuperviseStats()),
 	}
 	if rep := s.client.RecoveryReport(); rep != nil {
 		body["recovery"] = map[string]any{
@@ -366,8 +401,15 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 			open = append(open, k+"="+state)
 		}
 	}
+	// Parked (crash-looping) functions degrade health like open breakers:
+	// a boot path is shut off until the supervisor un-parks them.
+	parked := make([]string, 0)
+	for fn, remaining := range s.client.ParkedFunctions() {
+		parked = append(parked, fmt.Sprintf("%s (%v left)", fn, remaining))
+	}
+	sort.Strings(parked)
 	status, code := "ok", http.StatusOK
-	if len(open) > 0 {
+	if len(open) > 0 || len(parked) > 0 {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
 	if s.client.Draining() {
@@ -377,7 +419,10 @@ func (s *server) health(w http.ResponseWriter, _ *http.Request) {
 		"status":                status,
 		"live_instances":        s.client.Running(),
 		"open_breakers":         open,
+		"parked_functions":      parked,
 		"templates_quarantined": st.TemplatesQuarantined,
+		"templates_poisoned":    st.TemplatesPoisoned,
+		"watchdog_kills":        st.WatchdogKills,
 		"images_quarantined":    st.ImagesQuarantined,
 		"rollbacks":             st.Rollbacks,
 		"exhausted_boots":       st.Exhausted,
@@ -422,8 +467,12 @@ func main() {
 	maxPerFunction := flag.Int("max-per-function", 0, "per-function in-flight invocation cap (0 = unlimited)")
 	queueDepth := flag.Int("queue-depth", 0, "admission queue depth; beyond it requests are shed with 429 (0 = shed at capacity)")
 	memoryBudget := flag.Int("memory-budget", 0, "machine memory budget in pages; boots under pressure evict idle instances (0 = unlimited)")
+	zygotePool := flag.Int("zygote-pool", 4, "Zygote pool target size: pre-booted sandboxes kept ready for warm boots and refilled by the supervisor (0 = disabled)")
 	storeDir := flag.String("store-dir", "", "directory for the crash-consistent func-image store; deployed functions are recovered from it on restart (empty = in-memory only)")
 	flag.Parse()
+	if *zygotePool < 0 {
+		log.Fatalf("-zygote-pool must be >= 0, got %d", *zygotePool)
+	}
 
 	opts := []catalyzer.Option{
 		catalyzer.WithAdmission(catalyzer.AdmissionConfig{
@@ -431,6 +480,7 @@ func main() {
 			MaxPerFunction: *maxPerFunction,
 			QueueDepth:     *queueDepth,
 		}),
+		catalyzer.WithZygotePool(*zygotePool),
 	}
 	if *server {
 		opts = append(opts, catalyzer.WithServerMachine())

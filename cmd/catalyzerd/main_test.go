@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"catalyzer"
+	"catalyzer/internal/simtime"
 	"catalyzer/internal/workload"
 )
 
@@ -390,6 +391,111 @@ func TestRestartRecovery(t *testing.T) {
 	}
 	if _, ok := h["rollbacks"]; !ok {
 		t.Fatalf("health missing rollbacks: %v", h)
+	}
+}
+
+// TestMetricsSuperviseSection: /metrics carries the full supervision
+// counter set (the superviseMetricsOf projection is additionally checked
+// for completeness by the metricsreg analyzer).
+func TestMetricsSuperviseSection(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv, "/deploy?fn=c-hello")
+	post(t, srv, "/invoke?fn=c-hello&boot=fork")
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Supervise map[string]any `json:"supervise"`
+		Failures  map[string]any `json:"failures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"probes_run", "targets_probed", "wedged_evicted", "crash_loops_parked", "crash_loop_rejects", "parked_functions"} {
+		if _, ok := out.Supervise[key]; !ok {
+			t.Fatalf("metrics supervise section missing %q: %v", key, out.Supervise)
+		}
+	}
+	for _, key := range []string{"watchdog_kills", "templates_poisoned", "template_regens", "template_regen_failures"} {
+		if _, ok := out.Failures[key]; !ok {
+			t.Fatalf("metrics failures section missing %q", key)
+		}
+	}
+}
+
+// TestHealthReportsParkedFunctions: a crash-looping function degrades
+// /health and is listed with its remaining park time, alongside the
+// watchdog and poisoning gauges.
+func TestHealthReportsParkedFunctions(t *testing.T) {
+	c := catalyzer.NewClient(
+		catalyzer.WithFaultSeed(2),
+		catalyzer.WithSupervision(catalyzer.SuperviseConfig{
+			CrashLoopThreshold: 1, // first kill parks
+			ParkBase:           10 * simtime.Second,
+		}),
+	)
+	srv := httptest.NewServer(Handler(c))
+	t.Cleanup(func() { srv.Close(); c.Close() })
+
+	post(t, srv, "/deploy?fn=c-hello")
+	if err := c.ArmFault("invoke-hang", 1); err != nil {
+		t.Fatal(err)
+	}
+	if resp := post(t, srv, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode == http.StatusOK {
+		t.Fatal("hung invocation reported success")
+	}
+	// The function is parked now; the crash-loop rejection is a 503.
+	if resp := post(t, srv, "/invoke?fn=c-hello&boot=fork"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("parked invoke status = %d, want 503", resp.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || h["status"] != "degraded" {
+		t.Fatalf("health with parked function = %d %v", resp.StatusCode, h)
+	}
+	parked, ok := h["parked_functions"].([]any)
+	if !ok || len(parked) != 1 || !strings.HasPrefix(parked[0].(string), "c-hello") {
+		t.Fatalf("health parked_functions = %v", h["parked_functions"])
+	}
+	if got, ok := h["watchdog_kills"].(float64); !ok || got < 1 {
+		t.Fatalf("health watchdog_kills = %v", h["watchdog_kills"])
+	}
+	if _, ok := h["templates_poisoned"]; !ok {
+		t.Fatalf("health missing templates_poisoned: %v", h)
+	}
+}
+
+// TestShutdownDrainsSupervision is the drain contract the daemon's
+// shutdown path relies on (run under -race in CI): after Close, no
+// supervision probe fires, however much traffic still arrives.
+func TestShutdownDrainsSupervision(t *testing.T) {
+	c := catalyzer.NewClient()
+	srv := httptest.NewServer(Handler(c))
+	t.Cleanup(srv.Close)
+
+	post(t, srv, "/deploy?fn=c-hello")
+	for i := 0; i < 5; i++ {
+		post(t, srv, "/invoke?fn=c-hello&boot=warm")
+	}
+	c.Close()
+	snapshot := c.SuperviseStats().ProbesRun
+
+	for i := 0; i < 5; i++ {
+		post(t, srv, "/invoke?fn=c-hello&boot=cold")
+	}
+	if got := c.SuperviseStats().ProbesRun; got != snapshot {
+		t.Fatalf("supervision probe fired after Close: %d -> %d", snapshot, got)
 	}
 }
 

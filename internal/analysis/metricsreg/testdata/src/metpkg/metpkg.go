@@ -80,3 +80,32 @@ func projectDurabilityComplete(st DurabilityStats) durabilityMetrics {
 		orphans:     st.OrphansSwept,
 	}
 }
+
+// SuperviseStats is the runtime supervision accounting: a projection
+// that silently drops a counter hides a dead probe loop or an invisible
+// crash-loop parker from the operator.
+type SuperviseStats struct {
+	ProbesRun        int
+	WedgedEvicted    int
+	CrashLoopsParked int
+}
+
+type superviseMetrics struct {
+	probes  int
+	evicted int
+	parked  int
+}
+
+func projectDropsSupervise(st SuperviseStats) superviseMetrics { // want `metrics projection projectDropsSupervise drops SuperviseStats field\(s\) CrashLoopsParked, WedgedEvicted`
+	return superviseMetrics{
+		probes: st.ProbesRun,
+	}
+}
+
+func projectSuperviseComplete(st SuperviseStats) superviseMetrics {
+	return superviseMetrics{
+		probes:  st.ProbesRun,
+		evicted: st.WedgedEvicted,
+		parked:  st.CrashLoopsParked,
+	}
+}

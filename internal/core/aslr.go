@@ -67,6 +67,11 @@ func (t *Template) Refresh() error {
 	old := t.s
 	t.s = fresh.s
 	t.forks = 0
+	// The rebuilt template starts a fresh sfork family: old children's
+	// failure marks must not convict the new template, and the poison
+	// draw (if armed) was re-taken by MakeTemplate.
+	t.lineage = fresh.lineage
+	t.poisoned = fresh.poisoned
 	old.Release()
 	return nil
 }

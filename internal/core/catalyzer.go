@@ -66,8 +66,30 @@ func New(m *sandbox.Machine) *Catalyzer {
 // VM and VCPUs created, base rootfs mounted (§3.4). It carries no
 // function-specific state and can specialize into any function's sandbox.
 type Zygote struct {
-	c    *Catalyzer
-	used bool
+	c      *Catalyzer
+	used   bool
+	wedged bool
+}
+
+// Probe performs one liveness check on a pooled Zygote (machine work:
+// one RPC round-trip). Like sandbox.Probe it draws the sandbox-wedge
+// site on healthy Zygotes and the probe-false-negative site on wedged
+// ones. It returns whether the Zygote is still fit to specialize.
+func (z *Zygote) Probe() bool {
+	env := z.c.M.Env
+	env.Charge(env.Cost.RPCSend)
+	if !z.wedged {
+		if z.c.M.Faults.Check(faults.SiteSandboxWedge) != nil {
+			z.wedged = true
+		}
+	}
+	if z.wedged {
+		if z.c.M.Faults.Check(faults.SiteProbeFalseNegative) != nil {
+			return true // the probe missed the wedge this round
+		}
+		return false
+	}
+	return true
 }
 
 // NewZygote builds a Zygote, charging its construction to the current
@@ -86,24 +108,51 @@ func (c *Catalyzer) NewZygote() *Zygote {
 }
 
 // ZygotePool caches ready Zygotes; the platform refills it off the
-// critical path.
+// critical path. The pool remembers its target size, so refills after a
+// wedged Zygote is discarded top back up to the configured level.
 type ZygotePool struct {
-	c     *Catalyzer
-	ready []*Zygote
+	c      *Catalyzer
+	target int
+	ready  []*Zygote
 }
 
-// NewZygotePool builds a pool of n Zygotes (offline).
+// NewZygotePool builds a pool of n Zygotes (offline) and remembers n as
+// the refill target.
 func NewZygotePool(c *Catalyzer, n int) *ZygotePool {
-	p := &ZygotePool{c: c}
-	p.Fill(n)
+	p := &ZygotePool{c: c, target: n}
+	p.Refill()
 	return p
 }
+
+// Target returns the pool's configured size.
+func (p *ZygotePool) Target() int { return p.target }
 
 // Fill tops the pool up to n ready Zygotes.
 func (p *ZygotePool) Fill(n int) {
 	for len(p.ready) < n {
 		p.ready = append(p.ready, p.c.NewZygote())
 	}
+}
+
+// Refill tops the pool back up to its configured target.
+func (p *ZygotePool) Refill() { p.Fill(p.target) }
+
+// Prune probes every pooled Zygote and discards the wedged ones,
+// returning how many were probed and how many discarded. The caller
+// (the platform's supervisor) refills afterwards, off the critical
+// path.
+func (p *ZygotePool) Prune() (probed, pruned int) {
+	keep := p.ready[:0]
+	for _, z := range p.ready {
+		probed++
+		if z.Probe() {
+			keep = append(keep, z)
+		} else {
+			pruned++
+		}
+	}
+	p.ready = keep
+	return probed, pruned
 }
 
 // Take removes a Zygote, or returns nil if the pool is empty (the caller

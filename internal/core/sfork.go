@@ -20,6 +20,15 @@ type Template struct {
 	s     *sandbox.Sandbox
 	fs    *vfs.FSServer
 	forks uint64
+
+	// lineage tracks this template's sforked children; correlated child
+	// failures raise the poisoning verdict against the template.
+	lineage *sandbox.Lineage
+
+	// poisoned marks latently bad template state (SiteTemplatePoison,
+	// drawn once at build time): the template sforks fine, but every
+	// child inherits the poison and fails at execution.
+	poisoned bool
 }
 
 // MakeTemplate boots a template sandbox for spec (offline: template
@@ -33,8 +42,24 @@ func (c *Catalyzer) MakeTemplate(spec *workload.Spec, fs *vfs.FSServer) (*Templa
 	if err := s.Runtime.EnterTransientSingleThread(); err != nil {
 		return nil, fmt.Errorf("core: template merge: %w", err)
 	}
-	return &Template{c: c, s: s, fs: fs}, nil
+	t := &Template{c: c, s: s, fs: fs, lineage: sandbox.NewLineage()}
+	// Latent-poison injection: the build "succeeds" but the captured
+	// state is bad, and only the children's failures reveal it.
+	if c.M.Faults.Check(faults.SiteTemplatePoison) != nil {
+		t.poisoned = true
+	}
+	return t, nil
 }
+
+// Lineage exposes the template's sfork family bookkeeping. The platform
+// compares a failing child's Lineage pointer against the function's
+// current template, so verdicts never convict a successor template for
+// a predecessor's children.
+func (t *Template) Lineage() *sandbox.Lineage { return t.lineage }
+
+// Probe performs one liveness check on the template sandbox (machine
+// work). A retired template is unhealthy by definition.
+func (t *Template) Probe() bool { return t.s.Probe() }
 
 // Spec returns the template's workload.
 func (t *Template) Spec() *workload.Spec { return t.s.Spec }
@@ -91,6 +116,13 @@ func (t *Template) forkChild() (*sandbox.Sandbox, error) {
 	env := m.Env
 	parent := t.s
 
+	// A template a probe has found wedged cannot fork; surface the typed
+	// wedge so the recovery chain degrades and the supervisor
+	// quarantines it.
+	if parent.Wedged {
+		return nil, fmt.Errorf("%w: sfork from template %s", sandbox.ErrWedged, parent.Spec.Name)
+	}
+
 	// Injection site: the fork itself (a wedged template, a clone that
 	// dies mid-flight). Checked before any child state exists.
 	if err := m.Faults.Check(faults.SiteSfork); err != nil {
@@ -113,6 +145,11 @@ func (t *Template) forkChild() (*sandbox.Sandbox, error) {
 	}
 	child := sandbox.NewRestoredShell(m, parent.Spec, parent.Opts, t.fs)
 	child.FromTemplate = true
+	// Lineage adoption: the child joins the template's sfork family, and
+	// latently poisoned template state rides along into the child.
+	child.Lineage = t.lineage
+	child.Poisoned = t.poisoned
+	t.lineage.Adopt(child.HostPID)
 	// A fork that dies mid-way must release the partial child.
 	fail := func(err error) (*sandbox.Sandbox, error) {
 		child.Release()

@@ -42,6 +42,30 @@ const (
 	// sandbox, §3.4).
 	SiteZygoteTake Site = "zygote-take"
 
+	// The next four sites model post-boot runtime failures: sandboxes
+	// that stop responding after a successful boot, invocations that
+	// never return, and templates whose shared state is latently bad.
+	// They are drawn by the supervision layer (liveness probes, the
+	// hung-invocation watchdog) and at template build time.
+
+	// SiteSandboxWedge is drawn when a liveness probe inspects a healthy
+	// instance (keep-warm, template, or pooled Zygote): firing wedges the
+	// instance — it stops serving and must be evicted and regenerated.
+	SiteSandboxWedge Site = "sandbox-wedge"
+	// SiteInvokeHang is drawn at the start of request execution: firing
+	// hangs the invocation past its deadline, leaving the watchdog to
+	// kill and reap the sandbox.
+	SiteInvokeHang Site = "invoke-hang"
+	// SiteTemplatePoison is drawn once per template build: firing makes
+	// the template latently poisoned, so every sforked child fails at
+	// execution until lineage tracking convicts and quarantines the
+	// template.
+	SiteTemplatePoison Site = "template-poison"
+	// SiteProbeFalseNegative is drawn when a probe inspects a wedged
+	// instance: firing makes the probe miss the wedge (report healthy),
+	// so eviction waits for a later probe round.
+	SiteProbeFalseNegative Site = "probe-false-negative"
+
 	// The remaining sites simulate a process kill at each durability
 	// boundary of the on-disk image store: the step's partial effect is
 	// left on disk exactly as a crash would leave it, and the store
@@ -67,6 +91,7 @@ const (
 func Sites() []Site {
 	return []Site{SiteImageLoad, SiteImageDecode, SiteEPTMap,
 		SiteMetaFixup, SiteIOReconnect, SiteSfork, SiteZygoteTake,
+		SiteSandboxWedge, SiteInvokeHang, SiteTemplatePoison, SiteProbeFalseNegative,
 		SiteStoreWrite, SiteStoreRename, SiteJournalAppend, SiteManifestCompact}
 }
 

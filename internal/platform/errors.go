@@ -24,6 +24,11 @@ var (
 	// ErrBadConfig: a caller-supplied configuration (traffic shape,
 	// burst size, cluster size) is invalid.
 	ErrBadConfig = errors.New("platform: invalid configuration")
+	// ErrInvocationHung: the execution never returned and the
+	// supervisor's watchdog killed the instance after its kill budget (a
+	// configurable multiple of the expected execution cost) elapsed. The
+	// instance is reaped and the invocation's admission slot released.
+	ErrInvocationHung = errors.New("platform: invocation hung; killed by watchdog")
 )
 
 // isPrecondition reports whether err is a configuration miss rather than

@@ -30,6 +30,7 @@ import (
 	"catalyzer/internal/image"
 	"catalyzer/internal/sandbox"
 	"catalyzer/internal/simtime"
+	"catalyzer/internal/supervise"
 	"catalyzer/internal/vfs"
 	"catalyzer/internal/workload"
 )
@@ -106,26 +107,103 @@ type Platform struct {
 	// (see recovery.go).
 	rec *recovery
 
+	// cfg is the platform's construction-time tuning (zygote pool size,
+	// supervision cadence/thresholds). Immutable after New.
+	cfg Config
+
+	// sup is the runtime supervision layer: virtual-time liveness probes
+	// over keep-warm instances / templates / pooled Zygotes, the
+	// crash-loop tracker, and the tracked goroutines self-healing work
+	// (template regeneration, pool refills) runs on (see supervise.go).
+	sup *supervise.Supervisor
+
+	// Poisoned-template regeneration dedup, mirroring rebuilding above:
+	// at most one regen in flight per function. The regen goroutines
+	// themselves are tracked by sup.
+	regenMu  sync.Mutex
+	regening map[string]bool
+
 	// reclaimers free idle memory (keep-warm instances, ...) under
 	// pressure, consulted before failing a boot with ErrOutOfMemory.
 	reclaimMu  sync.Mutex
 	reclaimers []Reclaimer
 }
 
-// New creates a platform on a fresh machine.
+// DefaultZygotePoolSize is the number of ready Zygotes the platform
+// keeps pooled (and refills to) unless configured otherwise.
+const DefaultZygotePoolSize = 4
+
+// Config is the platform's construction-time tuning. Start from
+// DefaultConfig and override fields; the zero value means "no Zygote
+// pool, default supervision".
+type Config struct {
+	// ZygotePoolSize is the Zygote pool's target size: the pool is built
+	// to this size at construction and refilled back to it after takes
+	// and after the supervisor prunes wedged Zygotes. Zero disables the
+	// pool (warm boots degrade to cold); negative is invalid.
+	ZygotePoolSize int
+	// Supervise tunes the runtime supervision layer (probe cadence,
+	// watchdog multiple, poisoning verdict, crash-loop parking). Zero
+	// fields take supervise.DefaultConfig values.
+	Supervise supervise.Config
+}
+
+// DefaultConfig returns the platform defaults: a Zygote pool of
+// DefaultZygotePoolSize and default supervision tuning.
+func DefaultConfig() Config {
+	return Config{
+		ZygotePoolSize: DefaultZygotePoolSize,
+		Supervise:      supervise.DefaultConfig(),
+	}
+}
+
+// Validate rejects nonsensical tunings.
+func (c Config) Validate() error {
+	if c.ZygotePoolSize < 0 {
+		return fmt.Errorf("%w: negative zygote pool size %d", ErrBadConfig, c.ZygotePoolSize)
+	}
+	if err := c.Supervise.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return nil
+}
+
+// New creates a platform on a fresh machine with default configuration.
 func New(cost *costmodel.Model) *Platform {
+	p, err := NewWithConfig(cost, DefaultConfig())
+	if err != nil {
+		// DefaultConfig always validates.
+		panic(err)
+	}
+	return p
+}
+
+// NewWithConfig creates a platform on a fresh machine with the given
+// tuning.
+func NewWithConfig(cost *costmodel.Model, cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	m := sandbox.NewMachine(cost)
 	cat := core.New(m)
-	return &Platform{
+	p := &Platform{
 		M:          m,
 		Cat:        cat,
-		Zygotes:    core.NewZygotePool(cat, 4),
+		Zygotes:    core.NewZygotePool(cat, cfg.ZygotePoolSize),
 		funcs:      make(map[string]*Function),
 		buildCost:  cost,
 		rec:        newRecovery(),
 		rebuilding: make(map[string]bool),
+		regening:   make(map[string]bool),
+		cfg:        cfg,
 	}
+	p.sup = supervise.New(m.Now, cfg.Supervise)
+	p.registerProbes()
+	return p, nil
 }
+
+// Config returns the platform's construction-time tuning.
+func (p *Platform) Config() Config { return p.cfg }
 
 // NewWithStore creates a platform whose func-images persist in an on-disk
 // store: PrepareImage loads an existing image instead of re-running
@@ -134,6 +212,16 @@ func NewWithStore(cost *costmodel.Model, store *image.Store) *Platform {
 	p := New(cost)
 	p.store = store
 	return p
+}
+
+// NewWithStoreConfig is NewWithStore with explicit platform tuning.
+func NewWithStoreConfig(cost *costmodel.Model, store *image.Store, cfg Config) (*Platform, error) {
+	p, err := NewWithConfig(cost, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.store = store
+	return p, nil
 }
 
 // Now returns the machine's virtual time. Clock reads are atomic; no
@@ -631,14 +719,14 @@ func (p *Platform) boot(name string, sys System) (*Result, error) {
 		// is discarded and the pool replenished off the critical path so
 		// the warm path can recover.
 		if ferr := p.M.Faults.Check(faults.SiteZygoteTake); ferr != nil {
-			p.Zygotes.Fill(4)
+			p.Zygotes.Refill()
 			return nil, ferr
 		}
 		var mp *image.Mapping
 		s, mp, tl, err = p.Cat.BootRestore(f.Image, f.FS, z, f.Mapping, f.Cache, core.AllFlags())
 		if err == nil {
 			f.Mapping = mp
-			p.Zygotes.Fill(4) // refill off the critical path
+			p.Zygotes.Refill() // refill off the critical path
 		}
 	case CatalyzerSfork:
 		if f.Tmpl == nil {

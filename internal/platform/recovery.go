@@ -66,6 +66,17 @@ type FailureStats struct {
 	// failed (leaving the function without a template).
 	TemplatesQuarantined    int
 	TemplateRebuildFailures int
+	// WatchdogKills counts hung invocations the supervisor's watchdog
+	// killed and reaped.
+	WatchdogKills int
+	// TemplatesPoisoned counts poisoning verdicts: templates convicted by
+	// correlated failures of their sforked children (each also counts in
+	// TemplatesQuarantined). TemplateRegens / TemplateRegenFailures count
+	// the asynchronous template rebuilds the supervisor runs after a
+	// poisoning verdict or a wedged-template eviction.
+	TemplatesPoisoned     int
+	TemplateRegens        int
+	TemplateRegenFailures int
 	// ImagesQuarantined counts corrupt stored func-images moved aside;
 	// ImageLoadFaults counts store fetches that failed without evidence
 	// of corruption (rebuilt, not quarantined).
@@ -274,6 +285,14 @@ func (p *Platform) BootRecover(ctx context.Context, name string, sys System) (*R
 	if _, err := p.Lookup(name); err != nil {
 		return nil, err
 	}
+	// Crash-loop gate: a parked function is refused before any machine
+	// work, so a crash-looping function cannot occupy boot capacity.
+	if err := p.sup.Allow(name); err != nil {
+		return nil, fmt.Errorf("platform: boot %s: %w", name, err)
+	}
+	// Run due supervision probes on the way out — after this invocation's
+	// latency has been measured, never inside it.
+	defer p.sup.Poll()
 	r := p.rec
 	be := &BootError{Function: name, Requested: sys}
 	attempts := 0
@@ -401,10 +420,12 @@ func (p *Platform) InvokeRecover(ctx context.Context, name string, sys System) (
 	if cerr := admission.CtxErr(ctx); cerr != nil {
 		return nil, p.abortChain(name, sys, 1, cerr)
 	}
-	d, err := p.ExecuteSandbox(r.Sandbox)
+	d, err := p.executeWatched(name, r.Sandbox)
 	if err != nil {
+		p.noteExecFailure(name, r.Sandbox)
 		return nil, fmt.Errorf("platform: execute %s: %w", name, err)
 	}
+	p.sup.NoteSuccess(name)
 	r.ExecLatency = d
 	return r, nil
 }
@@ -420,11 +441,13 @@ func (p *Platform) InvokeKeepRecover(ctx context.Context, name string, sys Syste
 		p.ReleaseSandbox(r.Sandbox)
 		return nil, p.abortChain(name, sys, 1, cerr)
 	}
-	d, err := p.ExecuteSandbox(r.Sandbox)
+	d, err := p.executeWatched(name, r.Sandbox)
 	if err != nil {
 		p.ReleaseSandbox(r.Sandbox)
+		p.noteExecFailure(name, r.Sandbox)
 		return nil, fmt.Errorf("platform: execute %s: %w", name, err)
 	}
+	p.sup.NoteSuccess(name)
 	r.ExecLatency = d
 	return r, nil
 }
@@ -435,7 +458,12 @@ func (p *Platform) InvokeKeepRecover(ctx context.Context, name string, sys Syste
 // artifacts. After Close (and the release of any kept instances) the
 // machine reports zero live sandboxes.
 func (p *Platform) Close() {
-	// Drain off-critical-path image rebuilds first — they take the
+	// Stop the supervisor first: after this no probe fires, no new
+	// self-healing task starts, and every in-flight template regen and
+	// pool refill has drained (they take the machine lock, so this must
+	// happen before we do).
+	p.sup.Close()
+	// Drain off-critical-path image rebuilds too — they take the
 	// machine lock to swap images and may reopen mappings.
 	p.rebuildWG.Wait()
 	p.mu.Lock()

@@ -106,7 +106,50 @@ func NewKeepWarmCache(p *Platform, capacity int, coldSys System) *KeepWarmCache 
 		ColdSys:  coldSys,
 	}
 	p.AddReclaimer(c)
+	// The supervisor probes the cached idle instances on its virtual-time
+	// cadence, evicting wedged ones so a hit never hands out a dead
+	// sandbox.
+	p.RegisterProbe("keep-warm", c.probeIdle)
 	return c
+}
+
+// steal removes name's idle instance without touching the hit/miss
+// accounting (probe traffic is not request traffic).
+func (c *KeepWarmCache) steal(name string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.idle[name]
+	if !ok {
+		return nil, false
+	}
+	delete(c.idle, name)
+	c.removeOrderLocked(name)
+	return r, true
+}
+
+// probeIdle is the cache's supervision probe: every idle instance is
+// liveness-checked; healthy ones are reinserted, wedged ones released.
+// Instances are stolen one at a time under the cache mutex and probed
+// outside it (probe work takes the machine lock), so the probe never
+// blocks a concurrent hit on another function.
+func (c *KeepWarmCache) probeIdle() (checked, evicted int) {
+	c.mu.Lock()
+	names := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	for _, name := range names {
+		r, ok := c.steal(name)
+		if !ok {
+			continue // raced with a hit; that request will find any wedge
+		}
+		checked++
+		if c.p.ProbeSandbox(r.Sandbox) {
+			c.put(name, r)
+		} else {
+			c.p.ReleaseSandbox(r.Sandbox)
+			evicted++
+		}
+	}
+	return checked, evicted
 }
 
 // removeOrderLocked drops name from the LRU order (c.mu held).

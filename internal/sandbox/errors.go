@@ -15,4 +15,11 @@ var (
 	// ErrImageMismatch: a func-image's memory section does not match the
 	// registered spec (stale image or changed workload).
 	ErrImageMismatch = errors.New("sandbox: image does not match spec")
+	// ErrWedged: the sandbox stopped responding after boot (a liveness
+	// probe or an execution found it wedged); it must be reaped.
+	ErrWedged = errors.New("sandbox: sandbox is wedged")
+	// ErrPoisoned: the sandbox inherited latently bad state from its
+	// sfork template; correlated ErrPoisoned failures across a
+	// template's children convict the template (see Lineage).
+	ErrPoisoned = errors.New("sandbox: sandbox inherited poisoned template state")
 )

@@ -1,0 +1,99 @@
+package sandbox
+
+import "sync"
+
+// Lineage records a template's sfork family (template → children) so
+// correlated child failures can convict the template itself: one bad
+// child is a bad child, but several *distinct* children of the same
+// template failing is evidence the shared template state is poisoned
+// (the paper's template-sandbox sharing cuts both ways — §4 makes one
+// bad template an epidemic).
+//
+// The bookkeeping is careful about two things the poisoning verdict
+// must not get wrong:
+//
+//   - Dedup per child: a child that fails repeatedly (retries, stale
+//     handles) counts once, so a single flaky child can never convict
+//     its template alone.
+//   - Released children keep their failure marks: evidence does not
+//     evaporate when the failing child is reaped, but a released child
+//     that never failed contributes nothing.
+//
+// Lineage has its own mutex and takes no other lock, so it can be
+// consulted from the platform's failure paths without ordering
+// concerns.
+type Lineage struct {
+	mu       sync.Mutex
+	live     map[int]bool // live children, by host PID
+	failed   map[int]bool // children that have ever failed (kept after release)
+	poisoned bool
+}
+
+// NewLineage returns an empty lineage.
+func NewLineage() *Lineage {
+	return &Lineage{
+		live:   make(map[int]bool),
+		failed: make(map[int]bool),
+	}
+}
+
+// Adopt records a newly sforked child by host PID.
+func (l *Lineage) Adopt(pid int) {
+	l.mu.Lock()
+	l.live[pid] = true
+	l.mu.Unlock()
+}
+
+// ReleaseChild removes a child from the live set. Its failure mark, if
+// any, is retained: releasing a failed child must not shrink the
+// evidence against the template.
+func (l *Lineage) ReleaseChild(pid int) {
+	l.mu.Lock()
+	delete(l.live, pid)
+	l.mu.Unlock()
+}
+
+// NoteFailure marks a child as failed (idempotent per child) and
+// returns the number of distinct failed children so far — the count the
+// poisoning verdict compares against its threshold.
+func (l *Lineage) NoteFailure(pid int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failed[pid] = true
+	return len(l.failed)
+}
+
+// DistinctFailures returns the number of distinct children that have
+// ever failed.
+func (l *Lineage) DistinctFailures() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.failed)
+}
+
+// Live returns the current live-children count.
+func (l *Lineage) Live() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.live)
+}
+
+// MarkPoisoned records the poisoning verdict. It returns true exactly
+// once — concurrent convictions race here, and only the winner runs the
+// quarantine-and-regenerate path.
+func (l *Lineage) MarkPoisoned() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.poisoned {
+		return false
+	}
+	l.poisoned = true
+	return true
+}
+
+// Poisoned reports whether the verdict has been recorded.
+func (l *Lineage) Poisoned() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned
+}

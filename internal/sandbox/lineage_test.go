@@ -1,0 +1,100 @@
+package sandbox
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLineageDedupsPerChild(t *testing.T) {
+	l := NewLineage()
+	l.Adopt(101)
+	l.Adopt(102)
+
+	// One flaky child failing repeatedly counts once.
+	if got := l.NoteFailure(101); got != 1 {
+		t.Fatalf("first failure count = %d, want 1", got)
+	}
+	if got := l.NoteFailure(101); got != 1 {
+		t.Fatalf("repeat failure of same child counted twice: %d", got)
+	}
+	if got := l.NoteFailure(102); got != 2 {
+		t.Fatalf("second distinct child = %d, want 2", got)
+	}
+	if got := l.DistinctFailures(); got != 2 {
+		t.Fatalf("DistinctFailures = %d, want 2", got)
+	}
+}
+
+func TestLineageReleasedChildNotDoubleCounted(t *testing.T) {
+	l := NewLineage()
+	l.Adopt(201)
+	l.NoteFailure(201)
+	l.ReleaseChild(201)
+
+	// The evidence survives the release...
+	if got := l.DistinctFailures(); got != 1 {
+		t.Fatalf("failure mark evaporated on release: %d", got)
+	}
+	// ...but a straggler failure report for the released child must not
+	// count it again.
+	if got := l.NoteFailure(201); got != 1 {
+		t.Fatalf("released child double-counted in verdict: %d", got)
+	}
+	if got := l.Live(); got != 0 {
+		t.Fatalf("Live = %d after release, want 0", got)
+	}
+	// Releasing a child that never failed contributes nothing.
+	l.Adopt(202)
+	l.ReleaseChild(202)
+	if got := l.DistinctFailures(); got != 1 {
+		t.Fatalf("clean release changed the evidence: %d", got)
+	}
+}
+
+func TestLineageLiveTracking(t *testing.T) {
+	l := NewLineage()
+	for pid := 1; pid <= 3; pid++ {
+		l.Adopt(pid)
+	}
+	l.ReleaseChild(2)
+	if got := l.Live(); got != 2 {
+		t.Fatalf("Live = %d, want 2", got)
+	}
+	// Adopt is idempotent per pid.
+	l.Adopt(1)
+	if got := l.Live(); got != 2 {
+		t.Fatalf("re-adopting a live child inflated the count: %d", got)
+	}
+}
+
+// TestLineageMarkPoisonedOnce is the verdict race: many failures cross
+// the threshold at once, but exactly one caller wins MarkPoisoned and
+// runs the quarantine path.
+func TestLineageMarkPoisonedOnce(t *testing.T) {
+	l := NewLineage()
+	const goroutines = 16
+	wins := make(chan bool, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			l.NoteFailure(pid)
+			wins <- l.MarkPoisoned()
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	won := 0
+	for w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("MarkPoisoned returned true %d times, want exactly 1", won)
+	}
+	if !l.Poisoned() {
+		t.Fatal("lineage not poisoned after verdict")
+	}
+}

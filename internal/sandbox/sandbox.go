@@ -3,6 +3,7 @@ package sandbox
 import (
 	"fmt"
 
+	"catalyzer/internal/faults"
 	"catalyzer/internal/gort"
 	"catalyzer/internal/guest"
 	"catalyzer/internal/host"
@@ -152,6 +153,19 @@ type Sandbox struct {
 	// FromTemplate marks sforked instances: their guest kernel enforces
 	// the template-sandbox syscall classification (Table 1).
 	FromTemplate bool
+
+	// Lineage is the sfork family this sandbox belongs to: the template
+	// sandbox and its children share one Lineage, so correlated child
+	// failures can convict the template (nil for non-fork boots).
+	Lineage *Lineage
+
+	// Wedged marks a post-boot instance that stopped responding; set by
+	// liveness probes (Probe) drawing the sandbox-wedge fault site.
+	Wedged bool
+
+	// Poisoned marks state inherited from a poisoned template: the
+	// instance boots fine and fails at execution (SiteTemplatePoison).
+	Poisoned bool
 
 	// logGrant is the read-write descriptor for the function's log file
 	// (§4.2: "Catalyzer allows the FS server to grant some file
@@ -439,6 +453,15 @@ func (s *Sandbox) Execute() (simtime.Duration, error) {
 	if s.released {
 		return 0, fmt.Errorf("%w: execute on %s", ErrReleased, s.Spec.Name)
 	}
+	if s.Wedged {
+		return 0, fmt.Errorf("%w: execute on %s", ErrWedged, s.Spec.Name)
+	}
+	if s.Poisoned {
+		// Inherited template state is latently bad: the boot succeeded,
+		// the handler does not. The platform's lineage bookkeeping turns
+		// correlated failures like this one into a template verdict.
+		return 0, fmt.Errorf("%w: execute on %s", ErrPoisoned, s.Spec.Name)
+	}
 	env := s.M.Env
 	start := env.Now()
 
@@ -588,8 +611,37 @@ func (s *Sandbox) Release() {
 		_ = s.Overlay.Server().Close(s.logGrant)
 		s.logGrant = 0
 	}
+	if s.Lineage != nil {
+		s.Lineage.ReleaseChild(s.HostPID)
+	}
 	s.AS.Release()
 	s.M.live--
+}
+
+// Probe performs one liveness check (machine lock held by the caller —
+// a probe is machine work and charges one RPC round-trip). It draws the
+// sandbox-wedge site on healthy instances — firing wedges the instance
+// from this probe on — and the probe-false-negative site on wedged
+// ones, where firing makes the probe lie and report healthy. It returns
+// whether the instance should be considered healthy; a released
+// instance is not.
+func (s *Sandbox) Probe() bool {
+	if s.released {
+		return false
+	}
+	s.M.Env.Charge(s.M.Env.Cost.RPCSend)
+	if !s.Wedged {
+		if s.M.Faults.Check(faults.SiteSandboxWedge) != nil {
+			s.Wedged = true
+		}
+	}
+	if s.Wedged {
+		if s.M.Faults.Check(faults.SiteProbeFalseNegative) != nil {
+			return true // the probe missed the wedge this round
+		}
+		return false
+	}
+	return true
 }
 
 // Released reports whether the sandbox has been torn down.

@@ -11,6 +11,7 @@ import (
 	"catalyzer/internal/image"
 	"catalyzer/internal/platform"
 	"catalyzer/internal/sandbox"
+	"catalyzer/internal/supervise"
 	"catalyzer/internal/workload"
 )
 
@@ -50,6 +51,25 @@ var (
 	// reclaim (keep-warm eviction, idle-template retirement).
 	ErrOutOfMemory = sandbox.ErrOutOfMemory
 
+	// ErrWedged: the instance stopped responding after boot (a liveness
+	// probe or an execution found it wedged); the supervisor reaped it.
+	ErrWedged = sandbox.ErrWedged
+	// ErrPoisoned: the instance inherited latently bad state from its
+	// sfork template. Correlated ErrPoisoned failures across one
+	// template's children raise the poisoning verdict: the template is
+	// quarantined and rebuilt asynchronously while fork boots degrade
+	// through the fallback chain.
+	ErrPoisoned = sandbox.ErrPoisoned
+	// ErrInvocationHung: the execution never returned and the watchdog
+	// killed the instance after its kill budget (WatchdogMultiple × the
+	// expected execution cost) of virtual time. The admission slot is
+	// released.
+	ErrInvocationHung = platform.ErrInvocationHung
+	// ErrCrashLooping: the function failed too often inside the sliding
+	// crash-loop window and is parked with exponential backoff; boots are
+	// refused until the park expires.
+	ErrCrashLooping = supervise.ErrCrashLooping
+
 	// ErrUnknownFaultSite: ArmFault was given a site name not in
 	// FaultSites.
 	ErrUnknownFaultSite = errors.New("catalyzer: unknown fault site")
@@ -72,10 +92,11 @@ func DefaultRecoveryConfig() RecoveryConfig { return platform.DefaultRecoveryCon
 
 // FaultSites lists the fault-injection site names accepted by ArmFault:
 // the boot-pipeline sites (image-load, image-decode, base-ept-map,
-// metadata-fixup, io-reconnect, sfork, zygote-take) and the image store's
-// durability crash points (store-write, store-rename, journal-append,
-// manifest-compact), which simulate a kill at each point a Save could be
-// interrupted.
+// metadata-fixup, io-reconnect, sfork, zygote-take), the post-boot
+// runtime sites (sandbox-wedge, invoke-hang, template-poison,
+// probe-false-negative), and the image store's durability crash points
+// (store-write, store-rename, journal-append, manifest-compact), which
+// simulate a kill at each point a Save could be interrupted.
 func FaultSites() []string {
 	sites := faults.Sites()
 	out := make([]string, len(sites))
@@ -112,7 +133,11 @@ func NewClientWithStore(dir string, opts ...Option) (*Client, error) {
 		return nil, err
 	}
 	c := newClient(cfg)
-	c.p = platform.NewWithStore(cfg.cost, store)
+	p, err := platform.NewWithStoreConfig(cfg.cost, store, platformConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	c.p = p
 	if cfg.faultSeed != nil {
 		c.p.InstallFaults(faults.New(*cfg.faultSeed))
 	}
@@ -224,6 +249,16 @@ type FailureStats struct {
 	// TemplateRebuildFailures counts rebuilds that themselves failed.
 	TemplatesQuarantined    int
 	TemplateRebuildFailures int
+	// WatchdogKills counts hung invocations killed and reaped by the
+	// supervisor's watchdog.
+	WatchdogKills int
+	// TemplatesPoisoned counts poisoning verdicts (templates convicted by
+	// correlated child failures; each also counts in
+	// TemplatesQuarantined). TemplateRegens / TemplateRegenFailures count
+	// the asynchronous template rebuilds the supervisor ran afterwards.
+	TemplatesPoisoned     int
+	TemplateRegens        int
+	TemplateRegenFailures int
 	// ImagesQuarantined counts corrupt stored func-images moved aside;
 	// ImageLoadFaults counts store fetches that failed without evidence
 	// of corruption.
@@ -278,6 +313,10 @@ func (c *Client) FailureStats() FailureStats {
 		BreakerSkips:            st.BreakerSkips,
 		TemplatesQuarantined:    st.TemplatesQuarantined,
 		TemplateRebuildFailures: st.TemplateRebuildFailures,
+		WatchdogKills:           st.WatchdogKills,
+		TemplatesPoisoned:       st.TemplatesPoisoned,
+		TemplateRegens:          st.TemplateRegens,
+		TemplateRegenFailures:   st.TemplateRegenFailures,
 		ImagesQuarantined:       st.ImagesQuarantined,
 		ImageLoadFaults:         st.ImageLoadFaults,
 		Rollbacks:               st.Rollbacks,
@@ -306,6 +345,61 @@ func (c *Client) FailureStats() FailureStats {
 	}
 	return out
 }
+
+// SuperviseConfig tunes the client's runtime supervision layer: the
+// virtual-time liveness-probe cadence over keep-warm instances,
+// template sandboxes and pooled Zygotes; the hung-invocation watchdog
+// multiple; the sfork lineage poisoning verdict threshold; and
+// crash-loop parking. See DefaultSuperviseConfig for the defaults.
+type SuperviseConfig = supervise.Config
+
+// DefaultSuperviseConfig returns the supervision defaults: 100ms probe
+// cadence, watchdog kill at 8× the expected execution cost, poisoning
+// verdict at 3 distinct failed children, crash-loop parking at 5
+// failures inside a 1s window with 100ms..10s exponential backoff.
+func DefaultSuperviseConfig() SuperviseConfig { return supervise.DefaultConfig() }
+
+// SuperviseStats is a snapshot of the client's runtime supervision
+// accounting.
+type SuperviseStats struct {
+	// ProbesRun counts probe-group executions; TargetsProbed counts the
+	// individual instances those probes inspected.
+	ProbesRun     int
+	TargetsProbed int
+	// WedgedEvicted counts instances a probe found wedged and evicted
+	// (keep-warm instances, pooled Zygotes, template sandboxes).
+	WedgedEvicted int
+	// CrashLoopsParked counts park events; CrashLoopRejects counts boots
+	// refused with ErrCrashLooping while parked.
+	CrashLoopsParked int
+	CrashLoopRejects int
+	// ParkedFunctions is the current number of parked functions (gauge).
+	ParkedFunctions int
+}
+
+// SuperviseStats returns a snapshot of the client's runtime supervision
+// accounting.
+func (c *Client) SuperviseStats() SuperviseStats {
+	st := c.p.SuperviseStats()
+	return SuperviseStats{
+		ProbesRun:        st.ProbesRun,
+		TargetsProbed:    st.TargetsProbed,
+		WedgedEvicted:    st.WedgedEvicted,
+		CrashLoopsParked: st.CrashLoopsParked,
+		CrashLoopRejects: st.CrashLoopRejects,
+		ParkedFunctions:  st.ParkedFunctions,
+	}
+}
+
+// ParkedFunctions lists crash-looping functions currently parked, with
+// the remaining virtual park time of each.
+func (c *Client) ParkedFunctions() map[string]Duration { return c.p.ParkedFunctions() }
+
+// WaitSupervision blocks until the supervisor's in-flight probes and
+// tracked self-healing tasks (template regenerations, Zygote pool
+// refills) have finished — the test hook for asserting convergence
+// after injected runtime failures.
+func (c *Client) WaitSupervision() { c.p.WaitSupervise() }
 
 // Refresh discards a deployed function's in-memory func-image and
 // re-prepares it, re-exercising the store load path (including
