@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos chaos-supervision ci clean
+.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos chaos-supervision chaos-fleet ci clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ chaos:
 # crash-loop parking) under the race detector; mirrors the CI race job.
 chaos-supervision:
 	$(GO) test -race -count=2 -run 'TestChaosSupervision|TestPoisonedTemplateContainment|TestWatchdogKillReleasesAdmissionSlot|TestCrashLoopParksAndRecovers|TestShutdownDrainsSupervision' ./...
+
+# Fleet convergence suite (machine crash injection, failover placement,
+# re-replication, same-seed determinism) under the race detector;
+# mirrors the CI race job.
+chaos-fleet:
+	$(GO) test -race -count=2 -run 'TestChaosFleet|TestFleet|TestCrashFailover|TestPartitionMarksDown|TestCrashedMachineRestarts|TestSameSeedSameSchedule|TestRemoteFork' ./...
 
 ci: vet staticcheck lint race
 

@@ -29,6 +29,13 @@
 // WithMemoryBudget (boots under memory pressure evict idle keep-warm
 // instances and retire idle templates LRU-first instead of failing).
 //
+// A Fleet scales the same Deploy/Invoke surface across N simulated
+// machines behind a health-checked membership view and consistent-hash
+// placement with bounded loads: functions replicate to R machines,
+// whole-machine crashes and partitions are first-class injected faults,
+// failed dispatches replay on survivors, and a machine missing a
+// func-image remote-forks it from a replica peer. See NewFleet.
+//
 // Latencies are deterministic virtual time derived from the work each
 // boot performs; see DESIGN.md for the calibration methodology.
 package catalyzer
@@ -351,6 +358,9 @@ type Invocation struct {
 	// (e.g. a failing sfork served by a Zygote, or a Zygote-pool miss
 	// served by Catalyzer-restore).
 	ServedBy BootKind
+	// Machine is the index of the fleet machine that served the request
+	// (always 0 for a single-machine Client).
+	Machine int
 	// Phases is the boot's per-step breakdown (Figure 2 style).
 	Phases []Phase
 }

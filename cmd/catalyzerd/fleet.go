@@ -1,0 +1,287 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"catalyzer"
+)
+
+// fleetServer exposes a Fleet over HTTP. Like the single-machine
+// server, the Fleet is internally synchronized, so handlers need no
+// additional locking.
+type fleetServer struct {
+	fleet *catalyzer.Fleet
+}
+
+// fleetInvokeResponse extends the invoke response with the index of the
+// machine that served the request after placement and failover.
+type fleetInvokeResponse struct {
+	invokeResponse
+	Machine int `json:"machine"`
+}
+
+func (s *fleetServer) deploy(w http.ResponseWriter, r *http.Request) {
+	fn := r.URL.Query().Get("fn")
+	if fn == "" {
+		http.Error(w, "missing fn parameter", http.StatusBadRequest)
+		return
+	}
+	if err := s.fleet.Deploy(r.Context(), fn); err != nil {
+		fail(w, err)
+		return
+	}
+	fmt.Fprintf(w, "deployed %s to machines %v\n", fn, s.fleet.Replicas(fn))
+}
+
+func (s *fleetServer) invoke(w http.ResponseWriter, r *http.Request) {
+	fn := r.URL.Query().Get("fn")
+	boot := r.URL.Query().Get("boot")
+	if boot == "" {
+		boot = string(catalyzer.ForkBoot)
+	}
+	if fn == "" {
+		http.Error(w, "missing fn parameter", http.StatusBadRequest)
+		return
+	}
+	ctx, cancel, err := requestCtx(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	inv, err := s.fleet.Invoke(ctx, fn, catalyzer.BootKind(boot))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	resp := fleetInvokeResponse{
+		invokeResponse: invokeResponse{
+			Function: inv.Function,
+			Boot:     string(inv.Kind),
+			ServedBy: string(inv.ServedBy),
+			BootMS:   float64(inv.BootLatency) / 1e6,
+			ExecMS:   float64(inv.ExecLatency) / 1e6,
+			TotalMS:  float64(inv.Total()) / 1e6,
+			PhasesMS: map[string]float64{},
+		},
+		Machine: inv.Machine,
+	}
+	for _, ph := range inv.Phases {
+		resp.PhasesMS[ph.Name] += float64(ph.Duration) / 1e6
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+// machineIdx parses the required idx query parameter.
+func machineIdx(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("idx")
+	if v == "" {
+		return 0, fmt.Errorf("missing idx parameter")
+	}
+	idx, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad idx %q", v)
+	}
+	return idx, nil
+}
+
+// kill crashes a machine (chaos hook): state lost, functions re-place
+// and re-replicate onto survivors.
+func (s *fleetServer) kill(w http.ResponseWriter, r *http.Request) {
+	idx, err := machineIdx(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.fleet.KillMachine(idx); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "killed machine %d\n", idx)
+}
+
+// restart re-admits a down machine (a crashed one comes back empty and
+// is re-replicated onto; a partitioned one rejoins with state intact).
+func (s *fleetServer) restart(w http.ResponseWriter, r *http.Request) {
+	idx, err := machineIdx(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.fleet.RestartMachine(idx); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "restarted machine %d\n", idx)
+}
+
+// machines lists the membership view.
+func (s *fleetServer) machines(w http.ResponseWriter, _ *http.Request) {
+	type machineJSON struct {
+		Index   int     `json:"index"`
+		State   string  `json:"state"`
+		Crashed bool    `json:"crashed"`
+		Epoch   int     `json:"epoch"`
+		Live    int     `json:"live_instances"`
+		ClockMS float64 `json:"virtual_clock_ms"`
+	}
+	out := make([]machineJSON, 0, s.fleet.Size())
+	for _, m := range s.fleet.Machines() {
+		out = append(out, machineJSON{
+			Index:   m.Index,
+			State:   m.State,
+			Crashed: m.Crashed,
+			Epoch:   m.Epoch,
+			Live:    m.Live,
+			ClockMS: float64(m.Clock) / 1e6,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (s *fleetServer) functions(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(catalyzer.Functions())
+}
+
+func (s *fleetServer) stats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"machines":         s.fleet.Size(),
+		"live_instances":   s.fleet.Running(),
+		"deployed":         s.fleet.Deployed(),
+		"virtual_clock_ms": float64(s.fleet.Now()) / 1e6,
+	})
+}
+
+// fleetMetrics is the JSON form of the fleet control plane's counters.
+type fleetMetrics struct {
+	Machines              int   `json:"machines"`
+	Up                    int   `json:"up"`
+	Down                  int   `json:"down"`
+	Deployed              int   `json:"deployed"`
+	Crashes               int   `json:"crashes"`
+	Partitions            int   `json:"partitions"`
+	UnreachableDispatches int   `json:"unreachable_dispatches"`
+	SlowDispatches        int   `json:"slow_dispatches"`
+	Rejoins               int   `json:"rejoins"`
+	MembershipProbes      int   `json:"membership_probes"`
+	Failovers             int   `json:"failovers"`
+	Replays               int   `json:"replays"`
+	ImagePulls            int   `json:"image_pulls"`
+	TemplateForks         int   `json:"template_forks"`
+	LocalBuilds           int   `json:"local_builds"`
+	Rereplications        int   `json:"rereplications"`
+	RepairFailures        int   `json:"repair_failures"`
+	ReplicasLost          int   `json:"replicas_lost"`
+	Spills                int   `json:"spills"`
+	Served                []int `json:"served_per_machine"`
+	Live                  []int `json:"live_per_machine"`
+}
+
+func fleetMetricsOf(st catalyzer.FleetStats) fleetMetrics {
+	return fleetMetrics{
+		Machines:              st.Machines,
+		Up:                    st.Up,
+		Down:                  st.Down,
+		Deployed:              st.Deployed,
+		Crashes:               st.Crashes,
+		Partitions:            st.Partitions,
+		UnreachableDispatches: st.UnreachableDispatches,
+		SlowDispatches:        st.SlowDispatches,
+		Rejoins:               st.Rejoins,
+		MembershipProbes:      st.MembershipProbes,
+		Failovers:             st.Failovers,
+		Replays:               st.Replays,
+		ImagePulls:            st.ImagePulls,
+		TemplateForks:         st.TemplateForks,
+		LocalBuilds:           st.LocalBuilds,
+		Rereplications:        st.Rereplications,
+		RepairFailures:        st.RepairFailures,
+		ReplicasLost:          st.ReplicasLost,
+		Spills:                st.Spills,
+		Served:                st.Served,
+		Live:                  st.Live,
+	}
+}
+
+func (s *fleetServer) metrics(w http.ResponseWriter, _ *http.Request) {
+	type kindStats struct {
+		Count  int     `json:"count"`
+		MeanMS float64 `json:"mean_ms"`
+		P50MS  float64 `json:"p50_ms"`
+		P99MS  float64 `json:"p99_ms"`
+		MaxMS  float64 `json:"max_ms"`
+	}
+	boots := map[string]kindStats{}
+	for kind, st := range s.fleet.Stats() {
+		boots[string(kind)] = kindStats{
+			Count:  st.Count,
+			MeanMS: float64(st.MeanBoot) / 1e6,
+			P50MS:  float64(st.P50Boot) / 1e6,
+			P99MS:  float64(st.P99Boot) / 1e6,
+			MaxMS:  float64(st.MaxBoot) / 1e6,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"boots": boots,
+		"fleet": fleetMetricsOf(s.fleet.FleetStats()),
+	})
+}
+
+// health reports fleet liveness: 200 "ok" with every machine up, 503
+// "degraded" with the down machine indices listed otherwise, so an
+// orchestrator can page on partial fleet loss before functions do.
+func (s *fleetServer) health(w http.ResponseWriter, _ *http.Request) {
+	down := make([]int, 0)
+	for _, m := range s.fleet.Machines() {
+		if m.State != "up" {
+			down = append(down, m.Index)
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if len(down) > 0 {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	st := s.fleet.FleetStats()
+	body := map[string]any{
+		"status":         status,
+		"machines":       st.Machines,
+		"up":             st.Up,
+		"down_machines":  down,
+		"live_instances": s.fleet.Running(),
+		"replicas_lost":  st.ReplicasLost,
+		"crashes":        st.Crashes,
+		"rejoins":        st.Rejoins,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// FleetHandler builds the fleet-mode HTTP mux (exported shape for
+// tests, like Handler). Machine kill/restart are chaos hooks mirroring
+// Fleet.KillMachine/RestartMachine.
+func FleetHandler(f *catalyzer.Fleet) http.Handler {
+	s := &fleetServer{fleet: f}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /deploy", s.deploy)
+	mux.HandleFunc("POST /invoke", s.invoke)
+	mux.HandleFunc("POST /machines/kill", s.kill)
+	mux.HandleFunc("POST /machines/restart", s.restart)
+	mux.HandleFunc("GET /machines", s.machines)
+	mux.HandleFunc("GET /functions", s.functions)
+	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /health", s.health)
+	return mux
+}

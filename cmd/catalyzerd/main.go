@@ -40,6 +40,19 @@
 // quarantines, orphan sweeps), and /health reports rollbacks and the
 // recovered-function count.
 //
+// With -fleet-machines N the daemon runs a fleet of N machines behind a
+// health-checked membership view and consistent-hash placement instead
+// of a single machine: /deploy replicates func-images R ways
+// (-fleet-replication), /invoke reports the serving machine and fails
+// over off dead machines, and GET /machines plus the chaos hooks
+// POST /machines/kill and POST /machines/restart expose the membership
+// view. /metrics carries a "fleet" section (membership gauges, failover
+// and re-replication counters, per-machine served/live vectors) and
+// /health reports "degraded" with the down machine indices while any
+// member is down. Machine-level failures (ErrMachineDown,
+// ErrMachineUnreachable, ErrNoSurvivors) map to retryable 503s; an
+// undeployed function is 404.
+//
 // The daemon serves real HTTP over net/http; the sandboxes behind it run
 // on the simulated machine, so responses carry virtual-time latencies.
 // SIGINT/SIGTERM shut the daemon down gracefully: admission stops
@@ -98,6 +111,15 @@ func statusOf(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, catalyzer.ErrCanceled):
 		return statusClientClosedRequest
+	case errors.Is(err, catalyzer.ErrNotDeployed):
+		// Fleet mode: the function exists but was never deployed here.
+		return http.StatusNotFound
+	case errors.Is(err, catalyzer.ErrNoSurvivors),
+		errors.Is(err, catalyzer.ErrMachineDown),
+		errors.Is(err, catalyzer.ErrMachineUnreachable):
+		// Machine-level fleet failures are retryable: survivors heal,
+		// partitions clear, crashed machines restart.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -469,9 +491,14 @@ func main() {
 	memoryBudget := flag.Int("memory-budget", 0, "machine memory budget in pages; boots under pressure evict idle instances (0 = unlimited)")
 	zygotePool := flag.Int("zygote-pool", 4, "Zygote pool target size: pre-booted sandboxes kept ready for warm boots and refilled by the supervisor (0 = disabled)")
 	storeDir := flag.String("store-dir", "", "directory for the crash-consistent func-image store; deployed functions are recovered from it on restart (empty = in-memory only)")
+	fleetMachines := flag.Int("fleet-machines", 0, "run a fleet of N machines behind placement/failover instead of a single machine (0 = single-machine mode)")
+	fleetReplication := flag.Int("fleet-replication", 0, "func-image replication factor in fleet mode (0 = default 2)")
 	flag.Parse()
 	if *zygotePool < 0 {
 		log.Fatalf("-zygote-pool must be >= 0, got %d", *zygotePool)
+	}
+	if *fleetMachines > 0 && *storeDir != "" {
+		log.Fatalf("-fleet-machines and -store-dir are mutually exclusive: fleet durability comes from %d-way replication, not an on-disk store", *fleetMachines)
 	}
 
 	opts := []catalyzer.Option{
@@ -488,30 +515,55 @@ func main() {
 	if *memoryBudget > 0 {
 		opts = append(opts, catalyzer.WithMemoryBudget(*memoryBudget))
 	}
-	var c *catalyzer.Client
-	if *storeDir != "" {
-		var err error
-		c, err = catalyzer.NewClientWithStore(*storeDir, opts...)
+	// Fleet mode swaps the single-machine client for N machines behind
+	// the placement/failover control plane; the drain/close hooks below
+	// abstract over the two.
+	var handler http.Handler
+	drain := func(context.Context) error { return nil }
+	var closeFn func()
+	var running func() int
+	if *fleetMachines > 0 {
+		f, err := catalyzer.NewFleet(catalyzer.FleetConfig{
+			Machines:    *fleetMachines,
+			Replication: *fleetReplication,
+		}, opts...)
 		if err != nil {
-			log.Fatalf("open image store %s: %v", *storeDir, err)
+			log.Fatalf("build fleet: %v", err)
 		}
-		// Rehydrate the registry from the store's manifest: functions
-		// deployed before a restart serve again without a fresh /deploy.
-		rep, err := c.Recover(context.Background())
-		if err != nil {
-			log.Fatalf("recover from image store: %v", err)
-		}
-		log.Printf("recovered %d function(s) from %s: %v", len(rep.Recovered), *storeDir, rep.Recovered)
-		for fn, cause := range rep.Failed {
-			log.Printf("could not recover %s: %s", fn, cause)
-		}
+		log.Printf("fleet mode: %d machines", f.Size())
+		handler = FleetHandler(f)
+		closeFn = f.Close
+		running = f.Running
 	} else {
-		c = catalyzer.NewClient(opts...)
+		var c *catalyzer.Client
+		if *storeDir != "" {
+			var err error
+			c, err = catalyzer.NewClientWithStore(*storeDir, opts...)
+			if err != nil {
+				log.Fatalf("open image store %s: %v", *storeDir, err)
+			}
+			// Rehydrate the registry from the store's manifest: functions
+			// deployed before a restart serve again without a fresh /deploy.
+			rep, err := c.Recover(context.Background())
+			if err != nil {
+				log.Fatalf("recover from image store: %v", err)
+			}
+			log.Printf("recovered %d function(s) from %s: %v", len(rep.Recovered), *storeDir, rep.Recovered)
+			for fn, cause := range rep.Failed {
+				log.Printf("could not recover %s: %s", fn, cause)
+			}
+		} else {
+			c = catalyzer.NewClient(opts...)
+		}
+		handler = Handler(c)
+		drain = c.Drain
+		closeFn = c.Close
+		running = c.Running
 	}
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: Handler(c),
+		Handler: handler,
 		// Slow-client protection: a peer that trickles headers or a body,
 		// or never reads its response, cannot pin a connection forever.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -541,12 +593,12 @@ func main() {
 	log.Printf("catalyzerd draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	if err := c.Drain(drainCtx); err != nil {
+	if err := drain(drainCtx); err != nil {
 		log.Printf("drain: %v", err)
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	c.Close()
-	log.Printf("catalyzerd stopped (%d live instances)", c.Running())
+	closeFn()
+	log.Printf("catalyzerd stopped (%d live instances)", running())
 }

@@ -1,0 +1,301 @@
+package catalyzer
+
+import (
+	"context"
+	"fmt"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/faults"
+	"catalyzer/internal/fleet"
+	"catalyzer/internal/platform"
+)
+
+// Typed fleet errors, re-exported so callers branch with errors.Is.
+var (
+	// ErrNotDeployed: the function has not been deployed to the fleet.
+	ErrNotDeployed = fleet.ErrNotDeployed
+	// ErrMachineDown: the target machine is down (crashed, or marked
+	// down by membership probes).
+	ErrMachineDown = fleet.ErrMachineDown
+	// ErrMachineUnreachable: the target machine did not answer
+	// (partitioned); consecutive misses mark it down.
+	ErrMachineUnreachable = fleet.ErrUnreachable
+	// ErrNoSurvivors: no Up machine was left to serve the request.
+	ErrNoSurvivors = fleet.ErrNoSurvivors
+)
+
+// FleetConfig sizes a fleet. Zero values take defaults (replication 2,
+// 16 virtual ring nodes per machine, bounded-load factor 1.25, probe
+// cadence 100ms, 2 misses to mark down).
+type FleetConfig struct {
+	// Machines is the fleet size N (required, ≥ 1).
+	Machines int
+	// Replication is the func-image replication factor R: Deploy writes
+	// artifacts to R machines so k < R machine losses cannot lose a
+	// function.
+	Replication int
+	// LoadFactor is the bounded-load factor: a machine over this multiple
+	// of its fair share of live instances spills placements clockwise.
+	LoadFactor float64
+	// VirtualNodes is the number of consistent-hash ring points per
+	// machine.
+	VirtualNodes int
+	// ProbeInterval is the virtual-time membership probe cadence.
+	ProbeInterval Duration
+	// ProbeMisses is the number of consecutive partition misses that
+	// mark a member down.
+	ProbeMisses int
+	// FailoverBackoff is the virtual-time backoff charged before each
+	// replayed invocation (doubling per consecutive failover).
+	FailoverBackoff Duration
+}
+
+// Fleet is a handle to N simulated machines behind the fleet control
+// plane: health-checked membership, consistent-hash placement with
+// bounded loads, R-way func-image replication, failover with replay,
+// and remote forks onto machines missing an image. Safe for concurrent
+// use; determinism holds for any fixed sequence of calls.
+type Fleet struct {
+	fl    *fleet.Fleet
+	stats *statsCollector
+}
+
+// NewFleet builds a fleet of cfg.Machines machines. The same options as
+// NewClient apply per machine (cost model, zygote pool, supervision
+// tuning); WithFaultSeed seeds the single injector that drives the whole
+// fleet's fault schedule — machine sites and per-machine boot sites
+// alike.
+func NewFleet(cfg FleetConfig, opts ...Option) (*Fleet, error) {
+	c := config{cost: costmodel.Default()}
+	for _, o := range opts {
+		o(&c)
+	}
+	pcfg := platformConfig(c)
+	fcfg := fleet.Config{
+		Machines:        cfg.Machines,
+		Replication:     cfg.Replication,
+		LoadFactor:      cfg.LoadFactor,
+		VirtualNodes:    cfg.VirtualNodes,
+		ProbeInterval:   cfg.ProbeInterval,
+		ProbeMisses:     cfg.ProbeMisses,
+		FailoverBackoff: cfg.FailoverBackoff,
+	}
+	if c.faultSeed != nil {
+		fcfg.Seed = *c.faultSeed
+	}
+	fl, err := fleet.New(fcfg, func() platform.Node {
+		p, perr := platform.NewWithConfig(c.cost, pcfg)
+		if perr != nil {
+			// Options sanitize their inputs; an invalid platform config
+			// here is a programming error, not a user error.
+			panic(perr)
+		}
+		if c.memPages > 0 {
+			p.SetMemoryBudget(c.memPages)
+		}
+		return p
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{fl: fl, stats: newStatsCollector()}, nil
+}
+
+// Deploy registers a function fleet-wide: full artifacts on its
+// ring-primary machine, the func-image replicated to R−1 more machines.
+// Idempotent; a re-deploy re-establishes the replica set.
+func (f *Fleet) Deploy(ctx context.Context, name string) error {
+	return f.fl.Deploy(ctx, name)
+}
+
+// Invoke serves one request on the fleet: consistent-hash placement
+// (spilling off overloaded machines), machine-fault draws at dispatch,
+// remote fork of missing artifacts, then the chosen machine's recovery
+// chain. Machine-level failures replay the invocation on the next
+// survivor with virtual-time backoff; Invocation.Machine reports who
+// served.
+func (f *Fleet) Invoke(ctx context.Context, name string, kind BootKind) (*Invocation, error) {
+	sys, ok := kindToSystem[kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: boot kind %q", ErrUnknownSystem, kind)
+	}
+	arrival := f.fl.Now()
+	res, machine, err := f.fl.Invoke(ctx, name, sys)
+	if err != nil {
+		return nil, err
+	}
+	inv := invocationOf(res, kind, arrival)
+	inv.Machine = machine
+	f.stats.observe(inv.ServedBy, res.BootLatency)
+	return inv, nil
+}
+
+// Size returns the fleet size N.
+func (f *Fleet) Size() int { return f.fl.Size() }
+
+// Deployed lists the deployed functions, sorted.
+func (f *Fleet) Deployed() []string { return f.fl.Functions() }
+
+// Replicas returns the machine indices holding name's replicas, or nil
+// if not deployed.
+func (f *Fleet) Replicas(name string) []int { return f.fl.Replicas(name) }
+
+// Running returns the total number of live instances across the fleet.
+func (f *Fleet) Running() int {
+	total := 0
+	for _, m := range f.fl.Members() {
+		total += m.Live
+	}
+	return total
+}
+
+// Now returns the fleet's virtual clock (the furthest member clock).
+func (f *Fleet) Now() Duration { return f.fl.Now() }
+
+// MachineInfo is one machine's membership snapshot.
+type MachineInfo struct {
+	// Index is the machine's fleet index; State is "up" or "down".
+	Index int
+	State string
+	// Crashed reports a down machine lost its state (needs
+	// RestartMachine); Epoch counts its restarts.
+	Crashed bool
+	Epoch   int
+	// Live is the machine's live-instance gauge; Clock its virtual time.
+	Live  int
+	Clock Duration
+}
+
+// Machines snapshots the fleet's membership view.
+func (f *Fleet) Machines() []MachineInfo {
+	ms := f.fl.Members()
+	out := make([]MachineInfo, len(ms))
+	for i, m := range ms {
+		out[i] = MachineInfo{
+			Index:   m.Index,
+			State:   m.State.String(),
+			Crashed: m.Crashed,
+			Epoch:   m.Epoch,
+			Live:    m.Live,
+			Clock:   m.Clock,
+		}
+	}
+	return out
+}
+
+// KillMachine forcibly crashes a machine (chaos hook): state lost, its
+// functions re-place and re-replicate onto survivors, and only
+// RestartMachine brings it back.
+func (f *Fleet) KillMachine(idx int) error { return f.fl.Kill(idx) }
+
+// RestartMachine re-admits a down machine: a crashed one comes back
+// empty on a fresh machine (remote forks repopulate it on demand); a
+// partitioned one rejoins with state intact. No-op if already up.
+func (f *Fleet) RestartMachine(idx int) error { return f.fl.Restart(idx) }
+
+// ArmFault arms a fault-injection site (see FaultSites) on the fleet's
+// shared injector: machine sites are drawn by the control plane, every
+// other site by the member machines.
+func (f *Fleet) ArmFault(site string, rate float64) error {
+	if !faults.ValidSite(faults.Site(site)) {
+		return fmt.Errorf("%w: %q (known: %v)", ErrUnknownFaultSite, site, FaultSites())
+	}
+	f.fl.ArmFault(faults.Site(site), rate)
+	return nil
+}
+
+// DisarmFaults disarms every fault site; injection counts are retained.
+func (f *Fleet) DisarmFaults() { f.fl.DisarmFaults() }
+
+// Stats returns the per-kind boot latency distribution of everything
+// the fleet has served.
+func (f *Fleet) Stats() map[BootKind]KindStats { return f.stats.snapshot() }
+
+// StatsKinds returns the kinds with recorded invocations, sorted.
+func (f *Fleet) StatsKinds() []BootKind { return f.stats.kinds() }
+
+// FleetStats is the fleet control plane's accounting: membership
+// gauges, fault/failover counters, remote-fork and re-replication
+// counters, and per-machine served/live vectors. Everything here
+// reaches the daemon's /metrics (enforced by the metricsreg analyzer).
+type FleetStats struct {
+	// Machines / Up / Down / Deployed are gauges: fleet size, current
+	// membership split, deployed function count.
+	Machines int
+	Up       int
+	Down     int
+	Deployed int
+	// Crashes counts down-transitions with state lost (machine-crash
+	// faults and explicit kills); Partitions counts down-transitions
+	// with state intact (consecutive partition misses).
+	Crashes    int
+	Partitions int
+	// UnreachableDispatches counts dispatches failed on a partition
+	// draw; SlowDispatches counts machine-slow draws served with a
+	// latency penalty.
+	UnreachableDispatches int
+	SlowDispatches        int
+	// Rejoins counts re-admissions (healed partitions, restarts);
+	// MembershipProbes counts membership probe rounds.
+	Rejoins          int
+	MembershipProbes int
+	// Failovers counts machine-level dispatch failures that re-placed an
+	// invocation; Replays counts invocations completed after ≥ 1
+	// failover.
+	Failovers int
+	Replays   int
+	// ImagePulls / TemplateForks / LocalBuilds break down how boots on
+	// machines missing the func-image were served: pulled from a replica
+	// peer, forked from a peer's live template, or degraded to a local
+	// cold build.
+	ImagePulls    int
+	TemplateForks int
+	LocalBuilds   int
+	// Rereplications counts replica placements restored after a member
+	// went down; RepairFailures counts failed restores; ReplicasLost
+	// counts functions that lost every replica (k ≥ R machines down).
+	Rereplications int
+	RepairFailures int
+	ReplicasLost   int
+	// Spills counts bounded-load placements diverted off the preferred
+	// ring machine.
+	Spills int
+	// Served / Live are per-machine vectors: completed invocations and
+	// the live-instance gauge.
+	Served []int
+	Live   []int
+}
+
+// FleetStats returns a snapshot of the fleet control plane's
+// accounting.
+func (f *Fleet) FleetStats() FleetStats {
+	st := f.fl.Stats()
+	return FleetStats{
+		Machines:              st.Machines,
+		Up:                    st.Up,
+		Down:                  st.Down,
+		Deployed:              st.Deployed,
+		Crashes:               st.Crashes,
+		Partitions:            st.Partitions,
+		UnreachableDispatches: st.UnreachableDispatches,
+		SlowDispatches:        st.SlowDispatches,
+		Rejoins:               st.Rejoins,
+		MembershipProbes:      st.MembershipProbes,
+		Failovers:             st.Failovers,
+		Replays:               st.Replays,
+		ImagePulls:            st.ImagePulls,
+		TemplateForks:         st.TemplateForks,
+		LocalBuilds:           st.LocalBuilds,
+		Rereplications:        st.Rereplications,
+		RepairFailures:        st.RepairFailures,
+		ReplicasLost:          st.ReplicasLost,
+		Spills:                st.Spills,
+		Served:                st.Served,
+		Live:                  st.Live,
+	}
+}
+
+// Close shuts the fleet down: membership probes stop, then every member
+// machine closes (templates retired, mappings closed, supervision
+// drained).
+func (f *Fleet) Close() { f.fl.Close() }

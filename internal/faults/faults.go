@@ -85,19 +85,52 @@ const (
 	// SiteManifestCompact kills after writing the new manifest's temp
 	// file but before renaming it over MANIFEST.
 	SiteManifestCompact Site = "manifest-compact"
+
+	// The fleet sites model whole-machine failures, drawn by the fleet
+	// control plane at dispatch and during membership probes — never by a
+	// single platform. Arming them on a single-machine client is a no-op,
+	// and (like every site) they draw no RNG while unarmed, so existing
+	// seeded chaos schedules are unperturbed by their existence.
+
+	// SiteMachineCrash fires a whole-machine crash: the member is marked
+	// down with all its state (images, templates, live instances) lost,
+	// and must be explicitly restarted to rejoin empty.
+	SiteMachineCrash Site = "machine-crash"
+	// SiteMachinePartition fires a transient unreachability: dispatches
+	// and probes fail, and enough consecutive misses mark the member down
+	// with its state intact; a later clean probe re-admits it.
+	SiteMachinePartition Site = "machine-partition"
+	// SiteMachineSlow fires a degraded dispatch: the target machine is
+	// charged extra virtual latency but serves the request.
+	SiteMachineSlow Site = "machine-slow"
 )
 
-// Sites lists every injection point.
-func Sites() []Site {
+// CoreSites lists the single-machine injection points: the boot pipeline
+// plus the post-boot runtime failures drawn by the supervision layer.
+func CoreSites() []Site {
 	return []Site{SiteImageLoad, SiteImageDecode, SiteEPTMap,
 		SiteMetaFixup, SiteIOReconnect, SiteSfork, SiteZygoteTake,
-		SiteSandboxWedge, SiteInvokeHang, SiteTemplatePoison, SiteProbeFalseNegative,
-		SiteStoreWrite, SiteStoreRename, SiteJournalAppend, SiteManifestCompact}
+		SiteSandboxWedge, SiteInvokeHang, SiteTemplatePoison, SiteProbeFalseNegative}
 }
 
 // StoreSites lists the store durability crash points.
 func StoreSites() []Site {
 	return []Site{SiteStoreWrite, SiteStoreRename, SiteJournalAppend, SiteManifestCompact}
+}
+
+// FleetSites lists the machine-granularity fault sites drawn by the
+// fleet control plane.
+func FleetSites() []Site {
+	return []Site{SiteMachineCrash, SiteMachinePartition, SiteMachineSlow}
+}
+
+// Sites lists every injection point: the union of CoreSites, StoreSites
+// and FleetSites.
+func Sites() []Site {
+	out := CoreSites()
+	out = append(out, StoreSites()...)
+	out = append(out, FleetSites()...)
+	return out
 }
 
 // ValidSite reports whether s names a known injection point.

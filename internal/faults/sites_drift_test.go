@@ -1,0 +1,126 @@
+package faults
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// declaredSites parses faults.go and returns every constant declared with
+// type Site, so the drift guard below cannot itself go stale: a new site
+// constant is picked up automatically.
+func declaredSites(t *testing.T) []Site {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "faults.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse faults.go: %v", err)
+	}
+	var out []Site
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			id, ok := vs.Type.(*ast.Ident)
+			if !ok || id.Name != "Site" {
+				continue
+			}
+			for _, v := range vs.Values {
+				lit, ok := v.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Fatalf("site constant %v is not a string literal", vs.Names)
+				}
+				out = append(out, Site(lit.Value[1:len(lit.Value)-1]))
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no Site constants found in faults.go")
+	}
+	return out
+}
+
+// TestSiteListsCoverEveryDeclaredSite is the drift guard: every declared
+// Site constant must be returned by exactly one of CoreSites, StoreSites
+// and FleetSites, and Sites() must be exactly their union — so a new
+// site cannot silently miss chaos coverage.
+func TestSiteListsCoverEveryDeclaredSite(t *testing.T) {
+	declared := declaredSites(t)
+	categories := map[string][]Site{
+		"CoreSites":  CoreSites(),
+		"StoreSites": StoreSites(),
+		"FleetSites": FleetSites(),
+	}
+	membership := make(map[Site][]string)
+	for name, sites := range categories {
+		for _, s := range sites {
+			membership[s] = append(membership[s], name)
+		}
+	}
+	for _, s := range declared {
+		switch n := len(membership[s]); n {
+		case 1:
+			// Exactly one category: good.
+		case 0:
+			t.Errorf("site %q is declared but in no category list", s)
+		default:
+			t.Errorf("site %q is in %d category lists: %v", s, n, membership[s])
+		}
+	}
+	all := Sites()
+	if len(all) != len(declared) {
+		t.Fatalf("Sites() returns %d sites, %d are declared", len(all), len(declared))
+	}
+	inAll := make(map[Site]bool, len(all))
+	for _, s := range all {
+		if inAll[s] {
+			t.Errorf("Sites() lists %q twice", s)
+		}
+		inAll[s] = true
+		if !ValidSite(s) {
+			t.Errorf("ValidSite(%q) = false for a listed site", s)
+		}
+	}
+	for _, s := range declared {
+		if !inAll[s] {
+			t.Errorf("declared site %q missing from Sites()", s)
+		}
+	}
+}
+
+// TestUnarmedSitesDrawNoRNG pins the injector invariant the fleet sites
+// rely on: checking an unarmed site consumes no PRNG state, so arming
+// only the old sites yields the same schedule whether or not fleet-site
+// checks are interleaved.
+func TestUnarmedSitesDrawNoRNG(t *testing.T) {
+	plain := New(42)
+	interleaved := New(42)
+	plain.Arm(SiteSfork, 0.5)
+	interleaved.Arm(SiteSfork, 0.5)
+	for i := 0; i < 200; i++ {
+		// Unarmed machine-site checks on one injector only.
+		if err := interleaved.Check(SiteMachineCrash); err != nil {
+			t.Fatalf("unarmed machine-crash check fired: %v", err)
+		}
+		if err := interleaved.Check(SiteMachinePartition); err != nil {
+			t.Fatalf("unarmed machine-partition check fired: %v", err)
+		}
+		a, b := plain.Check(SiteSfork), interleaved.Check(SiteSfork)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("draw %d diverged: plain=%v interleaved=%v", i, a, b)
+		}
+	}
+	counts := interleaved.Counts()
+	for _, s := range FleetSites() {
+		if c, ok := counts[s]; ok {
+			t.Errorf("unarmed fleet site %s recorded counts %+v", s, c)
+		}
+	}
+}

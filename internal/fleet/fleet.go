@@ -1,0 +1,1037 @@
+// Package fleet is the multi-machine control plane: N Platform machines
+// behind a health-checked membership view and a consistent-hash (with
+// bounded-load fallback) placement layer, where whole-machine failure is
+// a first-class injected fault.
+//
+// Deploy writes a function's artifacts to R machines (the template on
+// the ring-primary, the func-image shipped to R−1 replicas). Invoke
+// places each request on the ring, draws the machine-granularity fault
+// sites (machine-crash, machine-partition, machine-slow) at dispatch,
+// and on a machine-level failure replays the invocation on the next
+// survivor with virtual-time backoff — the per-machine boot then runs
+// through the platform's existing recovery chain. A detected crash marks
+// the member down, re-places its functions, and re-replicates their
+// images from surviving replicas to restore R. A boot placed on a
+// machine missing the image performs a remote fork: fork from a peer's
+// live template when one exists, else pull the image from a replica
+// peer, degrading to a local cold build when no peer has it.
+//
+// Membership is probed through the supervise probe-group machinery on a
+// virtual-time cadence: probes draw the crash/partition sites, mark
+// members down after consecutive partition misses, and re-admit a
+// partitioned member on its first clean probe. A crashed member lost its
+// state and rejoins empty via Restart; the ring then re-balances onto it
+// automatically and remote forks repopulate it on demand.
+//
+// Everything is deterministic virtual time: one seeded injector drives
+// the whole fleet's fault schedule, placement depends only on the ring
+// and live-instance counts, and iteration over deployments is sorted —
+// two sequential runs with the same seed produce identical placement
+// and stats.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"catalyzer/internal/admission"
+	"catalyzer/internal/faults"
+	"catalyzer/internal/platform"
+	"catalyzer/internal/simtime"
+	"catalyzer/internal/supervise"
+)
+
+// Typed fleet errors. Callers branch on these with errors.Is.
+var (
+	// ErrBadConfig: the fleet configuration is invalid.
+	ErrBadConfig = errors.New("fleet: invalid configuration")
+	// ErrNotDeployed: the function has not been deployed to the fleet.
+	ErrNotDeployed = errors.New("fleet: function not deployed")
+	// ErrMachineDown: the target machine is down (crashed or marked down
+	// by membership probes).
+	ErrMachineDown = errors.New("fleet: machine is down")
+	// ErrUnreachable: the target machine did not answer (partitioned);
+	// it may be marked down after consecutive misses.
+	ErrUnreachable = errors.New("fleet: machine unreachable")
+	// ErrNoSurvivors: no Up machine is left to serve the request.
+	ErrNoSurvivors = errors.New("fleet: no machine available")
+)
+
+// State is a member's membership state.
+type State int
+
+const (
+	// StateUp: the member serves placements and is probed for failure.
+	StateUp State = iota
+	// StateDown: the member receives no placements; a crashed member
+	// waits for Restart, a partitioned one for a clean probe.
+	StateDown
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if s == StateUp {
+		return "up"
+	}
+	return "down"
+}
+
+// Config tunes the fleet. Zero values select the defaults.
+type Config struct {
+	// Machines is the fleet size N (required, ≥ 1).
+	Machines int
+	// Replication is the func-image replication factor R: Deploy writes
+	// artifacts to R machines (clamped to Machines; default 2).
+	Replication int
+	// VirtualNodes is the number of ring points per machine (default 16).
+	VirtualNodes int
+	// LoadFactor is the bounded-load factor c: a machine holding more
+	// than c times its fair share of live instances spills placements to
+	// the next ring machine (default 1.25; values ≤ 1 take the default).
+	LoadFactor float64
+	// ProbeInterval is the virtual-time membership probe cadence
+	// (default: the supervise probe default, 100ms).
+	ProbeInterval simtime.Duration
+	// ProbeMisses is the number of consecutive failed probes or
+	// dispatches that mark a partitioned member down (default 2).
+	ProbeMisses int
+	// FailoverBackoff is the virtual-time backoff charged before a
+	// replayed invocation, doubling per consecutive failover (default
+	// 200µs).
+	FailoverBackoff simtime.Duration
+	// PullPageCost is the virtual transfer cost per image page when a
+	// remote fork pulls a func-image from a replica peer (default 1µs).
+	PullPageCost simtime.Duration
+	// TemplateForkPageCost is the (cheaper) per-page cost when the
+	// remote fork sources a peer's live template (default 250ns).
+	TemplateForkPageCost simtime.Duration
+	// SlowPenalty is the virtual latency charged to a machine when the
+	// machine-slow site fires at dispatch (default 5ms).
+	SlowPenalty simtime.Duration
+	// Seed seeds the fleet's fault injector, which is also installed on
+	// every member machine so one seed drives the whole schedule.
+	Seed int64
+}
+
+// withDefaults fills zero fields; Validate has already rejected
+// nonsense.
+func (c Config) withDefaults() Config {
+	if c.Replication == 0 {
+		c.Replication = 2
+	}
+	if c.Replication > c.Machines {
+		c.Replication = c.Machines
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 16
+	}
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = 1.25
+	}
+	if c.ProbeMisses <= 0 {
+		c.ProbeMisses = 2
+	}
+	if c.FailoverBackoff <= 0 {
+		c.FailoverBackoff = 200 * simtime.Microsecond
+	}
+	if c.PullPageCost <= 0 {
+		c.PullPageCost = simtime.Microsecond
+	}
+	if c.TemplateForkPageCost <= 0 {
+		c.TemplateForkPageCost = 250 * simtime.Nanosecond
+	}
+	if c.SlowPenalty <= 0 {
+		c.SlowPenalty = 5 * simtime.Millisecond
+	}
+	return c
+}
+
+// Validate rejects nonsensical tunings.
+func (c Config) Validate() error {
+	if c.Machines <= 0 {
+		return fmt.Errorf("%w: fleet needs at least one machine, got %d", ErrBadConfig, c.Machines)
+	}
+	if c.Replication < 0 {
+		return fmt.Errorf("%w: negative replication factor %d", ErrBadConfig, c.Replication)
+	}
+	if c.ProbeInterval < 0 || c.FailoverBackoff < 0 || c.PullPageCost < 0 ||
+		c.TemplateForkPageCost < 0 || c.SlowPenalty < 0 {
+		return fmt.Errorf("%w: negative duration", ErrBadConfig)
+	}
+	return nil
+}
+
+// Stats is the fleet's accounting. Everything here must reach the
+// daemon's /metrics (enforced by the metricsreg analyzer on the
+// projection in cmd/catalyzerd).
+type Stats struct {
+	// Machines / Up / Down / Deployed are gauges: fleet size, current
+	// membership split, and deployed function count.
+	Machines int
+	Up       int
+	Down     int
+	Deployed int
+	// Crashes counts down-transitions caused by machine-crash faults or
+	// explicit kills (state lost); Partitions counts down-transitions
+	// from consecutive partition misses (state intact).
+	Crashes    int
+	Partitions int
+	// UnreachableDispatches counts dispatches that failed on a
+	// partition draw; SlowDispatches counts machine-slow draws served
+	// with a latency penalty.
+	UnreachableDispatches int
+	SlowDispatches        int
+	// Rejoins counts re-admissions: healed partitions and restarted
+	// crashed members.
+	Rejoins int
+	// MembershipProbes counts membership probe-group executions.
+	MembershipProbes int
+	// Failovers counts machine-level dispatch failures that re-placed an
+	// invocation; Replays counts invocations that completed after at
+	// least one failover.
+	Failovers int
+	Replays   int
+	// ImagePulls counts remote forks served by pulling a func-image from
+	// a replica peer; TemplateForks counts the cheaper remote forks from
+	// a peer's live template; LocalBuilds counts the degraded local cold
+	// builds when no peer had the artifacts.
+	ImagePulls    int
+	TemplateForks int
+	LocalBuilds   int
+	// Rereplications counts replica placements restored after a member
+	// went down; RepairFailures counts restore attempts that failed;
+	// ReplicasLost counts functions that at some repair had no surviving
+	// replica (k ≥ R machines lost).
+	Rereplications int
+	RepairFailures int
+	ReplicasLost   int
+	// Spills counts bounded-load placements diverted off the preferred
+	// ring machine.
+	Spills int
+	// Served is the per-machine count of completed invocations; Live the
+	// per-machine live-instance gauge.
+	Served []int
+	Live   []int
+}
+
+// member is one machine's membership record.
+type member struct {
+	idx     int
+	node    platform.Node
+	state   State
+	crashed bool // down due to crash: state lost, needs Restart
+	misses  int  // consecutive partition misses while Up
+	epoch   int  // increments per Restart after a crash
+}
+
+// repair is one planned replica restoration: ship fn's image from one
+// of srcs (surviving replicas, in placement order) to dst.
+type repair struct {
+	fn   string
+	srcs []int
+	dst  int
+}
+
+// Fleet is the control plane over N platform machines.
+type Fleet struct {
+	cfg   Config
+	build func() platform.Node
+	inj   *faults.Injector
+	sup   *supervise.Supervisor
+
+	// mu guards membership, the ring, deployments and stats. Lock
+	// ordering: sup's internal mutex may be held when the supervisor
+	// reads the fleet clock (which takes mu), so never call into sup
+	// while holding mu; machine work (boots, image ships) always runs
+	// outside mu.
+	mu          sync.Mutex
+	members     []*member
+	ring        *ring
+	deployments map[string][]int
+	stats       Stats
+}
+
+// New builds a fleet of cfg.Machines nodes from the build factory
+// (called once per machine, and again for each Restart after a crash).
+// The fleet's seeded injector is installed on every node so a single
+// seed determines the whole fault schedule.
+func New(cfg Config, build func() platform.Node) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if build == nil {
+		return nil, fmt.Errorf("%w: nil machine factory", ErrBadConfig)
+	}
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:         cfg,
+		build:       build,
+		inj:         faults.New(cfg.Seed),
+		deployments: make(map[string][]int),
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		n := build()
+		if n == nil {
+			return nil, fmt.Errorf("%w: machine factory returned nil", ErrBadConfig)
+		}
+		n.InstallFaults(f.inj)
+		f.members = append(f.members, &member{idx: i, node: n, state: StateUp})
+	}
+	f.rebuildRingLocked()
+	f.stats.Served = make([]int, cfg.Machines)
+	f.sup = supervise.New(f.now, supervise.Config{ProbeInterval: cfg.ProbeInterval})
+	f.sup.Register("membership", f.probeMembership)
+	return f, nil
+}
+
+// now is the fleet clock: the max of the member clocks, so probe
+// cadence follows whatever machine the traffic advanced furthest.
+func (f *Fleet) now() simtime.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var max simtime.Duration
+	for _, m := range f.members {
+		if t := m.node.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Now returns the fleet clock reading.
+func (f *Fleet) Now() simtime.Duration { return f.now() }
+
+// Size returns the fleet size N.
+func (f *Fleet) Size() int { return len(f.members) }
+
+// rebuildRingLocked rebuilds the placement ring over the Up members
+// (mu held).
+func (f *Fleet) rebuildRingLocked() {
+	var up []int
+	for _, m := range f.members {
+		if m.state == StateUp {
+			up = append(up, m.idx)
+		}
+	}
+	f.ring = buildRing(up, f.cfg.VirtualNodes)
+}
+
+func (f *Fleet) upCountLocked() int {
+	n := 0
+	for _, m := range f.members {
+		if m.state == StateUp {
+			n++
+		}
+	}
+	return n
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Deploy registers name fleet-wide: full artifacts (image + template)
+// are built on the function's ring-primary machine, and the func-image
+// is shipped to R−1 further ring machines. Idempotent: a re-deploy
+// re-establishes the replica set.
+func (f *Fleet) Deploy(ctx context.Context, name string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cerr := admission.CtxErr(ctx); cerr != nil {
+		return cerr
+	}
+	defer f.sup.Poll()
+	f.mu.Lock()
+	order := f.ring.walk(name)
+	f.mu.Unlock()
+	if len(order) == 0 {
+		return ErrNoSurvivors
+	}
+	want := f.cfg.Replication
+	if want > len(order) {
+		want = len(order)
+	}
+	targets := order[:want]
+	primary := f.memberAt(targets[0])
+	if _, err := primary.node.PrepareTemplate(name); err != nil {
+		return err
+	}
+	img, err := primary.node.ExportImage(name)
+	if err != nil {
+		return err
+	}
+	for _, idx := range targets[1:] {
+		rep := f.memberAt(idx)
+		rep.node.Charge(simtime.Duration(img.Mem.Pages) * f.cfg.PullPageCost)
+		if err := rep.node.ImportImage(img); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	f.deployments[name] = append([]int(nil), targets...)
+	f.mu.Unlock()
+	return nil
+}
+
+// Functions lists the deployed functions, sorted.
+func (f *Fleet) Functions() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.deployments))
+	for name := range f.deployments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Replicas returns the machine indices currently holding name's
+// replicas (placement order), or nil if not deployed.
+func (f *Fleet) Replicas(name string) []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reps, ok := f.deployments[name]
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), reps...)
+}
+
+func (f *Fleet) memberAt(idx int) *member {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.members[idx]
+}
+
+// placeLocked picks the machine for one request: the first Up ring
+// machine (excluding already-tried ones) whose live-instance count is
+// under the bounded-load cap, spilling clockwise past overloaded
+// machines; when every candidate is at the cap it degrades to
+// deterministic least-loaded with the lowest index winning ties.
+func (f *Fleet) placeLocked(name string, exclude map[int]bool) (int, bool) {
+	var cands []int
+	for _, idx := range f.ring.walk(name) {
+		if !exclude[idx] && f.members[idx].state == StateUp {
+			cands = append(cands, idx)
+		}
+	}
+	if len(cands) == 0 {
+		return -1, false
+	}
+	total := 0
+	for _, idx := range cands {
+		total += f.members[idx].node.LiveInstances()
+	}
+	capacity := int(math.Ceil(f.cfg.LoadFactor * float64(total+1) / float64(len(cands))))
+	for i, idx := range cands {
+		if f.members[idx].node.LiveInstances() < capacity {
+			if i > 0 {
+				f.stats.Spills++
+			}
+			return idx, true
+		}
+	}
+	// Defensive: every candidate is at the cap. Degrade to deterministic
+	// least-loaded.
+	f.stats.Spills++
+	return f.leastLoadedLocked(cands), true
+}
+
+// leastLoadedLocked picks the candidate with the fewest live instances;
+// equal-load machines tie-break to the lowest index so same-seed fleet
+// runs are byte-identical (mu held).
+func (f *Fleet) leastLoadedLocked(cands []int) int {
+	sorted := append([]int(nil), cands...)
+	sort.Ints(sorted)
+	best, bestLive := -1, 0
+	for _, idx := range sorted {
+		if l := f.members[idx].node.LiveInstances(); best < 0 || l < bestLive {
+			best, bestLive = idx, l
+		}
+	}
+	return best
+}
+
+// Place reports which machine would serve name's next request (tests
+// and placement introspection; no fault draws, no machine work).
+func (f *Fleet) Place(name string) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.placeLocked(name, nil)
+}
+
+// Invoke serves one request on the fleet: place on the ring, draw the
+// machine fault sites at dispatch, remote-fork any missing artifacts
+// onto the chosen machine, and run the invocation through the member's
+// recovery chain. Machine-level failures (crash, partition) replay the
+// invocation on the next survivor with doubling virtual-time backoff;
+// function-level failures surface as the platform's typed errors. It
+// returns the result and the index of the machine that served.
+func (f *Fleet) Invoke(ctx context.Context, name string, sys platform.System) (*platform.Result, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f.mu.Lock()
+	_, deployed := f.deployments[name]
+	f.mu.Unlock()
+	if !deployed {
+		return nil, -1, fmt.Errorf("%w: %q", ErrNotDeployed, name)
+	}
+	defer f.sup.Poll()
+	tried := make(map[int]bool)
+	var lastErr error
+	for failovers := 0; ; failovers++ {
+		if cerr := admission.CtxErr(ctx); cerr != nil {
+			return nil, -1, cerr
+		}
+		f.mu.Lock()
+		idx, ok := f.placeLocked(name, tried)
+		f.mu.Unlock()
+		if !ok {
+			if lastErr != nil {
+				return nil, -1, fmt.Errorf("%w for %s after %d failovers: %w", ErrNoSurvivors, name, failovers, lastErr)
+			}
+			return nil, -1, fmt.Errorf("%w for %s", ErrNoSurvivors, name)
+		}
+		m := f.memberAt(idx)
+		if failovers > 0 {
+			// Replay backoff, charged to the machine about to serve.
+			shift := failovers - 1
+			if shift > 6 {
+				shift = 6
+			}
+			m.node.Charge(f.cfg.FailoverBackoff << shift)
+		}
+		if err := f.dispatchFaults(m); err != nil {
+			lastErr = err
+			tried[idx] = true
+			f.mu.Lock()
+			f.stats.Failovers++
+			f.mu.Unlock()
+			continue
+		}
+		if err := f.ensureArtifacts(m, name, sys); err != nil {
+			// The machine cannot produce the artifacts (its store or
+			// build path is failing): treat as a machine-level failure
+			// and fail the invocation over.
+			lastErr = err
+			tried[idx] = true
+			f.mu.Lock()
+			f.stats.Failovers++
+			f.mu.Unlock()
+			continue
+		}
+		res, err := m.node.InvokeRecover(ctx, name, sys)
+		if err != nil {
+			// Function-level failure on a healthy machine: the member's
+			// own recovery chain already degraded/retried, so surface
+			// its typed error rather than hammering the other replicas.
+			return nil, idx, err
+		}
+		f.mu.Lock()
+		f.stats.Served[idx]++
+		if failovers > 0 {
+			f.stats.Replays++
+		}
+		f.mu.Unlock()
+		return res, idx, nil
+	}
+}
+
+// dispatchFaults draws the machine fault sites for one dispatch to m.
+func (f *Fleet) dispatchFaults(m *member) error {
+	f.mu.Lock()
+	down := m.state == StateDown
+	f.mu.Unlock()
+	if down {
+		return fmt.Errorf("%w: machine %d", ErrMachineDown, m.idx)
+	}
+	if ferr := f.inj.Check(faults.SiteMachineCrash); ferr != nil {
+		f.markDown(m, true)
+		return fmt.Errorf("%w: machine %d: %w", ErrMachineDown, m.idx, ferr)
+	}
+	if ferr := f.inj.Check(faults.SiteMachinePartition); ferr != nil {
+		f.mu.Lock()
+		f.stats.UnreachableDispatches++
+		f.mu.Unlock()
+		f.noteMiss(m)
+		return fmt.Errorf("%w: machine %d: %w", ErrUnreachable, m.idx, ferr)
+	}
+	if ferr := f.inj.Check(faults.SiteMachineSlow); ferr != nil {
+		m.node.Charge(f.cfg.SlowPenalty)
+		f.mu.Lock()
+		f.stats.SlowDispatches++
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// noteMiss records one partition miss against m; ProbeMisses
+// consecutive misses mark it down (state intact).
+func (f *Fleet) noteMiss(m *member) {
+	f.mu.Lock()
+	if m.state != StateUp {
+		f.mu.Unlock()
+		return
+	}
+	m.misses++
+	trip := m.misses >= f.cfg.ProbeMisses
+	f.mu.Unlock()
+	if trip {
+		f.markDown(m, false)
+	}
+}
+
+// markDown transitions m to StateDown, rebuilds the ring, and restores
+// the replication factor of every function that held a replica on m.
+// A crash while already partitioned upgrades to crashed (state lost).
+func (f *Fleet) markDown(m *member, crashed bool) {
+	f.mu.Lock()
+	if m.state == StateDown {
+		if crashed && !m.crashed {
+			m.crashed = true
+		}
+		f.mu.Unlock()
+		return
+	}
+	m.state = StateDown
+	m.crashed = crashed
+	m.misses = 0
+	if crashed {
+		f.stats.Crashes++
+	} else {
+		f.stats.Partitions++
+	}
+	f.rebuildRingLocked()
+	plan := f.planRepairsLocked(m.idx)
+	f.mu.Unlock()
+	f.executeRepairs(plan)
+}
+
+// planRepairsLocked removes downIdx from every replica set and plans
+// the image ships that restore each function's replication factor
+// (mu held). Deployments are visited in sorted order so same-seed runs
+// repair identically.
+func (f *Fleet) planRepairsLocked(downIdx int) []repair {
+	names := make([]string, 0, len(f.deployments))
+	for name := range f.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var plan []repair
+	for _, name := range names {
+		reps := f.deployments[name]
+		if !contains(reps, downIdx) {
+			continue
+		}
+		keep := make([]int, 0, len(reps))
+		for _, r := range reps {
+			if r != downIdx {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			f.stats.ReplicasLost++
+		}
+		want := f.cfg.Replication
+		if up := f.upCountLocked(); want > up {
+			want = up
+		}
+		for len(keep) < want {
+			cand := -1
+			for _, c := range f.ring.walk(name) {
+				if !contains(keep, c) {
+					cand = c
+					break
+				}
+			}
+			if cand < 0 {
+				break
+			}
+			plan = append(plan, repair{fn: name, srcs: append([]int(nil), keep...), dst: cand})
+			keep = append(keep, cand)
+		}
+		f.deployments[name] = keep
+	}
+	return plan
+}
+
+// executeRepairs ships images to restore replication (no fleet locks
+// held — image export/import is machine work).
+func (f *Fleet) executeRepairs(plan []repair) {
+	for _, r := range plan {
+		dst := f.memberAt(r.dst)
+		if dst.node.HasImage(r.fn) {
+			// A healed partition kept its state: re-admitting it to the
+			// replica set needs no shipping.
+			continue
+		}
+		shipped := false
+		for _, srcIdx := range r.srcs {
+			src := f.memberAt(srcIdx)
+			img, err := src.node.ExportImage(r.fn)
+			if err != nil {
+				continue
+			}
+			dst.node.Charge(simtime.Duration(img.Mem.Pages) * f.cfg.PullPageCost)
+			if err := dst.node.ImportImage(img); err != nil {
+				continue
+			}
+			shipped = true
+			break
+		}
+		if !shipped {
+			// No surviving replica could ship: rebuild locally from
+			// scratch (degraded, but the function stays available).
+			if _, err := dst.node.PrepareImage(r.fn); err != nil {
+				f.mu.Lock()
+				f.stats.RepairFailures++
+				f.mu.Unlock()
+				continue
+			}
+			f.mu.Lock()
+			f.stats.LocalBuilds++
+			f.mu.Unlock()
+		}
+		f.mu.Lock()
+		f.stats.Rereplications++
+		f.mu.Unlock()
+	}
+}
+
+// ensureArtifacts makes sure m can boot name with sys: a machine
+// missing the func-image performs a remote fork, and fork boot builds
+// its local template (off the request's measured boot latency, like any
+// artifact preparation).
+func (f *Fleet) ensureArtifacts(m *member, name string, sys platform.System) error {
+	switch sys {
+	case platform.CatalyzerRestore, platform.CatalyzerZygote, platform.CatalyzerSfork,
+		platform.GVisorRestore, platform.Replayable:
+		if !m.node.HasImage(name) {
+			if err := f.remoteFork(m, name); err != nil {
+				return err
+			}
+		}
+	default:
+		// Baselines boot from scratch; they only need registration.
+		if _, err := m.node.Register(name); err != nil {
+			return err
+		}
+	}
+	if sys == platform.CatalyzerSfork && !m.node.HasTemplate(name) {
+		if _, err := m.node.PrepareTemplate(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remoteFork materializes name's func-image on m from a peer: fork
+// from a peer's live template when one exists (cheapest), else pull
+// the image from a peer that has it (replicas first), degrading to a
+// local cold build when no peer can serve.
+func (f *Fleet) remoteFork(m *member, name string) error {
+	f.mu.Lock()
+	order := make([]int, 0, len(f.members))
+	for _, idx := range f.deployments[name] {
+		if idx != m.idx && f.members[idx].state == StateUp {
+			order = append(order, idx)
+		}
+	}
+	for _, p := range f.members {
+		if p.idx != m.idx && p.state == StateUp && !contains(order, p.idx) {
+			order = append(order, p.idx)
+		}
+	}
+	f.mu.Unlock()
+	var src *member
+	fromTemplate := false
+	for _, idx := range order {
+		if p := f.memberAt(idx); p.node.HasTemplate(name) {
+			src, fromTemplate = p, true
+			break
+		}
+	}
+	if src == nil {
+		for _, idx := range order {
+			if p := f.memberAt(idx); p.node.HasImage(name) {
+				src = p
+				break
+			}
+		}
+	}
+	if src == nil {
+		if _, err := m.node.PrepareImage(name); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		f.stats.LocalBuilds++
+		f.mu.Unlock()
+		return nil
+	}
+	img, err := src.node.ExportImage(name)
+	if err != nil {
+		return err
+	}
+	cost := f.cfg.PullPageCost
+	if fromTemplate {
+		cost = f.cfg.TemplateForkPageCost
+	}
+	m.node.Charge(simtime.Duration(img.Mem.Pages) * cost)
+	if err := m.node.ImportImage(img); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if fromTemplate {
+		f.stats.TemplateForks++
+	} else {
+		f.stats.ImagePulls++
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// probeMembership is the fleet's supervise probe group: each round it
+// draws the crash/partition sites against every Up member (a firing
+// crash downs the member immediately; consecutive partition misses
+// down it with state intact) and probes partitioned Down members for
+// healing, re-admitting them on the first clean probe. Crashed members
+// are not probed — they stay down until Restart.
+func (f *Fleet) probeMembership() (checked, evicted int) {
+	f.mu.Lock()
+	members := append([]*member(nil), f.members...)
+	f.mu.Unlock()
+	for _, m := range members {
+		f.mu.Lock()
+		state, crashed := m.state, m.crashed
+		f.mu.Unlock()
+		switch {
+		case state == StateUp:
+			checked++
+			if ferr := f.inj.Check(faults.SiteMachineCrash); ferr != nil {
+				f.markDown(m, true)
+				evicted++
+				continue
+			}
+			if ferr := f.inj.Check(faults.SiteMachinePartition); ferr != nil {
+				f.noteMiss(m)
+				f.mu.Lock()
+				down := m.state == StateDown
+				f.mu.Unlock()
+				if down {
+					evicted++
+				}
+			} else {
+				f.mu.Lock()
+				m.misses = 0
+				f.mu.Unlock()
+			}
+		case !crashed:
+			checked++
+			if f.inj.Check(faults.SiteMachinePartition) == nil {
+				f.rejoin(m)
+			}
+		}
+	}
+	return checked, evicted
+}
+
+// rejoin re-admits a Down member: Up state, ring rebuild, placements
+// flow back via consistent hashing, and replica sets that ran degraded
+// while the fleet was below R machines are topped back up toward R
+// (anti-entropy: a healed partition re-enters its old sets for free, a
+// restarted crash gets images re-shipped, and remote forks cover any
+// placement outside a replica set).
+func (f *Fleet) rejoin(m *member) {
+	f.mu.Lock()
+	if m.state == StateUp {
+		f.mu.Unlock()
+		return
+	}
+	m.state = StateUp
+	m.crashed = false
+	m.misses = 0
+	f.stats.Rejoins++
+	f.rebuildRingLocked()
+	plan := f.planTopUpLocked()
+	f.mu.Unlock()
+	f.executeRepairs(plan)
+}
+
+// planTopUpLocked refills under-replicated deployments after a member
+// rejoins: while the fleet ran below R machines, repairs could only
+// restore min(R, up) replicas, so every re-admission tops replica sets
+// back up toward R (mu held; sorted names so same-seed runs repair
+// identically).
+func (f *Fleet) planTopUpLocked() []repair {
+	want := f.cfg.Replication
+	if up := f.upCountLocked(); want > up {
+		want = up
+	}
+	names := make([]string, 0, len(f.deployments))
+	for name := range f.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var plan []repair
+	for _, name := range names {
+		keep := append([]int(nil), f.deployments[name]...)
+		for len(keep) < want {
+			cand := -1
+			for _, c := range f.ring.walk(name) {
+				if !contains(keep, c) {
+					cand = c
+					break
+				}
+			}
+			if cand < 0 {
+				break
+			}
+			plan = append(plan, repair{fn: name, srcs: append([]int(nil), keep...), dst: cand})
+			keep = append(keep, cand)
+		}
+		f.deployments[name] = keep
+	}
+	return plan
+}
+
+// Kill forcibly crashes machine idx (chaos hook): the member goes down
+// with state lost, its functions re-place and re-replicate, and only
+// Restart brings it back.
+func (f *Fleet) Kill(idx int) error {
+	m, err := f.checkedMember(idx)
+	if err != nil {
+		return err
+	}
+	f.markDown(m, true)
+	return nil
+}
+
+// Restart re-admits machine idx: a crashed member gets a fresh empty
+// machine from the factory (epoch bumped); a partitioned member rejoins
+// with its state intact. No-op if already Up.
+func (f *Fleet) Restart(idx int) error {
+	m, err := f.checkedMember(idx)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	down, crashed := m.state == StateDown, m.crashed
+	f.mu.Unlock()
+	if !down {
+		return nil
+	}
+	if crashed {
+		n := f.build()
+		if n == nil {
+			return fmt.Errorf("%w: machine factory returned nil", ErrBadConfig)
+		}
+		n.InstallFaults(f.inj)
+		f.mu.Lock()
+		m.node.Close()
+		m.node = n
+		m.epoch++
+		f.mu.Unlock()
+	}
+	f.rejoin(m)
+	return nil
+}
+
+func (f *Fleet) checkedMember(idx int) (*member, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if idx < 0 || idx >= len(f.members) {
+		return nil, fmt.Errorf("%w: no machine %d in a fleet of %d", ErrBadConfig, idx, len(f.members))
+	}
+	return f.members[idx], nil
+}
+
+// MemberInfo is one machine's membership snapshot.
+type MemberInfo struct {
+	Index   int
+	State   State
+	Crashed bool
+	Epoch   int
+	Live    int
+	Clock   simtime.Duration
+}
+
+// Members snapshots the membership view.
+func (f *Fleet) Members() []MemberInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]MemberInfo, len(f.members))
+	for i, m := range f.members {
+		out[i] = MemberInfo{
+			Index:   m.idx,
+			State:   m.state,
+			Crashed: m.crashed,
+			Epoch:   m.epoch,
+			Live:    m.node.LiveInstances(),
+			Clock:   m.node.Now(),
+		}
+	}
+	return out
+}
+
+// ArmFault arms a fault site on the fleet's shared injector (machine
+// sites are drawn by the fleet; every other site by the member
+// platforms, which share the injector).
+func (f *Fleet) ArmFault(site faults.Site, rate float64) {
+	f.inj.Arm(site, rate)
+}
+
+// DisarmFaults disarms every site; counts are retained.
+func (f *Fleet) DisarmFaults() { f.inj.DisarmAll() }
+
+// FaultCounts reports per-site injection totals.
+func (f *Fleet) FaultCounts() map[faults.Site]faults.SiteCount { return f.inj.Counts() }
+
+// PollSupervise runs due membership probes (tests; Invoke and Deploy
+// poll on the way out already).
+func (f *Fleet) PollSupervise() { f.sup.Poll() }
+
+// Stats returns a snapshot of the fleet's accounting.
+func (f *Fleet) Stats() Stats {
+	sst := f.sup.Stats()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.stats
+	out.Served = append([]int(nil), f.stats.Served...)
+	out.Machines = len(f.members)
+	out.Deployed = len(f.deployments)
+	out.MembershipProbes = sst.ProbesRun
+	out.Live = make([]int, len(f.members))
+	for i, m := range f.members {
+		out.Live[i] = m.node.LiveInstances()
+		if m.state == StateUp {
+			out.Up++
+		} else {
+			out.Down++
+		}
+	}
+	return out
+}
+
+// Close shuts the fleet down: membership probes stop, then every member
+// machine closes (templates retired, mappings closed, supervision
+// drained).
+func (f *Fleet) Close() {
+	f.sup.Close()
+	f.mu.Lock()
+	members := append([]*member(nil), f.members...)
+	f.mu.Unlock()
+	for _, m := range members {
+		m.node.Close()
+	}
+}

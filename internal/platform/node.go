@@ -1,0 +1,111 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+
+	"catalyzer/internal/faults"
+	"catalyzer/internal/image"
+	"catalyzer/internal/simtime"
+)
+
+// Node is the machine-facing surface the fleet control plane needs from
+// one platform machine: register and prepare functions, serve recovered
+// invocations, move func-images between machines (remote fork), charge
+// virtual transfer/backoff time, and report load. *Platform implements
+// it; the fleet never reaches past this interface, so everything a
+// machine does for the fleet is visible here.
+type Node interface {
+	Register(name string) (*Function, error)
+	PrepareImage(name string) (*Function, error)
+	PrepareTemplate(name string) (*Function, error)
+	InvokeRecover(ctx context.Context, name string, sys System) (*Result, error)
+	HasImage(name string) bool
+	HasTemplate(name string) bool
+	ExportImage(name string) (*image.Image, error)
+	ImportImage(img *image.Image) error
+	InstallFaults(inj *faults.Injector)
+	Charge(d simtime.Duration)
+	LiveInstances() int
+	Now() simtime.Duration
+	Close()
+}
+
+var _ Node = (*Platform)(nil)
+
+// HasImage reports whether name's func-image is present on this machine
+// (false for unregistered functions).
+func (p *Platform) HasImage(name string) bool {
+	f, err := p.Lookup(name)
+	if err != nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return f.Image != nil
+}
+
+// HasTemplate reports whether name has a live template sandbox on this
+// machine (false for unregistered functions).
+func (p *Platform) HasTemplate(name string) bool {
+	f, err := p.Lookup(name)
+	if err != nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return f.Tmpl != nil
+}
+
+// ExportImage returns name's func-image for replication to a peer
+// machine. Images are immutable after build, so the peer can share the
+// value; each importer builds its own base memory mapping.
+func (p *Platform) ExportImage(name string) (*image.Image, error) {
+	f, err := p.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.Image == nil {
+		return nil, fmt.Errorf("%w: %s has no image to export", ErrNoImage, name)
+	}
+	return f.Image, nil
+}
+
+// ImportImage installs a func-image shipped from a peer machine (the
+// pull half of a remote fork): the function is registered if needed, the
+// image and its I/O cache are swapped in under the machine lock, and the
+// image is persisted to this machine's store. A machine that already has
+// an image keeps it — imports never clobber local state.
+func (p *Platform) ImportImage(img *image.Image) error {
+	if img == nil {
+		return fmt.Errorf("%w: nil image", ErrNoImage)
+	}
+	f, err := p.Register(img.Name)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	installed := false
+	if f.Image == nil {
+		f.Image = img
+		f.Cache = img.IOCache
+		installed = true
+	}
+	p.mu.Unlock()
+	if installed {
+		p.persistImage(img)
+	}
+	return nil
+}
+
+// Charge advances the machine's virtual clock by d under the machine
+// lock. The fleet charges remote-fork transfer costs and failover
+// backoff as machine work through this.
+func (p *Platform) Charge(d simtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.chargeBackoff(d)
+}

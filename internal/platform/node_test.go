@@ -1,0 +1,106 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/simtime"
+)
+
+func TestExportImportImage(t *testing.T) {
+	src := New(costmodel.Default())
+	dst := New(costmodel.Default())
+	if _, err := src.PrepareImage("java-hello"); err != nil {
+		t.Fatal(err)
+	}
+	if !src.HasImage("java-hello") {
+		t.Fatal("source has no image after PrepareImage")
+	}
+	if dst.HasImage("java-hello") {
+		t.Fatal("destination has an image before import")
+	}
+	img, err := src.ExportImage("java-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.HasImage("java-hello") {
+		t.Fatal("destination has no image after import")
+	}
+	// The shipped image must boot without any local offline build.
+	r, err := dst.InvokeRecover(context.Background(), "java-hello", CatalyzerRestore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BootLatency <= 0 {
+		t.Fatal("degenerate boot from imported image")
+	}
+}
+
+func TestExportImageErrors(t *testing.T) {
+	p := New(costmodel.Default())
+	if _, err := p.ExportImage("no-such-function"); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("export of unknown function: %v", err)
+	}
+	if _, err := p.Register("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExportImage("c-hello"); !errors.Is(err, ErrNoImage) {
+		t.Fatalf("export without image: %v", err)
+	}
+	if err := p.ImportImage(nil); !errors.Is(err, ErrNoImage) {
+		t.Fatalf("nil import: %v", err)
+	}
+}
+
+func TestImportImageKeepsLocalState(t *testing.T) {
+	a := New(costmodel.Default())
+	b := New(costmodel.Default())
+	if _, err := a.PrepareImage("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PrepareImage("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	local, err := b.ExportImage("c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped, err := a.ExportImage("c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ImportImage(shipped); err != nil {
+		t.Fatal(err)
+	}
+	after, err := b.ExportImage("c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != local {
+		t.Fatal("import clobbered an existing local image")
+	}
+}
+
+func TestHasTemplateAndCharge(t *testing.T) {
+	p := New(costmodel.Default())
+	if p.HasTemplate("java-hello") {
+		t.Fatal("template present before PrepareTemplate")
+	}
+	if _, err := p.PrepareTemplate("java-hello"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasTemplate("java-hello") {
+		t.Fatal("template missing after PrepareTemplate")
+	}
+	before := p.Now()
+	p.Charge(3 * simtime.Millisecond)
+	p.Charge(0) // no-op
+	if got := p.Now() - before; got != 3*simtime.Millisecond {
+		t.Fatalf("Charge advanced clock by %v, want 3ms", got)
+	}
+}

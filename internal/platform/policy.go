@@ -231,10 +231,10 @@ func (c *Cluster) Start(name string, sys System) (*Result, int, error) {
 	p := c.platforms[i]
 	if sys == CatalyzerSfork {
 		if _, err := p.PrepareTemplate(name); err != nil {
-			return nil, 0, err
+			return nil, i, err
 		}
 	} else if _, err := p.PrepareImage(name); err != nil {
-		return nil, 0, err
+		return nil, i, err
 	}
 	res, err := p.InvokeKeep(name, sys)
 	return res, i, err

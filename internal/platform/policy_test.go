@@ -177,6 +177,58 @@ func TestClusterBalancesLoad(t *testing.T) {
 	}
 }
 
+func TestClusterLeastLoadedTieBreaksLowestIndex(t *testing.T) {
+	c, err := NewCluster(3, func() *Platform { return New(costmodel.Default()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All machines idle: ties must break to the lowest index, and each
+	// kept instance must shift the next placement to the next machine —
+	// the deterministic sequence 0,1,2 then back to 0. Same-seed fleet
+	// runs are byte-identical only if this never depends on map order.
+	var results []*Result
+	for round := 0; round < 2; round++ {
+		for want := 0; want < 3; want++ {
+			res, machine, err := c.Start("c-hello", CatalyzerRestore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res)
+			if machine != want {
+				t.Fatalf("round %d: equal-load placement chose machine %d, want %d", round, machine, want)
+			}
+		}
+	}
+	for _, r := range results {
+		r.Sandbox.Release()
+	}
+}
+
+func TestClusterStartAttributesFailureToChosenMachine(t *testing.T) {
+	c, err := NewCluster(2, func() *Platform { return New(costmodel.Default()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load machine 0 so least-loaded placement picks machine 1, then fail
+	// preparation there: the error must be attributed to machine 1, not
+	// to a hardcoded machine 0.
+	res, machine, err := c.Start("c-hello", CatalyzerRestore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Sandbox.Release()
+	if machine != 0 {
+		t.Fatalf("first placement on machine %d, want 0", machine)
+	}
+	for _, sys := range []System{CatalyzerSfork, CatalyzerRestore} {
+		if _, machine, err := c.Start("no-such-function", sys); err == nil {
+			t.Fatalf("%s start of unknown function succeeded", sys)
+		} else if machine != 1 {
+			t.Fatalf("%s failure attributed to machine %d, want 1", sys, machine)
+		}
+	}
+}
+
 func TestClusterRoutedInvoke(t *testing.T) {
 	c, err := NewCluster(2, func() *Platform { return New(costmodel.Default()) })
 	if err != nil {

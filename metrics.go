@@ -40,13 +40,13 @@ func (sc *statsCollector) observe(kind BootKind, boot Duration) {
 	m.ObserveDuration(boot)
 }
 
-// Stats returns the per-kind boot latency distribution of everything this
-// client has served.
-func (c *Client) Stats() map[BootKind]KindStats {
-	c.stats.mu.Lock()
-	defer c.stats.mu.Unlock()
-	out := make(map[BootKind]KindStats, len(c.stats.byKind))
-	for kind, m := range c.stats.byKind {
+// snapshot returns the per-kind boot latency distributions collected so
+// far (shared by Client.Stats and Fleet.Stats).
+func (sc *statsCollector) snapshot() map[BootKind]KindStats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make(map[BootKind]KindStats, len(sc.byKind))
+	for kind, m := range sc.byKind {
 		out[kind] = KindStats{
 			Count:    m.Count(),
 			MeanBoot: m.Mean(),
@@ -59,14 +59,21 @@ func (c *Client) Stats() map[BootKind]KindStats {
 	return out
 }
 
-// StatsKinds returns the kinds with recorded invocations, sorted.
-func (c *Client) StatsKinds() []BootKind {
-	c.stats.mu.Lock()
-	defer c.stats.mu.Unlock()
-	out := make([]BootKind, 0, len(c.stats.byKind))
-	for k := range c.stats.byKind {
+// kinds returns the kinds with recorded invocations, sorted.
+func (sc *statsCollector) kinds() []BootKind {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make([]BootKind, 0, len(sc.byKind))
+	for k := range sc.byKind {
 		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// Stats returns the per-kind boot latency distribution of everything this
+// client has served.
+func (c *Client) Stats() map[BootKind]KindStats { return c.stats.snapshot() }
+
+// StatsKinds returns the kinds with recorded invocations, sorted.
+func (c *Client) StatsKinds() []BootKind { return c.stats.kinds() }

@@ -96,7 +96,10 @@ func DefaultRecoveryConfig() RecoveryConfig { return platform.DefaultRecoveryCon
 // runtime sites (sandbox-wedge, invoke-hang, template-poison,
 // probe-false-negative), and the image store's durability crash points
 // (store-write, store-rename, journal-append, manifest-compact), which
-// simulate a kill at each point a Save could be interrupted.
+// simulate a kill at each point a Save could be interrupted, and the
+// machine-granularity fleet sites (machine-crash, machine-partition,
+// machine-slow), drawn only by a Fleet's control plane — arming them on
+// a single-machine client is a no-op.
 func FaultSites() []string {
 	sites := faults.Sites()
 	out := make([]string, len(sites))
