@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos chaos-supervision chaos-fleet ci clean
+.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos chaos-supervision chaos-fleet chaos-gray chaos-fleet-big ci clean
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,19 @@ chaos-supervision:
 # mirrors the CI race job.
 chaos-fleet:
 	$(GO) test -race -count=2 -run 'TestChaosFleet|TestFleet|TestCrashFailover|TestPartitionMarksDown|TestCrashedMachineRestarts|TestSameSeedSameSchedule|TestRemoteFork' ./...
+
+# Gray-failure defense suite (adaptive timeouts, hedged invocations,
+# retry/hedge budget, outlier ejection and re-admission, brownout, and
+# same-seed determinism of every hedge/eject decision) under the race
+# detector; mirrors the CI race job.
+chaos-gray:
+	$(GO) test -race -count=2 -run 'TestChaosGray|TestGray|TestHedge|TestRetryBudget|TestBudgetBounds|TestAdaptiveTimeout|TestBackoffSaturates|TestEjected|TestMaxEjectFraction|TestKeyed|TestDisarmKeyed|TestRegisterEvery|TestFleetHealthReportsBrownout|TestFleetErrorStatusMapping|TestFleetInvokeBudgetExhausted|TestValidateFlags' ./...
+
+# Scaled opt-in smoke: 50 machines × 1000 synthetic functions in virtual
+# time, with one gray member ejected under load. Minutes of wall clock,
+# so it is not part of ci.
+chaos-fleet-big:
+	CATALYZER_CHAOS_BIG=1 $(GO) test -run 'TestChaosFleetBig' -v .
 
 ci: vet staticcheck lint race
 

@@ -1,0 +1,113 @@
+package catalyzer
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"catalyzer/internal/workload"
+)
+
+// TestChaosFleetBig is the scaled smoke: 50 machines serving 1000
+// synthetic functions, with one machine gray under traffic. It runs in
+// virtual time (wall-clock cost is the simulation itself, roughly a
+// minute), so it is opt-in:
+//
+//	CATALYZER_CHAOS_BIG=1 go test -run TestChaosFleetBig .
+//
+// or `make chaos-fleet-big`. The invariants are the usual fleet ones at
+// scale: every function stays served, only typed errors escape, the
+// gray member is ejected without membership churn, and extra traffic
+// stays inside the retry/hedge budget.
+func TestChaosFleetBig(t *testing.T) {
+	if os.Getenv("CATALYZER_CHAOS_BIG") == "" {
+		t.Skip("set CATALYZER_CHAOS_BIG=1 to run the 50-machine × 1000-function smoke")
+	}
+	const (
+		machines  = 50
+		functions = 1000
+	)
+	// Clone the smallest built-in spec into 1000 registered functions.
+	base := workload.MustGet("c-hello")
+	names := make([]string, 0, functions)
+	for i := 0; i < functions; i++ {
+		s := *base
+		s.Name = fmt.Sprintf("bulk-%04d", i)
+		s.Conns = append([]workload.ConnSpec(nil), base.Conns...)
+		if err := workload.RegisterCustom(&s); err != nil {
+			t.Fatalf("register %s: %v", s.Name, err)
+		}
+		name := s.Name
+		t.Cleanup(func() { workload.Unregister(name) })
+		names = append(names, name)
+	}
+
+	f, err := NewFleet(FleetConfig{
+		Machines: machines, Replication: 2,
+		MinEjectSamples: 3, ScoreWarmup: 8,
+	}, WithFaultSeed(808), WithZygotePool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx := context.Background()
+	for _, fn := range names {
+		if err := f.Deploy(ctx, fn); err != nil {
+			t.Fatalf("Deploy(%s): %v", fn, err)
+		}
+	}
+
+	// One pass of healthy traffic over every function.
+	for _, fn := range names {
+		if _, err := f.Invoke(ctx, fn, ForkBoot); err != nil {
+			t.Fatalf("Invoke(%s): %v", fn, err)
+		}
+	}
+
+	// One machine goes gray; the functions keep getting served. The
+	// victim is the busiest server of the healthy pass — replica
+	// primaries carry deploy-time artifacts and can sit over the
+	// bounded-load capacity, so the busiest machine is the one
+	// guaranteed to keep drawing dispatches.
+	victim, most := 0, -1
+	for idx, served := range f.FleetStats().Served {
+		if served > most {
+			victim, most = idx, served
+		}
+	}
+	if err := f.ArmMachineFault(victim, "machine-gray-slow", 1); err != nil {
+		t.Fatal(err)
+	}
+	invocations := functions
+	for i, fn := range names {
+		invocations++
+		if _, err := f.Invoke(ctx, fn, ForkBoot); err != nil {
+			if !fleetTypedError(err) {
+				t.Fatalf("untyped error escaped at scale (%s, round %d): %v", fn, i, err)
+			}
+		}
+	}
+
+	st := f.FleetStats()
+	if st.Up != machines || st.Down != 0 {
+		t.Fatalf("membership churned under gray load: %+v", st)
+	}
+	if st.Deployed != functions {
+		t.Fatalf("Deployed = %d, want %d", st.Deployed, functions)
+	}
+	if st.GrayDispatches == 0 {
+		t.Fatalf("gray site never fired on machine %d", victim)
+	}
+	if st.Ejections == 0 || !f.Machines()[victim].Ejected {
+		t.Fatalf("gray machine %d not ejected at scale: gray=%d hedges=%d ejections=%d",
+			victim, st.GrayDispatches, st.Hedges, st.Ejections)
+	}
+	if st.ReplicasLost != 0 {
+		t.Fatalf("lost replicas with zero machines down: %+v", st)
+	}
+	if bound := 32 + invocations/10 + 1; st.BudgetSpent > bound {
+		t.Fatalf("budget spent %d exceeds bound %d over %d invocations", st.BudgetSpent, bound, invocations)
+	}
+}

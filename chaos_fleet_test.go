@@ -16,7 +16,10 @@ func fleetTypedError(err error) bool {
 		errors.Is(err, ErrNotDeployed) ||
 		errors.Is(err, ErrMachineDown) ||
 		errors.Is(err, ErrMachineUnreachable) ||
-		errors.Is(err, ErrNoSurvivors)
+		errors.Is(err, ErrNoSurvivors) ||
+		errors.Is(err, ErrMachineFlaky) ||
+		errors.Is(err, ErrBrownout) ||
+		errors.Is(err, ErrBudgetExhausted)
 }
 
 // fleetChaosRun drives the full chaos-fleet scenario with one seed and

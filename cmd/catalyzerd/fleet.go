@@ -131,6 +131,9 @@ func (s *fleetServer) machines(w http.ResponseWriter, _ *http.Request) {
 		Epoch   int     `json:"epoch"`
 		Live    int     `json:"live_instances"`
 		ClockMS float64 `json:"virtual_clock_ms"`
+		Ejected bool    `json:"ejected"`
+		ScoreMS float64 `json:"score_ms"`
+		Samples int     `json:"score_samples"`
 	}
 	out := make([]machineJSON, 0, s.fleet.Size())
 	for _, m := range s.fleet.Machines() {
@@ -141,6 +144,9 @@ func (s *fleetServer) machines(w http.ResponseWriter, _ *http.Request) {
 			Epoch:   m.Epoch,
 			Live:    m.Live,
 			ClockMS: float64(m.Clock) / 1e6,
+			Ejected: m.Ejected,
+			ScoreMS: float64(m.Score) / 1e6,
+			Samples: m.Samples,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -183,8 +189,27 @@ type fleetMetrics struct {
 	RepairFailures        int   `json:"repair_failures"`
 	ReplicasLost          int   `json:"replicas_lost"`
 	Spills                int   `json:"spills"`
-	Served                []int `json:"served_per_machine"`
-	Live                  []int `json:"live_per_machine"`
+	GrayDispatches        int   `json:"gray_dispatches"`
+	FlakyDispatches       int   `json:"flaky_dispatches"`
+	Hedges                int   `json:"hedges"`
+	HedgeWins             int   `json:"hedge_wins"`
+	HedgeLosersLingered   int   `json:"hedge_losers_lingered"`
+	Retries               int   `json:"retries"`
+	BudgetSpent           int   `json:"budget_spent"`
+	BudgetDenials         int   `json:"budget_denials"`
+	Ejections             int   `json:"ejections"`
+	EjectionsDeferred     int   `json:"ejections_deferred"`
+	Readmissions          int   `json:"readmissions"`
+	EjectionProbes        int   `json:"ejection_probes"`
+	BrownoutServes        int   `json:"brownout_serves"`
+	EjectedMachines       int   `json:"ejected_machines"`
+
+	InvokeP50MS float64 `json:"invoke_p50_ms"`
+	InvokeP99MS float64 `json:"invoke_p99_ms"`
+	InvokeMaxMS float64 `json:"invoke_max_ms"`
+
+	Served []int `json:"served_per_machine"`
+	Live   []int `json:"live_per_machine"`
 }
 
 func fleetMetricsOf(st catalyzer.FleetStats) fleetMetrics {
@@ -208,6 +233,23 @@ func fleetMetricsOf(st catalyzer.FleetStats) fleetMetrics {
 		RepairFailures:        st.RepairFailures,
 		ReplicasLost:          st.ReplicasLost,
 		Spills:                st.Spills,
+		GrayDispatches:        st.GrayDispatches,
+		FlakyDispatches:       st.FlakyDispatches,
+		Hedges:                st.Hedges,
+		HedgeWins:             st.HedgeWins,
+		HedgeLosersLingered:   st.HedgeLosersLingered,
+		Retries:               st.Retries,
+		BudgetSpent:           st.BudgetSpent,
+		BudgetDenials:         st.BudgetDenials,
+		Ejections:             st.Ejections,
+		EjectionsDeferred:     st.EjectionsDeferred,
+		Readmissions:          st.Readmissions,
+		EjectionProbes:        st.EjectionProbes,
+		BrownoutServes:        st.BrownoutServes,
+		EjectedMachines:       st.EjectedMachines,
+		InvokeP50MS:           float64(st.InvokeP50) / 1e6,
+		InvokeP99MS:           float64(st.InvokeP99) / 1e6,
+		InvokeMaxMS:           float64(st.InvokeMax) / 1e6,
 		Served:                st.Served,
 		Live:                  st.Live,
 	}
@@ -241,27 +283,37 @@ func (s *fleetServer) metrics(w http.ResponseWriter, _ *http.Request) {
 // health reports fleet liveness: 200 "ok" with every machine up, 503
 // "degraded" with the down machine indices listed otherwise, so an
 // orchestrator can page on partial fleet loss before functions do.
+// Soft-ejected (gray) machines are listed separately and downgrade the
+// status to 200 "brownout" — capacity is reduced but the fleet still
+// serves, and the ejection probes re-admit members as they recover.
 func (s *fleetServer) health(w http.ResponseWriter, _ *http.Request) {
 	down := make([]int, 0)
+	ejected := make([]int, 0)
 	for _, m := range s.fleet.Machines() {
 		if m.State != "up" {
 			down = append(down, m.Index)
+		} else if m.Ejected {
+			ejected = append(ejected, m.Index)
 		}
 	}
 	status, code := "ok", http.StatusOK
+	if len(ejected) > 0 {
+		status = "brownout"
+	}
 	if len(down) > 0 {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
 	st := s.fleet.FleetStats()
 	body := map[string]any{
-		"status":         status,
-		"machines":       st.Machines,
-		"up":             st.Up,
-		"down_machines":  down,
-		"live_instances": s.fleet.Running(),
-		"replicas_lost":  st.ReplicasLost,
-		"crashes":        st.Crashes,
-		"rejoins":        st.Rejoins,
+		"status":           status,
+		"machines":         st.Machines,
+		"up":               st.Up,
+		"down_machines":    down,
+		"ejected_machines": ejected,
+		"live_instances":   s.fleet.Running(),
+		"replicas_lost":    st.ReplicasLost,
+		"crashes":          st.Crashes,
+		"rejoins":          st.Rejoins,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

@@ -116,20 +116,24 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, catalyzer.ErrNoSurvivors),
 		errors.Is(err, catalyzer.ErrMachineDown),
-		errors.Is(err, catalyzer.ErrMachineUnreachable):
+		errors.Is(err, catalyzer.ErrMachineUnreachable),
+		errors.Is(err, catalyzer.ErrMachineFlaky),
+		errors.Is(err, catalyzer.ErrBrownout),
+		errors.Is(err, catalyzer.ErrBudgetExhausted):
 		// Machine-level fleet failures are retryable: survivors heal,
-		// partitions clear, crashed machines restart.
+		// partitions clear, crashed machines restart, ejected gray
+		// members are re-admitted, and the retry/hedge budget refills.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
-// fail writes err with its mapped status; shed requests carry a
-// Retry-After hint so well-behaved clients back off.
+// fail writes err with its mapped status; shed requests and retryable
+// fleet 503s carry a Retry-After hint so well-behaved clients back off.
 func fail(w http.ResponseWriter, err error) {
 	code := statusOf(err)
-	if code == http.StatusTooManyRequests {
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	http.Error(w, err.Error(), code)
@@ -481,6 +485,21 @@ func Handler(c *catalyzer.Client) http.Handler {
 	return mux
 }
 
+// validateFlags rejects flag combinations the daemon cannot honor. In
+// particular, fleet mode has no on-disk image store: durability comes
+// from R-way replication across members, and silently ignoring a
+// -store-dir would let an operator believe their functions survive a
+// full-fleet restart when they do not.
+func validateFlags(zygotePool, fleetMachines int, storeDir string) error {
+	if zygotePool < 0 {
+		return fmt.Errorf("-zygote-pool must be >= 0, got %d", zygotePool)
+	}
+	if fleetMachines > 0 && storeDir != "" {
+		return fmt.Errorf("-fleet-machines and -store-dir are mutually exclusive: fleet durability comes from %d-way replication, not an on-disk store", fleetMachines)
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	server := flag.Bool("server-machine", false, "use the 96-core server cost model")
@@ -493,12 +512,14 @@ func main() {
 	storeDir := flag.String("store-dir", "", "directory for the crash-consistent func-image store; deployed functions are recovered from it on restart (empty = in-memory only)")
 	fleetMachines := flag.Int("fleet-machines", 0, "run a fleet of N machines behind placement/failover instead of a single machine (0 = single-machine mode)")
 	fleetReplication := flag.Int("fleet-replication", 0, "func-image replication factor in fleet mode (0 = default 2)")
+	fleetEjectFactor := flag.Float64("fleet-eject-factor", 0, "outlier-ejection threshold as a multiple of the fleet's healthy median latency score (0 = default 4)")
+	fleetHedgeFactor := flag.Float64("fleet-hedge-factor", 0, "hedge delay as a multiple of the healthy median latency score; slower primaries race a second attempt (0 = default 2)")
+	fleetBudgetRatio := flag.Float64("fleet-budget-ratio", 0, "retry/hedge tokens earned per admitted invocation, bounding extra attempts to roughly this fraction of traffic (0 = default 0.1)")
+	fleetBudgetBurst := flag.Int("fleet-budget-burst", 0, "retry/hedge token bucket size (0 = default 32)")
+	fleetMaxEjectFraction := flag.Float64("fleet-max-eject-fraction", 0, "largest share of up machines that may be soft-ejected at once; beyond it the fleet serves browned-out (0 = default 1/3)")
 	flag.Parse()
-	if *zygotePool < 0 {
-		log.Fatalf("-zygote-pool must be >= 0, got %d", *zygotePool)
-	}
-	if *fleetMachines > 0 && *storeDir != "" {
-		log.Fatalf("-fleet-machines and -store-dir are mutually exclusive: fleet durability comes from %d-way replication, not an on-disk store", *fleetMachines)
+	if err := validateFlags(*zygotePool, *fleetMachines, *storeDir); err != nil {
+		log.Fatal(err)
 	}
 
 	opts := []catalyzer.Option{
@@ -524,8 +545,13 @@ func main() {
 	var running func() int
 	if *fleetMachines > 0 {
 		f, err := catalyzer.NewFleet(catalyzer.FleetConfig{
-			Machines:    *fleetMachines,
-			Replication: *fleetReplication,
+			Machines:         *fleetMachines,
+			Replication:      *fleetReplication,
+			EjectFactor:      *fleetEjectFactor,
+			HedgeFactor:      *fleetHedgeFactor,
+			BudgetRatio:      *fleetBudgetRatio,
+			BudgetBurst:      *fleetBudgetBurst,
+			MaxEjectFraction: *fleetMaxEjectFraction,
 		}, opts...)
 		if err != nil {
 			log.Fatalf("build fleet: %v", err)

@@ -22,6 +22,17 @@ var (
 	ErrMachineUnreachable = fleet.ErrUnreachable
 	// ErrNoSurvivors: no Up machine was left to serve the request.
 	ErrNoSurvivors = fleet.ErrNoSurvivors
+	// ErrMachineFlaky: the target machine answered erratically (the
+	// machine-flaky site); the dispatcher replays on the next survivor.
+	ErrMachineFlaky = fleet.ErrFlaky
+	// ErrBrownout: every healthy machine is exhausted and the soft-ejected
+	// remainder could not serve either; retryable — ejected members are
+	// probed and re-admitted as they recover.
+	ErrBrownout = fleet.ErrBrownout
+	// ErrBudgetExhausted: the fleet-wide retry/hedge token budget is dry,
+	// so the invocation was not replayed further; retryable — the bucket
+	// refills as admitted traffic flows.
+	ErrBudgetExhausted = fleet.ErrBudgetExhausted
 )
 
 // FleetConfig sizes a fleet. Zero values take defaults (replication 2,
@@ -46,8 +57,54 @@ type FleetConfig struct {
 	// mark a member down.
 	ProbeMisses int
 	// FailoverBackoff is the virtual-time backoff charged before each
-	// replayed invocation (doubling per consecutive failover).
+	// replayed invocation (doubling per consecutive failover, saturating
+	// at MaxAttemptTimeout; superseded by the adaptive timeout once
+	// machine scores are warm).
 	FailoverBackoff Duration
+
+	// Gray-failure defense knobs (zero values take the defaults; the
+	// layer runs out of the box — see DESIGN.md §14).
+
+	// ScoreAlpha is the EWMA weight of each new latency sample in a
+	// machine's score (default 0.3).
+	ScoreAlpha float64
+	// TimeoutFactor scales the healthy median score into the adaptive
+	// per-attempt timeout (default 4), clamped to
+	// [MinAttemptTimeout, MaxAttemptTimeout] (defaults 1ms / 250ms).
+	TimeoutFactor     float64
+	MinAttemptTimeout Duration
+	MaxAttemptTimeout Duration
+	// HedgeFactor scales the healthy median score into the hedge delay
+	// (default 2), floored at MinHedgeDelay (default 500µs): a primary
+	// attempt running longer races a hedged second attempt.
+	HedgeFactor   float64
+	MinHedgeDelay Duration
+	// ScoreWarmup is the fleet-wide scored-dispatch count below which
+	// the adaptive machinery stays disengaged (default 8).
+	ScoreWarmup int
+	// BudgetRatio is the retry/hedge tokens earned per admitted
+	// invocation and BudgetBurst caps the bucket (defaults 0.1 / 32), so
+	// retries and hedges are bounded to ~BudgetRatio of traffic plus the
+	// burst.
+	BudgetRatio float64
+	BudgetBurst int
+	// EjectFactor is the outlier-ejection threshold as a multiple of the
+	// healthy median score (default 4); ReadmitFactor the re-admission
+	// hysteresis band (default 1.5).
+	EjectFactor   float64
+	ReadmitFactor float64
+	// MaxEjectFraction bounds the soft-ejected share of the Up fleet
+	// (default 1/3); past it outliers stay in rotation and the fleet
+	// degrades to brownout instead of collapsing.
+	MaxEjectFraction float64
+	// MinEjectSamples is the per-machine sample floor before ejection
+	// eligibility (default 8); ReadmitProbes the consecutive clean
+	// recovery probes that re-admit an ejected member (default 2).
+	MinEjectSamples int
+	ReadmitProbes   int
+	// EjectProbeInterval is the recovery-probe cadence for ejected
+	// members (default: ProbeInterval).
+	EjectProbeInterval Duration
 }
 
 // Fleet is a handle to N simulated machines behind the fleet control
@@ -72,13 +129,28 @@ func NewFleet(cfg FleetConfig, opts ...Option) (*Fleet, error) {
 	}
 	pcfg := platformConfig(c)
 	fcfg := fleet.Config{
-		Machines:        cfg.Machines,
-		Replication:     cfg.Replication,
-		LoadFactor:      cfg.LoadFactor,
-		VirtualNodes:    cfg.VirtualNodes,
-		ProbeInterval:   cfg.ProbeInterval,
-		ProbeMisses:     cfg.ProbeMisses,
-		FailoverBackoff: cfg.FailoverBackoff,
+		Machines:           cfg.Machines,
+		Replication:        cfg.Replication,
+		LoadFactor:         cfg.LoadFactor,
+		VirtualNodes:       cfg.VirtualNodes,
+		ProbeInterval:      cfg.ProbeInterval,
+		ProbeMisses:        cfg.ProbeMisses,
+		FailoverBackoff:    cfg.FailoverBackoff,
+		ScoreAlpha:         cfg.ScoreAlpha,
+		TimeoutFactor:      cfg.TimeoutFactor,
+		MinAttemptTimeout:  cfg.MinAttemptTimeout,
+		MaxAttemptTimeout:  cfg.MaxAttemptTimeout,
+		HedgeFactor:        cfg.HedgeFactor,
+		MinHedgeDelay:      cfg.MinHedgeDelay,
+		ScoreWarmup:        cfg.ScoreWarmup,
+		BudgetRatio:        cfg.BudgetRatio,
+		BudgetBurst:        cfg.BudgetBurst,
+		EjectFactor:        cfg.EjectFactor,
+		ReadmitFactor:      cfg.ReadmitFactor,
+		MaxEjectFraction:   cfg.MaxEjectFraction,
+		MinEjectSamples:    cfg.MinEjectSamples,
+		ReadmitProbes:      cfg.ReadmitProbes,
+		EjectProbeInterval: cfg.EjectProbeInterval,
 	}
 	if c.faultSeed != nil {
 		fcfg.Seed = *c.faultSeed
@@ -164,6 +236,11 @@ type MachineInfo struct {
 	// Live is the machine's live-instance gauge; Clock its virtual time.
 	Live  int
 	Clock Duration
+	// Ejected reports a soft-ejected (Up but drained) member; Score is
+	// its EWMA dispatch latency over Samples scored dispatches.
+	Ejected bool
+	Score   Duration
+	Samples int
 }
 
 // Machines snapshots the fleet's membership view.
@@ -178,6 +255,9 @@ func (f *Fleet) Machines() []MachineInfo {
 			Epoch:   m.Epoch,
 			Live:    m.Live,
 			Clock:   m.Clock,
+			Ejected: m.Ejected,
+			Score:   m.Score,
+			Samples: m.Samples,
 		}
 	}
 	return out
@@ -204,7 +284,19 @@ func (f *Fleet) ArmFault(site string, rate float64) error {
 	return nil
 }
 
-// DisarmFaults disarms every fault site; injection counts are retained.
+// ArmMachineFault arms a fault site on one machine only (keyed arming
+// on the fleet's shared injector): the canonical way to make a single
+// member gray-slow or flaky without perturbing the seeded fault
+// schedule of the rest of the fleet.
+func (f *Fleet) ArmMachineFault(idx int, site string, rate float64) error {
+	if !faults.ValidSite(faults.Site(site)) {
+		return fmt.Errorf("%w: %q (known: %v)", ErrUnknownFaultSite, site, FaultSites())
+	}
+	return f.fl.ArmFaultOn(idx, faults.Site(site), rate)
+}
+
+// DisarmFaults disarms every fault site, keyed per-machine armings
+// included; injection counts are retained.
 func (f *Fleet) DisarmFaults() { f.fl.DisarmFaults() }
 
 // Stats returns the per-kind boot latency distribution of everything
@@ -260,6 +352,43 @@ type FleetStats struct {
 	// Spills counts bounded-load placements diverted off the preferred
 	// ring machine.
 	Spills int
+	// GrayDispatches counts machine-gray-slow draws served with a large
+	// latency penalty; FlakyDispatches counts machine-flaky draws that
+	// failed the dispatch.
+	GrayDispatches  int
+	FlakyDispatches int
+	// Hedges counts hedged second attempts raced against slow primaries;
+	// HedgeWins counts hedges that finished first;
+	// HedgeLosersLingered counts discarded attempts that kept burning
+	// their machine (hedge-loser-lingers site).
+	Hedges              int
+	HedgeWins           int
+	HedgeLosersLingered int
+	// Retries counts replayed attempts charged to the retry/hedge
+	// budget; BudgetSpent the tokens consumed (retries + hedges);
+	// BudgetDenials the retries/hedges refused on a dry bucket.
+	Retries       int
+	BudgetSpent   int
+	BudgetDenials int
+	// Ejections counts soft-ejections of gray outliers;
+	// EjectionsDeferred outlier verdicts deferred by MaxEjectFraction;
+	// Readmissions recoveries back into the ring; EjectionProbes
+	// individual recovery probes sent to ejected members.
+	Ejections         int
+	EjectionsDeferred int
+	Readmissions      int
+	EjectionProbes    int
+	// BrownoutServes counts invocations served by a soft-ejected member
+	// because every healthy machine was exhausted.
+	BrownoutServes int
+	// EjectedMachines is the current soft-ejected gauge.
+	EjectedMachines int
+	// InvokeP50 / InvokeP99 / InvokeMax summarize the effective
+	// virtual-time invoke latency distribution (hedge winners count at
+	// their winning latency).
+	InvokeP50 Duration
+	InvokeP99 Duration
+	InvokeMax Duration
 	// Served / Live are per-machine vectors: completed invocations and
 	// the live-instance gauge.
 	Served []int
@@ -290,6 +419,23 @@ func (f *Fleet) FleetStats() FleetStats {
 		RepairFailures:        st.RepairFailures,
 		ReplicasLost:          st.ReplicasLost,
 		Spills:                st.Spills,
+		GrayDispatches:        st.GrayDispatches,
+		FlakyDispatches:       st.FlakyDispatches,
+		Hedges:                st.Hedges,
+		HedgeWins:             st.HedgeWins,
+		HedgeLosersLingered:   st.HedgeLosersLingered,
+		Retries:               st.Retries,
+		BudgetSpent:           st.BudgetSpent,
+		BudgetDenials:         st.BudgetDenials,
+		Ejections:             st.Ejections,
+		EjectionsDeferred:     st.EjectionsDeferred,
+		Readmissions:          st.Readmissions,
+		EjectionProbes:        st.EjectionProbes,
+		BrownoutServes:        st.BrownoutServes,
+		EjectedMachines:       st.EjectedMachines,
+		InvokeP50:             st.InvokeP50,
+		InvokeP99:             st.InvokeP99,
+		InvokeMax:             st.InvokeMax,
 		Served:                st.Served,
 		Live:                  st.Live,
 	}

@@ -103,6 +103,26 @@ const (
 	// SiteMachineSlow fires a degraded dispatch: the target machine is
 	// charged extra virtual latency but serves the request.
 	SiteMachineSlow Site = "machine-slow"
+
+	// The gray-failure sites model machines that stay nominally alive —
+	// they pass membership probes and keep serving — while degrading in
+	// ways only latency scoring can see. They are usually armed per
+	// machine (ArmKeyed with the machine key) so one sick member poisons
+	// the tail without downing the fleet.
+
+	// SiteMachineGraySlow fires a gray-slow dispatch: the machine serves
+	// the request but is charged a large extra latency (10–100× a healthy
+	// boot), feeding its EWMA score. Unlike machine-slow it is meant to be
+	// armed persistently on one machine to model a gray failure.
+	SiteMachineGraySlow Site = "machine-gray-slow"
+	// SiteMachineFlaky fires an erratic dispatch failure: the machine
+	// drops this one request (typed ErrFlaky, replayed elsewhere) without
+	// accruing partition misses — alive, just unreliable.
+	SiteMachineFlaky Site = "machine-flaky"
+	// SiteHedgeLoserLingers is drawn against the losing side of a hedged
+	// invocation: firing makes the abandoned attempt linger, charging the
+	// loser machine extra virtual time for work it will throw away.
+	SiteHedgeLoserLingers Site = "hedge-loser-lingers"
 )
 
 // CoreSites lists the single-machine injection points: the boot pipeline
@@ -121,7 +141,8 @@ func StoreSites() []Site {
 // FleetSites lists the machine-granularity fault sites drawn by the
 // fleet control plane.
 func FleetSites() []Site {
-	return []Site{SiteMachineCrash, SiteMachinePartition, SiteMachineSlow}
+	return []Site{SiteMachineCrash, SiteMachinePartition, SiteMachineSlow,
+		SiteMachineGraySlow, SiteMachineFlaky, SiteHedgeLoserLingers}
 }
 
 // Sites lists every injection point: the union of CoreSites, StoreSites
@@ -178,6 +199,7 @@ type Injector struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
 	rates  map[Site]float64
+	keyed  map[Site]map[string]float64
 	counts map[Site]*SiteCount
 }
 
@@ -187,6 +209,7 @@ func New(seed int64) *Injector {
 	return &Injector{
 		rng:    rand.New(rand.NewSource(seed)),
 		rates:  make(map[Site]float64),
+		keyed:  make(map[Site]map[string]float64),
 		counts: make(map[Site]*SiteCount),
 	}
 }
@@ -217,7 +240,47 @@ func (in *Injector) Disarm(site Site) {
 	delete(in.rates, site)
 }
 
-// DisarmAll removes every arming; counts are retained.
+// ArmKeyed sets a site's failure probability for one key (clamped to
+// [0, 1]). A keyed arming overrides the site-wide rate for CheckKeyed
+// draws with that key; other keys keep the site-wide rate. The fleet
+// uses machine keys so a gray site can be armed on a single member.
+func (in *Injector) ArmKeyed(site Site, key string, rate float64) {
+	if in == nil {
+		return
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	m := in.keyed[site]
+	if m == nil {
+		m = make(map[string]float64)
+		in.keyed[site] = m
+	}
+	m[key] = rate
+}
+
+// DisarmKeyed removes one key's arming at a site; the site-wide rate
+// (if any) applies to the key again.
+func (in *Injector) DisarmKeyed(site Site, key string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if m := in.keyed[site]; m != nil {
+		delete(m, key)
+		if len(m) == 0 {
+			delete(in.keyed, site)
+		}
+	}
+}
+
+// DisarmAll removes every arming, keyed included; counts are retained.
 func (in *Injector) DisarmAll() {
 	if in == nil {
 		return
@@ -225,17 +288,32 @@ func (in *Injector) DisarmAll() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.rates = make(map[Site]float64)
+	in.keyed = make(map[Site]map[string]float64)
 }
 
 // Check draws at the given site: it returns a *Fault if an injected
 // failure fires, nil otherwise. Safe on a nil Injector.
 func (in *Injector) Check(site Site) error {
+	return in.CheckKeyed(site, "")
+}
+
+// CheckKeyed draws at the given site on behalf of key: a keyed arming
+// for (site, key) overrides the site-wide rate. Like Check, an unarmed
+// draw (no keyed rate for key and no site-wide rate) consumes no RNG,
+// so arming a site on one machine never perturbs the seeded schedule of
+// the others. Safe on a nil Injector.
+func (in *Injector) CheckKeyed(site Site, key string) error {
 	if in == nil {
 		return nil
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	rate, armed := in.rates[site]
+	if m := in.keyed[site]; m != nil {
+		if kr, ok := m[key]; ok {
+			rate, armed = kr, true
+		}
+	}
 	if !armed || rate == 0 {
 		return nil
 	}
@@ -267,18 +345,30 @@ func (in *Injector) Counts() map[Site]SiteCount {
 	return out
 }
 
-// Armed returns the currently armed sites, sorted.
+// Armed returns the currently armed sites (site-wide or keyed), sorted.
 func (in *Injector) Armed() []Site {
 	if in == nil {
 		return nil
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	out := make([]Site, 0, len(in.rates))
+	seen := make(map[Site]bool)
 	for s, r := range in.rates {
 		if r > 0 {
-			out = append(out, s)
+			seen[s] = true
 		}
+	}
+	for s, m := range in.keyed {
+		for _, r := range m {
+			if r > 0 {
+				seen[s] = true
+				break
+			}
+		}
+	}
+	out := make([]Site, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

@@ -143,3 +143,73 @@ func TestValidSite(t *testing.T) {
 		t.Fatal("nonsense site valid")
 	}
 }
+
+func TestKeyedArmingIsPerKey(t *testing.T) {
+	in := New(11)
+	in.ArmKeyed(SiteMachineGraySlow, "machine-0", 1)
+	for i := 0; i < 50; i++ {
+		if err := in.CheckKeyed(SiteMachineGraySlow, "machine-0"); err == nil {
+			t.Fatal("keyed site at rate 1 did not fire")
+		}
+		if err := in.CheckKeyed(SiteMachineGraySlow, "machine-1"); err != nil {
+			t.Fatalf("unkeyed machine drew a keyed fault: %v", err)
+		}
+	}
+	// Other keys do not even consume RNG: two injectors, one with an
+	// extra unarmed-key draw interleaved, produce the same schedule.
+	a, b := New(5), New(5)
+	a.ArmKeyed(SiteMachineFlaky, "machine-2", 0.5)
+	b.ArmKeyed(SiteMachineFlaky, "machine-2", 0.5)
+	for i := 0; i < 200; i++ {
+		if b.CheckKeyed(SiteMachineFlaky, "machine-7") != nil {
+			t.Fatal("unarmed key fired")
+		}
+		ea := a.CheckKeyed(SiteMachineFlaky, "machine-2") != nil
+		eb := b.CheckKeyed(SiteMachineFlaky, "machine-2") != nil
+		if ea != eb {
+			t.Fatalf("unarmed-key draws perturbed the schedule at %d", i)
+		}
+	}
+}
+
+func TestKeyedOverridesSiteWideRate(t *testing.T) {
+	in := New(3)
+	in.Arm(SiteMachineGraySlow, 1)
+	in.ArmKeyed(SiteMachineGraySlow, "machine-0", 0)
+	if err := in.CheckKeyed(SiteMachineGraySlow, "machine-0"); err != nil {
+		t.Fatalf("keyed zero rate should shadow the site-wide rate: %v", err)
+	}
+	if err := in.CheckKeyed(SiteMachineGraySlow, "machine-1"); err == nil {
+		t.Fatal("site-wide rate 1 did not fire for an unkeyed machine")
+	}
+	if err := in.Check(SiteMachineGraySlow); err == nil {
+		t.Fatal("Check should see the site-wide rate")
+	}
+}
+
+func TestDisarmKeyedAndDisarmAllClearKeyed(t *testing.T) {
+	in := New(9)
+	in.ArmKeyed(SiteMachineFlaky, "machine-1", 1)
+	if got := in.Armed(); len(got) != 1 || got[0] != SiteMachineFlaky {
+		t.Fatalf("Armed with keyed arming = %v", got)
+	}
+	in.DisarmKeyed(SiteMachineFlaky, "machine-1")
+	if err := in.CheckKeyed(SiteMachineFlaky, "machine-1"); err != nil {
+		t.Fatalf("disarmed key still fires: %v", err)
+	}
+	if got := in.Armed(); len(got) != 0 {
+		t.Fatalf("Armed after DisarmKeyed = %v", got)
+	}
+	in.ArmKeyed(SiteMachineFlaky, "machine-1", 1)
+	in.DisarmAll()
+	if err := in.CheckKeyed(SiteMachineFlaky, "machine-1"); err != nil {
+		t.Fatalf("DisarmAll left a keyed arming live: %v", err)
+	}
+	// Nil injector: keyed calls must not panic.
+	var nilIn *Injector
+	nilIn.ArmKeyed(SiteMachineFlaky, "x", 1)
+	nilIn.DisarmKeyed(SiteMachineFlaky, "x")
+	if err := nilIn.CheckKeyed(SiteMachineFlaky, "x"); err != nil {
+		t.Fatalf("nil injector keyed check: %v", err)
+	}
+}

@@ -59,6 +59,18 @@ var (
 	ErrUnreachable = errors.New("fleet: machine unreachable")
 	// ErrNoSurvivors: no Up machine is left to serve the request.
 	ErrNoSurvivors = errors.New("fleet: no machine available")
+	// ErrFlaky: the target machine dropped the request erratically
+	// (machine-flaky site); the dispatch is replayed elsewhere without
+	// accruing partition misses.
+	ErrFlaky = errors.New("fleet: machine answered erratically")
+	// ErrBrownout: every healthy machine is ejected or failed; the fleet
+	// is draining its outliers and could not serve this request. A
+	// retryable condition — ejected machines are probed back in.
+	ErrBrownout = errors.New("fleet: browned out, healthy machines exhausted")
+	// ErrBudgetExhausted: the fleet-wide retry/hedge budget is dry, so a
+	// failed invocation could not be replayed. Retryable — the bucket
+	// refills as traffic flows.
+	ErrBudgetExhausted = errors.New("fleet: retry/hedge budget exhausted")
 )
 
 // State is a member's membership state.
@@ -112,6 +124,62 @@ type Config struct {
 	// SlowPenalty is the virtual latency charged to a machine when the
 	// machine-slow site fires at dispatch (default 5ms).
 	SlowPenalty simtime.Duration
+
+	// The gray-failure defense knobs (see gray.go). Zero values select
+	// the defaults; the whole layer runs out of the box.
+
+	// ScoreAlpha is the EWMA weight of each new latency sample in a
+	// machine's score (default 0.3; must stay in (0, 1]).
+	ScoreAlpha float64
+	// TimeoutFactor scales the healthy median score into the adaptive
+	// per-attempt timeout (default 4).
+	TimeoutFactor float64
+	// MinAttemptTimeout / MaxAttemptTimeout clamp the adaptive timeout
+	// (defaults 1ms / 250ms). MaxAttemptTimeout also saturates the
+	// cold-start doubling backoff.
+	MinAttemptTimeout simtime.Duration
+	MaxAttemptTimeout simtime.Duration
+	// HedgeFactor scales the healthy median score into the hedge delay:
+	// a primary attempt running longer than this races a second attempt
+	// (default 2).
+	HedgeFactor float64
+	// MinHedgeDelay floors the hedge delay (default 500µs).
+	MinHedgeDelay simtime.Duration
+	// ScoreWarmup is the fleet-wide scored-dispatch count below which
+	// the adaptive machinery (timeouts, hedging) stays disengaged
+	// (default 8).
+	ScoreWarmup int
+	// BudgetRatio is the retry/hedge tokens earned per admitted
+	// invocation; BudgetBurst caps the bucket (defaults 0.1 and 32), so
+	// extra attempts are bounded to ~BudgetRatio of traffic plus the
+	// burst.
+	BudgetRatio float64
+	BudgetBurst int
+	// EjectFactor is the outlier threshold: a member whose score
+	// exceeds EjectFactor × the healthy median is soft-ejected (default
+	// 4). ReadmitFactor is the hysteresis band for score-based
+	// re-admission (default 1.5).
+	EjectFactor   float64
+	ReadmitFactor float64
+	// MaxEjectFraction bounds the ejected share of the Up fleet
+	// (default 1/3); outliers past the bound are deferred, not ejected.
+	MaxEjectFraction float64
+	// MinEjectSamples is the per-machine sample floor before ejection
+	// eligibility (default 8). ReadmitProbes is the consecutive clean
+	// recovery probes that re-admit an ejected member (default 2).
+	MinEjectSamples int
+	ReadmitProbes   int
+	// EjectProbeInterval is the recovery-probe cadence for ejected
+	// members (default: ProbeInterval). ProbeCost is the virtual cost
+	// charged per recovery probe (default 200µs).
+	EjectProbeInterval simtime.Duration
+	ProbeCost          simtime.Duration
+	// GraySlowPenalty is the virtual latency charged when the
+	// machine-gray-slow site fires (default 20ms); LingerPenalty is the
+	// extra charge when a hedge loser lingers (default 5ms).
+	GraySlowPenalty simtime.Duration
+	LingerPenalty   simtime.Duration
+
 	// Seed seeds the fleet's fault injector, which is also installed on
 	// every member machine so one seed drives the whole schedule.
 	Seed int64
@@ -147,6 +215,62 @@ func (c Config) withDefaults() Config {
 	if c.SlowPenalty <= 0 {
 		c.SlowPenalty = 5 * simtime.Millisecond
 	}
+	if c.ScoreAlpha <= 0 || c.ScoreAlpha > 1 {
+		c.ScoreAlpha = 0.3
+	}
+	if c.TimeoutFactor <= 0 {
+		c.TimeoutFactor = 4
+	}
+	if c.MinAttemptTimeout <= 0 {
+		c.MinAttemptTimeout = simtime.Millisecond
+	}
+	if c.MaxAttemptTimeout <= 0 {
+		c.MaxAttemptTimeout = 250 * simtime.Millisecond
+	}
+	if c.MaxAttemptTimeout < c.MinAttemptTimeout {
+		c.MaxAttemptTimeout = c.MinAttemptTimeout
+	}
+	if c.HedgeFactor <= 0 {
+		c.HedgeFactor = 2
+	}
+	if c.MinHedgeDelay <= 0 {
+		c.MinHedgeDelay = 500 * simtime.Microsecond
+	}
+	if c.ScoreWarmup <= 0 {
+		c.ScoreWarmup = 8
+	}
+	if c.BudgetRatio <= 0 {
+		c.BudgetRatio = 0.1
+	}
+	if c.BudgetBurst <= 0 {
+		c.BudgetBurst = 32
+	}
+	if c.EjectFactor <= 0 {
+		c.EjectFactor = 4
+	}
+	if c.ReadmitFactor <= 0 {
+		c.ReadmitFactor = 1.5
+	}
+	if c.MaxEjectFraction <= 0 {
+		c.MaxEjectFraction = 1.0 / 3
+	}
+	if c.MinEjectSamples <= 0 {
+		c.MinEjectSamples = 8
+	}
+	if c.ReadmitProbes <= 0 {
+		c.ReadmitProbes = 2
+	}
+	// EjectProbeInterval ≤ 0 falls through to the supervisor's default
+	// cadence via RegisterEvery.
+	if c.ProbeCost <= 0 {
+		c.ProbeCost = 200 * simtime.Microsecond
+	}
+	if c.GraySlowPenalty <= 0 {
+		c.GraySlowPenalty = 20 * simtime.Millisecond
+	}
+	if c.LingerPenalty <= 0 {
+		c.LingerPenalty = 5 * simtime.Millisecond
+	}
 	return c
 }
 
@@ -159,8 +283,24 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: negative replication factor %d", ErrBadConfig, c.Replication)
 	}
 	if c.ProbeInterval < 0 || c.FailoverBackoff < 0 || c.PullPageCost < 0 ||
-		c.TemplateForkPageCost < 0 || c.SlowPenalty < 0 {
+		c.TemplateForkPageCost < 0 || c.SlowPenalty < 0 ||
+		c.MinAttemptTimeout < 0 || c.MaxAttemptTimeout < 0 || c.MinHedgeDelay < 0 ||
+		c.EjectProbeInterval < 0 || c.ProbeCost < 0 ||
+		c.GraySlowPenalty < 0 || c.LingerPenalty < 0 {
 		return fmt.Errorf("%w: negative duration", ErrBadConfig)
+	}
+	if c.ScoreAlpha < 0 || c.ScoreAlpha > 1 {
+		return fmt.Errorf("%w: ScoreAlpha %v outside [0, 1]", ErrBadConfig, c.ScoreAlpha)
+	}
+	if c.TimeoutFactor < 0 || c.HedgeFactor < 0 || c.BudgetRatio < 0 ||
+		c.EjectFactor < 0 || c.ReadmitFactor < 0 {
+		return fmt.Errorf("%w: negative gray-defense factor", ErrBadConfig)
+	}
+	if c.MaxEjectFraction < 0 || c.MaxEjectFraction > 1 {
+		return fmt.Errorf("%w: MaxEjectFraction %v outside [0, 1]", ErrBadConfig, c.MaxEjectFraction)
+	}
+	if c.BudgetBurst < 0 || c.MinEjectSamples < 0 || c.ReadmitProbes < 0 || c.ScoreWarmup < 0 {
+		return fmt.Errorf("%w: negative gray-defense count", ErrBadConfig)
 	}
 	return nil
 }
@@ -212,6 +352,43 @@ type Stats struct {
 	// Spills counts bounded-load placements diverted off the preferred
 	// ring machine.
 	Spills int
+	// GrayDispatches counts machine-gray-slow draws that fired (served
+	// with a large latency penalty); FlakyDispatches counts machine-flaky
+	// draws that dropped a request.
+	GrayDispatches  int
+	FlakyDispatches int
+	// Hedges counts hedged invocations raced; HedgeWins counts hedges
+	// whose second attempt finished first; HedgeLosersLingered counts
+	// hedge losers that kept burning cycles (hedge-loser-lingers site).
+	Hedges              int
+	HedgeWins           int
+	HedgeLosersLingered int
+	// Retries counts replayed attempts that spent a budget token;
+	// BudgetSpent counts all tokens spent (retries + hedges);
+	// BudgetDenials counts retries/hedges refused on a dry bucket.
+	Retries       int
+	BudgetSpent   int
+	BudgetDenials int
+	// Ejections counts soft-ejections of outlier machines;
+	// EjectionsDeferred counts outlier verdicts suppressed by the
+	// max-ejection fraction; Readmissions counts ejected members probed
+	// back into the ring; EjectionProbes counts individual recovery
+	// probes of ejected members.
+	Ejections         int
+	EjectionsDeferred int
+	Readmissions      int
+	EjectionProbes    int
+	// BrownoutServes counts invocations served by an ejected machine
+	// because no healthy one remained; EjectedMachines is the current
+	// soft-ejected gauge.
+	BrownoutServes  int
+	EjectedMachines int
+	// InvokeP50/InvokeP99/InvokeMax digest the effective per-invocation
+	// latency (hedge-adjusted: a winning hedge caps the invocation at
+	// delay + hedge latency) across everything served.
+	InvokeP50 simtime.Duration
+	InvokeP99 simtime.Duration
+	InvokeMax simtime.Duration
 	// Served is the per-machine count of completed invocations; Live the
 	// per-machine live-instance gauge.
 	Served []int
@@ -226,6 +403,12 @@ type member struct {
 	crashed bool // down due to crash: state lost, needs Restart
 	misses  int  // consecutive partition misses while Up
 	epoch   int  // increments per Restart after a crash
+
+	// Gray-failure defense state (guarded by Fleet.mu like the rest).
+	ejected     bool    // soft-ejected: out of the ring, still Up
+	score       float64 // EWMA dispatch latency in virtual nanoseconds
+	samples     int     // scored dispatches folded into score
+	cleanProbes int     // consecutive clean recovery probes while ejected
 }
 
 // repair is one planned replica restoration: ship fn's image from one
@@ -253,6 +436,13 @@ type Fleet struct {
 	ring        *ring
 	deployments map[string][]int
 	stats       Stats
+
+	// Gray-failure defense state (guarded by mu): the fleet-wide scored
+	// sample count, the retry/hedge token bucket, and the effective
+	// per-invocation latency digest.
+	samplesTotal int
+	tokens       float64
+	lat          *platform.Metrics
 }
 
 // New builds a fleet of cfg.Machines nodes from the build factory
@@ -283,8 +473,11 @@ func New(cfg Config, build func() platform.Node) (*Fleet, error) {
 	}
 	f.rebuildRingLocked()
 	f.stats.Served = make([]int, cfg.Machines)
+	f.tokens = float64(cfg.BudgetBurst)
+	f.lat = platform.NewMetrics("fleet-invoke")
 	f.sup = supervise.New(f.now, supervise.Config{ProbeInterval: cfg.ProbeInterval})
 	f.sup.Register("membership", f.probeMembership)
+	f.sup.RegisterEvery("ejection", cfg.EjectProbeInterval, f.probeEjected)
 	return f, nil
 }
 
@@ -308,12 +501,14 @@ func (f *Fleet) Now() simtime.Duration { return f.now() }
 // Size returns the fleet size N.
 func (f *Fleet) Size() int { return len(f.members) }
 
-// rebuildRingLocked rebuilds the placement ring over the Up members
+// rebuildRingLocked rebuilds the placement ring over the healthy (Up,
+// non-ejected) members: a soft-ejected member keeps its replicas and
+// its Up state but receives no ring placements until re-admitted
 // (mu held).
 func (f *Fleet) rebuildRingLocked() {
 	var up []int
 	for _, m := range f.members {
-		if m.state == StateUp {
+		if m.state == StateUp && !m.ejected {
 			up = append(up, m.idx)
 		}
 	}
@@ -355,6 +550,9 @@ func (f *Fleet) Deploy(ctx context.Context, name string) error {
 	order := f.ring.walk(name)
 	f.mu.Unlock()
 	if len(order) == 0 {
+		if f.anyEjected() {
+			return fmt.Errorf("%w: deploy %s", ErrBrownout, name)
+		}
 		return ErrNoSurvivors
 	}
 	want := f.cfg.Replication
@@ -473,16 +671,21 @@ func (f *Fleet) Place(name string) (int, bool) {
 // Invoke serves one request on the fleet: place on the ring, draw the
 // machine fault sites at dispatch, remote-fork any missing artifacts
 // onto the chosen machine, and run the invocation through the member's
-// recovery chain. Machine-level failures (crash, partition) replay the
-// invocation on the next survivor with doubling virtual-time backoff;
-// function-level failures surface as the platform's typed errors. It
-// returns the result and the index of the machine that served.
+// recovery chain. Machine-level failures (crash, partition, flaky)
+// replay the invocation on the next survivor behind the adaptive
+// per-attempt timeout, spending from the retry/hedge budget; a slow
+// primary races a hedged second attempt (see gray.go); and when every
+// healthy machine is exhausted the fleet serves browned-out from
+// soft-ejected members before giving up. Function-level failures
+// surface as the platform's typed errors. It returns the result and
+// the index of the machine that served.
 func (f *Fleet) Invoke(ctx context.Context, name string, sys platform.System) (*platform.Result, int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	f.mu.Lock()
 	_, deployed := f.deployments[name]
+	f.earnBudgetLocked()
 	f.mu.Unlock()
 	if !deployed {
 		return nil, -1, fmt.Errorf("%w: %q", ErrNotDeployed, name)
@@ -495,56 +698,64 @@ func (f *Fleet) Invoke(ctx context.Context, name string, sys platform.System) (*
 			return nil, -1, cerr
 		}
 		f.mu.Lock()
-		idx, ok := f.placeLocked(name, tried)
+		idx, brownout, ok := f.placeForInvokeLocked(name, tried)
 		f.mu.Unlock()
 		if !ok {
-			if lastErr != nil {
-				return nil, -1, fmt.Errorf("%w for %s after %d failovers: %w", ErrNoSurvivors, name, failovers, lastErr)
+			base := ErrNoSurvivors
+			if f.anyEjected() {
+				base = ErrBrownout
 			}
-			return nil, -1, fmt.Errorf("%w for %s", ErrNoSurvivors, name)
+			if lastErr != nil {
+				return nil, -1, fmt.Errorf("%w for %s after %d failovers: %w", base, name, failovers, lastErr)
+			}
+			return nil, -1, fmt.Errorf("%w for %s", base, name)
 		}
 		m := f.memberAt(idx)
 		if failovers > 0 {
-			// Replay backoff, charged to the machine about to serve.
-			shift := failovers - 1
-			if shift > 6 {
-				shift = 6
+			// A replay spends a budget token; a dry bucket surfaces the
+			// typed exhaustion rather than silently retrying forever.
+			if !f.takeBudget() {
+				return nil, -1, fmt.Errorf("%w: %s after %d failovers: %w", ErrBudgetExhausted, name, failovers, lastErr)
 			}
-			m.node.Charge(f.cfg.FailoverBackoff << shift)
-		}
-		if err := f.dispatchFaults(m); err != nil {
-			lastErr = err
-			tried[idx] = true
 			f.mu.Lock()
-			f.stats.Failovers++
+			f.stats.Retries++
 			f.mu.Unlock()
-			continue
+			// The adaptive per-attempt timeout is what the dispatcher
+			// waited before abandoning the previous machine; charge it to
+			// the one about to serve.
+			m.node.Charge(f.attemptTimeout(failovers))
 		}
-		if err := f.ensureArtifacts(m, name, sys); err != nil {
-			// The machine cannot produce the artifacts (its store or
-			// build path is failing): treat as a machine-level failure
-			// and fail the invocation over.
-			lastErr = err
-			tried[idx] = true
-			f.mu.Lock()
-			f.stats.Failovers++
-			f.mu.Unlock()
-			continue
-		}
-		res, err := m.node.InvokeRecover(ctx, name, sys)
+		res, lat, err, machineLevel := f.runAttempt(ctx, m, name, sys)
 		if err != nil {
-			// Function-level failure on a healthy machine: the member's
-			// own recovery chain already degraded/retried, so surface
-			// its typed error rather than hammering the other replicas.
-			return nil, idx, err
+			if !machineLevel {
+				// Function-level failure on a healthy machine: the
+				// member's own recovery chain already degraded/retried,
+				// so surface its typed error rather than hammering the
+				// other replicas.
+				return nil, idx, err
+			}
+			lastErr = err
+			tried[idx] = true
+			f.mu.Lock()
+			f.stats.Failovers++
+			f.mu.Unlock()
+			continue
+		}
+		winner, effective := idx, lat
+		if !brownout {
+			winner, res, effective = f.maybeHedge(ctx, name, sys, m, res, lat, tried)
 		}
 		f.mu.Lock()
-		f.stats.Served[idx]++
+		f.stats.Served[winner]++
 		if failovers > 0 {
 			f.stats.Replays++
 		}
+		if brownout {
+			f.stats.BrownoutServes++
+		}
+		f.lat.ObserveDuration(effective)
 		f.mu.Unlock()
-		return res, idx, nil
+		return res, winner, nil
 	}
 }
 
@@ -572,6 +783,20 @@ func (f *Fleet) dispatchFaults(m *member) error {
 		f.mu.Lock()
 		f.stats.SlowDispatches++
 		f.mu.Unlock()
+	}
+	// The gray sites are drawn with the machine's key so a single sick
+	// member can be armed without perturbing the others' schedules.
+	if ferr := f.inj.CheckKeyed(faults.SiteMachineGraySlow, machineKey(m.idx)); ferr != nil {
+		m.node.Charge(f.cfg.GraySlowPenalty)
+		f.mu.Lock()
+		f.stats.GrayDispatches++
+		f.mu.Unlock()
+	}
+	if ferr := f.inj.CheckKeyed(faults.SiteMachineFlaky, machineKey(m.idx)); ferr != nil {
+		f.mu.Lock()
+		f.stats.FlakyDispatches++
+		f.mu.Unlock()
+		return fmt.Errorf("%w: machine %d: %w", ErrFlaky, m.idx, ferr)
 	}
 	return nil
 }
@@ -607,6 +832,10 @@ func (f *Fleet) markDown(m *member, crashed bool) {
 	m.state = StateDown
 	m.crashed = crashed
 	m.misses = 0
+	// A hard down-transition supersedes a soft ejection: the member is
+	// out of the ring either way, and rejoin re-evaluates from scratch.
+	m.ejected = false
+	m.cleanProbes = 0
 	if crashed {
 		f.stats.Crashes++
 	} else {
@@ -809,6 +1038,7 @@ func (f *Fleet) remoteFork(m *member, name string) error {
 // are not probed — they stay down until Restart.
 func (f *Fleet) probeMembership() (checked, evicted int) {
 	f.mu.Lock()
+	f.stats.MembershipProbes++
 	members := append([]*member(nil), f.members...)
 	f.mu.Unlock()
 	for _, m := range members {
@@ -941,6 +1171,11 @@ func (f *Fleet) Restart(idx int) error {
 		m.node.Close()
 		m.node = n
 		m.epoch++
+		// A fresh machine starts with a fresh score: the crashed
+		// predecessor's latency history says nothing about it.
+		m.score = 0
+		m.samples = 0
+		m.cleanProbes = 0
 		f.mu.Unlock()
 	}
 	f.rejoin(m)
@@ -964,6 +1199,11 @@ type MemberInfo struct {
 	Epoch   int
 	Live    int
 	Clock   simtime.Duration
+	// Ejected reports a soft-ejected (Up but drained) member; Score is
+	// its EWMA dispatch latency over Samples scored dispatches.
+	Ejected bool
+	Score   simtime.Duration
+	Samples int
 }
 
 // Members snapshots the membership view.
@@ -979,6 +1219,9 @@ func (f *Fleet) Members() []MemberInfo {
 			Epoch:   m.epoch,
 			Live:    m.node.LiveInstances(),
 			Clock:   m.node.Now(),
+			Ejected: m.ejected,
+			Score:   simtime.Duration(m.score),
+			Samples: m.samples,
 		}
 	}
 	return out
@@ -1003,22 +1246,28 @@ func (f *Fleet) PollSupervise() { f.sup.Poll() }
 
 // Stats returns a snapshot of the fleet's accounting.
 func (f *Fleet) Stats() Stats {
-	sst := f.sup.Stats()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	out := f.stats
 	out.Served = append([]int(nil), f.stats.Served...)
 	out.Machines = len(f.members)
 	out.Deployed = len(f.deployments)
-	out.MembershipProbes = sst.ProbesRun
 	out.Live = make([]int, len(f.members))
 	for i, m := range f.members {
 		out.Live[i] = m.node.LiveInstances()
 		if m.state == StateUp {
 			out.Up++
+			if m.ejected {
+				out.EjectedMachines++
+			}
 		} else {
 			out.Down++
 		}
+	}
+	if f.lat.Count() > 0 {
+		out.InvokeP50 = f.lat.Percentile(50)
+		out.InvokeP99 = f.lat.Percentile(99)
+		out.InvokeMax = f.lat.Max()
 	}
 	return out
 }

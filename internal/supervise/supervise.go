@@ -141,10 +141,11 @@ type Stats struct {
 
 // probeEntry is one registered probe group.
 type probeEntry struct {
-	name    string
-	fn      func() (checked, evicted int)
-	nextDue simtime.Duration
-	running bool
+	name     string
+	fn       func() (checked, evicted int)
+	interval simtime.Duration
+	nextDue  simtime.Duration
+	running  bool
 }
 
 // fnHealth is one function's crash-loop state.
@@ -184,17 +185,30 @@ func New(now func() simtime.Duration, cfg Config) *Supervisor {
 // Config returns the effective (defaulted) tuning.
 func (s *Supervisor) Config() Config { return s.cfg }
 
-// Register adds a named probe group. fn inspects its targets and
-// returns how many it checked and how many wedged ones it evicted; the
-// supervisor does the cadence bookkeeping and stats. The first run is
-// due one interval after registration.
+// Register adds a named probe group on the default ProbeInterval
+// cadence. fn inspects its targets and returns how many it checked and
+// how many wedged ones it evicted; the supervisor does the cadence
+// bookkeeping and stats. The first run is due one interval after
+// registration.
 func (s *Supervisor) Register(name string, fn func() (checked, evicted int)) {
+	s.RegisterEvery(name, 0, fn)
+}
+
+// RegisterEvery adds a named probe group with its own virtual-time
+// cadence (≤ 0 selects the supervisor's ProbeInterval), so slow
+// background sweeps and fast recovery probes can coexist on one
+// supervisor.
+func (s *Supervisor) RegisterEvery(name string, every simtime.Duration, fn func() (checked, evicted int)) {
+	if every <= 0 {
+		every = s.cfg.ProbeInterval
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.probes = append(s.probes, &probeEntry{
-		name:    name,
-		fn:      fn,
-		nextDue: s.now() + s.cfg.ProbeInterval,
+		name:     name,
+		fn:       fn,
+		interval: every,
+		nextDue:  s.now() + every,
 	})
 }
 
@@ -225,7 +239,7 @@ func (s *Supervisor) Poll() {
 		checked, evicted := p.fn()
 		s.mu.Lock()
 		p.running = false
-		p.nextDue = s.now() + s.cfg.ProbeInterval
+		p.nextDue = s.now() + p.interval
 		s.stats.ProbesRun++
 		s.stats.TargetsProbed += checked
 		s.stats.WedgedEvicted += evicted

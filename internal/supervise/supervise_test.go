@@ -299,3 +299,32 @@ func TestConcurrentPollsRunEachProbeOnce(t *testing.T) {
 	close(block)
 	s.Close() // waits out the in-flight probe
 }
+
+func TestRegisterEveryRunsOnItsOwnCadence(t *testing.T) {
+	s, clk := newSup(Config{ProbeInterval: 10 * simtime.Millisecond})
+	slow, fast := 0, 0
+	s.Register("slow", func() (int, int) { slow++; return 1, 0 })
+	s.RegisterEvery("fast", 2*simtime.Millisecond, func() (int, int) { fast++; return 1, 0 })
+
+	for i := 0; i < 10; i++ {
+		clk.Advance(2 * simtime.Millisecond)
+		s.Poll()
+	}
+	// 20ms elapsed: the fast probe fired every 2ms, the slow one every
+	// 10ms.
+	if fast != 10 {
+		t.Fatalf("fast runs = %d, want 10", fast)
+	}
+	if slow != 2 {
+		t.Fatalf("slow runs = %d, want 2", slow)
+	}
+
+	// A non-positive cadence takes the supervisor default.
+	def := 0
+	s.RegisterEvery("def", 0, func() (int, int) { def++; return 0, 0 })
+	clk.Advance(10 * simtime.Millisecond)
+	s.Poll()
+	if def != 1 {
+		t.Fatalf("default-cadence runs = %d, want 1", def)
+	}
+}

@@ -98,8 +98,10 @@ func DefaultRecoveryConfig() RecoveryConfig { return platform.DefaultRecoveryCon
 // (store-write, store-rename, journal-append, manifest-compact), which
 // simulate a kill at each point a Save could be interrupted, and the
 // machine-granularity fleet sites (machine-crash, machine-partition,
-// machine-slow), drawn only by a Fleet's control plane — arming them on
-// a single-machine client is a no-op.
+// machine-slow, machine-gray-slow, machine-flaky, hedge-loser-lingers),
+// drawn only by a Fleet's control plane — arming them on a
+// single-machine client is a no-op. The gray sites are usually armed on
+// a single member via Fleet.ArmMachineFault.
 func FaultSites() []string {
 	sites := faults.Sites()
 	out := make([]string, len(sites))
