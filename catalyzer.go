@@ -300,7 +300,7 @@ func (c *Client) Deploy(ctx context.Context, name string) error {
 	l := c.fnLock(name)
 	l.Lock()
 	defer l.Unlock()
-	//lint:allow lockdiscipline per-function lock deliberately serializes deploys against invokes on one function; the reclaim path takes no fn locks
+	//lint:allow lockdiscipline no-machine-work-under-lock waived: per-function lock deliberately serializes deploys against invokes on one function; the reclaim path takes no fn locks
 	_, err := c.p.PrepareTemplate(name)
 	return err
 }
@@ -333,7 +333,7 @@ func (c *Client) Train(name string, fraction float64) (string, error) {
 	l := c.fnLock(name)
 	l.Lock()
 	defer l.Unlock()
-	//lint:allow lockdiscipline per-function lock deliberately serializes training against invokes on one function; the reclaim path takes no fn locks
+	//lint:allow lockdiscipline no-machine-work-under-lock waived: per-function lock deliberately serializes training against invokes on one function; the reclaim path takes no fn locks
 	f, err := c.p.PrepareTrained(name, fraction)
 	if err != nil {
 		return "", err
@@ -404,7 +404,7 @@ func (c *Client) Invoke(ctx context.Context, name string, kind BootKind) (*Invoc
 	l.RLock()
 	defer l.RUnlock()
 	arrival := c.p.Now()
-	//lint:allow lockdiscipline read-held fn lock lets invokes run concurrently while deploys exclude them; the reclaim path takes no fn locks
+	//lint:allow lockdiscipline no-machine-work-under-lock waived: read-held fn lock lets invokes run concurrently while deploys exclude them; the reclaim path takes no fn locks
 	r, err := c.p.InvokeRecover(ctx, name, sys)
 	if err != nil {
 		return nil, err
@@ -486,7 +486,7 @@ func (c *Client) Start(ctx context.Context, name string, kind BootKind) (*Instan
 	l.RLock()
 	defer l.RUnlock()
 	arrival := c.p.Now()
-	//lint:allow lockdiscipline read-held fn lock lets starts run concurrently while deploys exclude them; the reclaim path takes no fn locks
+	//lint:allow lockdiscipline no-machine-work-under-lock waived: read-held fn lock lets starts run concurrently while deploys exclude them; the reclaim path takes no fn locks
 	r, err := c.p.InvokeKeepRecover(ctx, name, sys)
 	if err != nil {
 		return nil, err
@@ -526,7 +526,7 @@ func (c *Client) Burst(ctx context.Context, name string, kind BootKind, n, cores
 	l := c.fnLock(name)
 	l.RLock()
 	defer l.RUnlock()
-	//lint:allow lockdiscipline read-held fn lock lets bursts run concurrently while deploys exclude them; the reclaim path takes no fn locks
+	//lint:allow lockdiscipline no-machine-work-under-lock waived: read-held fn lock lets bursts run concurrently while deploys exclude them; the reclaim path takes no fn locks
 	r, err := c.p.SimulateBurst(ctx, name, sys, n, cores)
 	if err != nil {
 		return nil, err

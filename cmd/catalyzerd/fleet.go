@@ -260,6 +260,7 @@ func (s *fleetServer) metrics(w http.ResponseWriter, _ *http.Request) {
 		Count  int     `json:"count"`
 		MeanMS float64 `json:"mean_ms"`
 		P50MS  float64 `json:"p50_ms"`
+		P95MS  float64 `json:"p95_ms"`
 		P99MS  float64 `json:"p99_ms"`
 		MaxMS  float64 `json:"max_ms"`
 	}
@@ -269,6 +270,7 @@ func (s *fleetServer) metrics(w http.ResponseWriter, _ *http.Request) {
 			Count:  st.Count,
 			MeanMS: float64(st.MeanBoot) / 1e6,
 			P50MS:  float64(st.P50Boot) / 1e6,
+			P95MS:  float64(st.P95Boot) / 1e6,
 			P99MS:  float64(st.P99Boot) / 1e6,
 			MaxMS:  float64(st.MaxBoot) / 1e6,
 		}

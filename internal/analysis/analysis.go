@@ -28,6 +28,26 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports violations via pass.Report.
 	Run func(pass *Pass) error
+	// Finish, if set, runs once after every package in a Suite has been
+	// analyzed, for whole-module invariants a single package cannot
+	// decide (e.g. faultsite's "every declared site is drawn
+	// somewhere"). Analyzers with a Finish hook usually carry state
+	// across Run calls and must be constructed fresh per suite (see
+	// faultsite.New); stateless analyzers leave it nil.
+	Finish func(info *SuiteInfo, report func(Diagnostic)) error
+}
+
+// SuiteInfo describes the scope of a finished suite run to Finish
+// hooks.
+type SuiteInfo struct {
+	// Complete marks a whole-module (or whole-testdata-tree) run: a
+	// Finish hook may assume it has seen every package that exists and
+	// report absence ("declared but never used") without false
+	// positives. Partial runs (catalyzer-vet ./internal/fleet) leave it
+	// false and Finish hooks skip absence checks.
+	Complete bool
+	// Packages are the import paths analyzed, in run order.
+	Packages []string
 }
 
 // Pass carries one package's parsed and type-checked form to an

@@ -25,25 +25,34 @@ import (
 	"catalyzer/internal/analysis"
 )
 
-// Run checks a single analyzer against the named testdata packages.
+// Run checks a single analyzer against the named testdata packages. All
+// packages run in one Suite marked Complete, so Finish-hook analyzers
+// (whole-module absence checks) see the full testdata tree before their
+// diagnostics are matched against // want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	loader := analysis.NewLoader("", "")
 	loader.ExtraRoots = []string{filepath.Join(testdata, "src")}
+	suite := analysis.NewSuite(loader.Fset, []*analysis.Analyzer{a}, true)
+	var loaded []*analysis.Package
 	for _, pkgPath := range pkgs {
 		pkg, err := loader.Load(pkgPath)
 		if err != nil {
 			t.Fatalf("loading %s: %v", pkgPath, err)
 		}
-		diags, bad, err := analysis.RunAnalyzers(pkg, loader.Fset, []*analysis.Analyzer{a})
-		if err != nil {
+		if err := suite.RunPackage(pkg); err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
 		}
-		for _, m := range bad {
-			t.Errorf("%s: malformed suppression: %s", loader.Fset.Position(m.Pos), m.Msg)
-		}
-		checkWants(t, loader, pkg, diags)
+		loaded = append(loaded, pkg)
 	}
+	diags, bad, err := suite.Finish()
+	if err != nil {
+		t.Fatalf("finishing %s: %v", a.Name, err)
+	}
+	for _, m := range bad {
+		t.Errorf("%s: malformed suppression: %s", loader.Fset.Position(m.Pos), m.Msg)
+	}
+	checkWants(t, loader, loaded, diags)
 }
 
 type want struct {
@@ -53,24 +62,26 @@ type want struct {
 	hit  bool
 }
 
-func checkWants(t *testing.T, loader *analysis.Loader, pkg *analysis.Package, diags []analysis.Diagnostic) {
+func checkWants(t *testing.T, loader *analysis.Loader, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	var wants []*want
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				rest, ok := strings.CutPrefix(text, "want ")
-				if !ok {
-					continue
-				}
-				pos := loader.Fset.Position(c.Pos())
-				for _, pat := range splitPatterns(rest) {
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					pos := loader.Fset.Position(c.Pos())
+					for _, pat := range splitPatterns(rest) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
 				}
 			}
 		}

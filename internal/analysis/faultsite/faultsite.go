@@ -1,0 +1,283 @@
+// Package faultsite keeps the fault-injection surface closed under
+// three invariants that used to be enforced by a source-parsing drift
+// test (internal/faults/sites_drift_test.go, now retired in its
+// favour):
+//
+//  1. Every faults.Site constant declared in internal/faults must be
+//     listed in exactly one of the category functions CoreSites,
+//     StoreSites or FleetSites — a site in no category is invisible to
+//     chaos sweeps that arm "all store sites"; a site in two is swept
+//     twice.
+//  2. Every Site value reaching a draw — any call argument whose type
+//     is faults.Site, which covers Injector.Check/CheckKeyed/Arm/
+//     ArmKeyed as well as helpers like the store's crash(site) — must
+//     be one of the declared constants. A typo'd raw literal
+//     (faults.Site("imge-load")) would otherwise arm a site nothing
+//     draws, silently disabling the intended chaos.
+//  3. Every declared site must be drawn somewhere in the module: a
+//     constant nothing references is dead chaos surface, promising
+//     coverage the suites don't deliver. This is a whole-module absence
+//     check, so it runs from the Finish hook and only when the suite is
+//     Complete (a partial `catalyzer-vet ./internal/fleet` run stays
+//     quiet rather than false-positive).
+//
+// The analyzer accumulates state across packages, so construct it fresh
+// per suite with New; there is deliberately no shared package-level
+// Analyzer value.
+package faultsite
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"catalyzer/internal/analysis"
+)
+
+// categoryFuncs are the site-list functions in internal/faults whose
+// composite literals define category membership.
+var categoryFuncs = []string{"CoreSites", "StoreSites", "FleetSites"}
+
+type siteDecl struct {
+	pos        token.Pos
+	value      string // the site's string value ("image-load")
+	categories []string
+}
+
+type literalUse struct {
+	pos   token.Pos
+	value string
+}
+
+type checker struct {
+	sawFaults bool
+	declared  map[string]*siteDecl // const name -> decl
+	drawn     map[string]bool      // const name -> referenced outside internal/faults
+	literals  []literalUse         // constant Site values not rooted in a declared const
+}
+
+// New returns a freshly-stated faultsite analyzer for one suite run.
+func New() *analysis.Analyzer {
+	c := &checker{
+		declared: make(map[string]*siteDecl),
+		drawn:    make(map[string]bool),
+	}
+	return &analysis.Analyzer{
+		Name:   "faultsite",
+		Doc:    "faults.Site constants must live in exactly one category list, every Site reaching a draw must be a declared constant, and every declared site must be drawn somewhere",
+		Run:    c.run,
+		Finish: c.finish,
+	}
+}
+
+func isFaultsPkg(path string) bool {
+	return path == "internal/faults" || strings.HasSuffix(path, "/internal/faults")
+}
+
+// isSiteType reports whether t is the named type Site from
+// internal/faults.
+func isSiteType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Site" && obj.Pkg() != nil && isFaultsPkg(obj.Pkg().Path())
+}
+
+// siteConst returns the declared-in-faults Site constant e resolves to,
+// or nil.
+func siteConst(info *types.Info, e ast.Expr) *types.Const {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	cn, ok := obj.(*types.Const)
+	if !ok || cn.Pkg() == nil || !isFaultsPkg(cn.Pkg().Path()) || !isSiteType(cn.Type()) {
+		return nil
+	}
+	return cn
+}
+
+func (c *checker) run(pass *analysis.Pass) error {
+	if isFaultsPkg(pass.PkgPath) {
+		c.sawFaults = true
+		c.collectDecls(pass)
+		c.checkCategories(pass)
+		return nil
+	}
+	c.collectUses(pass)
+	return nil
+}
+
+// collectDecls records every Site constant declared at the top level of
+// the faults package.
+func (c *checker) collectDecls(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					cn, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || !isSiteType(cn.Type()) {
+						continue
+					}
+					c.declared[cn.Name()] = &siteDecl{
+						pos:   name.Pos(),
+						value: constant.StringVal(cn.Val()),
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkCategories walks the category list functions, records which
+// declared constants each lists, and reports constants in zero or
+// multiple categories.
+func (c *checker) checkCategories(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil || !isCategoryFunc(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				cn, ok := pass.Info.Uses[id].(*types.Const)
+				if !ok || !isSiteType(cn.Type()) {
+					return true
+				}
+				if d := c.declared[cn.Name()]; d != nil {
+					d.categories = append(d.categories, fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	for name, d := range c.declared {
+		switch len(d.categories) {
+		case 0:
+			pass.Reportf(d.pos, "site %s (%q) is listed in no category; add it to exactly one of CoreSites/StoreSites/FleetSites so chaos sweeps can arm it", name, d.value)
+		case 1:
+			// exactly one category: the invariant.
+		default:
+			pass.Reportf(d.pos, "site %s (%q) is listed in multiple categories (%s); a site must belong to exactly one of CoreSites/StoreSites/FleetSites", name, d.value, strings.Join(d.categories, ", "))
+		}
+	}
+}
+
+func isCategoryFunc(name string) bool {
+	for _, f := range categoryFuncs {
+		if name == f {
+			return true
+		}
+	}
+	return false
+}
+
+// collectUses records, in a non-faults package, (a) every reference to
+// a declared Site constant as a draw, and (b) every constant Site value
+// that is NOT rooted in a declared constant, for validation against the
+// declared set in Finish.
+func (c *checker) collectUses(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		// (a) any use of a faults Site constant counts as a draw — call
+		// arguments, scenario tables, composite literals alike.
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if cn, ok := pass.Info.Uses[id].(*types.Const); ok && cn.Pkg() != nil &&
+				isFaultsPkg(cn.Pkg().Path()) && isSiteType(cn.Type()) {
+				c.drawn[cn.Name()] = true
+			}
+			return true
+		})
+		// (b) constant Site values in call arguments that do not resolve
+		// to a declared constant: raw conversions faults.Site("x"),
+		// untyped string literals, locally-declared Site consts.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+				// A conversion like faults.Site("x") is recorded where it
+				// appears as a call argument; don't re-record its operand.
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Value == nil || tv.Type == nil || !isSiteType(tv.Type) {
+					continue
+				}
+				if siteConst(pass.Info, arg) != nil {
+					continue
+				}
+				// Unwrap an explicit conversion faults.Site(<const>) whose
+				// operand is itself a declared constant.
+				if conv, ok := ast.Unparen(arg).(*ast.CallExpr); ok && len(conv.Args) == 1 {
+					if siteConst(pass.Info, conv.Args[0]) != nil {
+						continue
+					}
+				}
+				c.literals = append(c.literals, literalUse{pos: arg.Pos(), value: constant.StringVal(tv.Value)})
+			}
+			return true
+		})
+	}
+}
+
+// finish validates accumulated literal uses against the declared set
+// and, on complete runs, reports declared-but-never-drawn sites.
+func (c *checker) finish(info *analysis.SuiteInfo, report func(analysis.Diagnostic)) error {
+	if !c.sawFaults {
+		// The faults package was outside this run's scope: nothing to
+		// validate against.
+		return nil
+	}
+	values := make(map[string]string, len(c.declared)) // value -> const name
+	for name, d := range c.declared {
+		values[d.value] = name
+	}
+	for _, lu := range c.literals {
+		if _, ok := values[lu.value]; ok {
+			continue
+		}
+		report(analysis.Diagnostic{
+			Pos:     lu.pos,
+			Message: fmt.Sprintf("Site %q is not a declared injection site; declare a constant in internal/faults and list it in exactly one of CoreSites/StoreSites/FleetSites", lu.value),
+		})
+	}
+	if !info.Complete {
+		return nil
+	}
+	for name, d := range c.declared {
+		if c.drawn[name] {
+			continue
+		}
+		report(analysis.Diagnostic{
+			Pos:     d.pos,
+			Message: fmt.Sprintf("site %s (%q) is declared but never drawn outside internal/faults; wire it into a Check/Arm path or retire it", name, d.value),
+		})
+	}
+	return nil
+}

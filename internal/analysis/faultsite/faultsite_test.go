@@ -1,0 +1,19 @@
+package faultsite_test
+
+import (
+	"testing"
+
+	"catalyzer/internal/analysis/analysistest"
+	"catalyzer/internal/analysis/faultsite"
+)
+
+func TestFaultSite(t *testing.T) {
+	analysistest.Run(t, "testdata", faultsite.New(), "internal/faults", "use")
+}
+
+// TestFreshStatePerSuite guards the New contract: two suites must not
+// share accumulated draw state.
+func TestFreshStatePerSuite(t *testing.T) {
+	analysistest.Run(t, "testdata", faultsite.New(), "internal/faults", "use")
+	analysistest.Run(t, "testdata", faultsite.New(), "internal/faults", "use")
+}

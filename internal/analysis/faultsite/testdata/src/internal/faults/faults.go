@@ -1,0 +1,35 @@
+// Package faults is faultsite testdata: a miniature of the real
+// injector with deliberately broken site bookkeeping.
+package faults
+
+// Site identifies one injection point.
+type Site string
+
+const (
+	SiteAlpha Site = "alpha"
+	SiteBeta  Site = "beta"
+	// SiteOrphan is in no category list.
+	SiteOrphan Site = "orphan" // want `site SiteOrphan \("orphan"\) is listed in no category`
+	// SiteDouble is in two category lists.
+	SiteDouble Site = "double" // want `site SiteDouble \("double"\) is listed in multiple categories \(CoreSites, StoreSites\)`
+	// SiteUndrawn is categorized but nothing ever draws it.
+	SiteUndrawn Site = "undrawn" // want `site SiteUndrawn \("undrawn"\) is declared but never drawn`
+)
+
+// CoreSites lists the core injection points.
+func CoreSites() []Site { return []Site{SiteAlpha, SiteDouble, SiteUndrawn} }
+
+// StoreSites lists the store crash points.
+func StoreSites() []Site { return []Site{SiteBeta, SiteDouble} }
+
+// FleetSites lists machine-granularity sites.
+func FleetSites() []Site { return nil }
+
+// Injector is the draw surface.
+type Injector struct{}
+
+// Check draws at site.
+func (in *Injector) Check(site Site) error { return nil }
+
+// Arm sets a site's failure probability.
+func (in *Injector) Arm(site Site, rate float64) {}

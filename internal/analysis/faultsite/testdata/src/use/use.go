@@ -1,0 +1,23 @@
+// Package use draws the testdata fault sites: declared constants pass,
+// undeclared literals are flagged wherever a Site value is constant.
+package use
+
+import "internal/faults"
+
+// crash is a helper in the style of the store's crash(site): the
+// analyzer follows Site-typed parameters, not just Injector methods.
+func crash(in *faults.Injector, site faults.Site) error { return in.Check(site) }
+
+// Drive exercises draws.
+func Drive(in *faults.Injector) {
+	in.Arm(faults.SiteAlpha, 0.5)
+	_ = in.Check(faults.SiteAlpha)
+	_ = crash(in, faults.SiteBeta)
+	_ = in.Check(faults.SiteOrphan)
+	_ = in.Check(faults.SiteDouble)
+	_ = in.Check("typo")                // want `Site "typo" is not a declared injection site`
+	_ = in.Check(faults.Site("imge"))   // want `Site "imge" is not a declared injection site`
+	_ = in.Check(faults.Site("alpha"))  // a raw literal matching a declared value is allowed
+	//lint:allow faultsite site declaration waived: negative test deliberately arms an unknown site
+	_ = in.Check(faults.Site("ghost"))
+}

@@ -1,0 +1,413 @@
+// Package maporder guards the repo's replay-determinism invariant at
+// its sharpest edge: Go randomizes map iteration order, so a `range`
+// over a map whose body makes an order-sensitive decision (appends to a
+// slice that feeds placement, draws a fault, charges a clock, writes
+// shared state) produces a different outcome every run — and the
+// same-seed `DeepEqual` chaos suites (fleet repair, gray ejection,
+// supervision convergence) only catch it when the schedule happens to
+// diverge. The fleet's repair planner already hand-enforces this
+// ("deterministically (sorted names) re-places the victim's replica
+// slots"); this analyzer makes the discipline mechanical.
+//
+// The rule, applied in the deterministic packages (internal/fleet,
+// internal/platform, internal/supervise, internal/faults,
+// internal/image): a map range body may only do commutative work.
+// Specifically flagged:
+//
+//   - appending to a slice, unless that slice is sorted later in the
+//     same function (the collect-keys-then-sort idiom);
+//   - bare side-effect call statements (anything but the builtin
+//     delete), which execute machine work in map order;
+//   - calls to fault-draw / dispatch-shaped callees (Check, CheckKeyed,
+//     Arm, ArmKeyed, Charge, *ispatch*) anywhere in the body — each
+//     draw consumes seeded PRNG state, so draw order is schedule order;
+//   - writes to variables declared outside the loop, unless the write
+//     is per-key (an index expression keyed by a loop variable), an
+//     idempotent constant store (set[s] = true), or an integer
+//     accumulation (n++, n += v) — float accumulation is flagged
+//     because rounding makes it order-dependent;
+//   - returning a value derived from the loop variables ("first match
+//     wins" selection in map order).
+//
+// Commutative bodies — copying into a fresh map keyed by the loop key,
+// counting, set insertion — pass untouched. Anything else either sorts
+// first or carries a //lint:allow maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"catalyzer/internal/analysis"
+)
+
+// DeterministicPkgs lists the package-path suffixes whose decisions
+// must replay identically under one seed: the fleet control plane, the
+// platform and its supervision layer, the fault injector, and the image
+// store (journal replay / frame accounting).
+var DeterministicPkgs = []string{
+	"internal/fleet", "internal/platform", "internal/supervise",
+	"internal/faults", "internal/image",
+}
+
+// drawCallees are callee names that consume seeded randomness or charge
+// machine clocks: calling one per map entry makes the fault/latency
+// schedule depend on map order.
+var drawCallees = map[string]bool{
+	"Check": true, "CheckKeyed": true, "Arm": true, "ArmKeyed": true,
+	"DisarmKeyed": true, "Charge": true,
+}
+
+// sortFuncs are the sort entry points that launder a collected slice
+// back into deterministic order.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// Analyzer is the maporder invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "in deterministic packages, a range over a map must not make order-sensitive decisions (unsorted appends, fault draws, shared writes); sort the keys first",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inDeterministicPkg(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func inDeterministicPkg(path string) bool {
+	for _, suffix := range DeterministicPkgs {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter records where each slice variable is sorted inside the
+// function, so an append inside a map range can be excused by a sort
+// below the loop.
+type sortPoint struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func collectSorts(pass *analysis.Pass, body *ast.BlockStmt) []sortPoint {
+	var out []sortPoint
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+			return true
+		}
+		if !sortFuncs[fn.Pkg().Name()+"."+fn.Name()] {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		// Unwrap sort.Sort(byName(xs)) style conversions/wrappers.
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			arg = ast.Unparen(inner.Args[0])
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				out = append(out, sortPoint{obj: obj, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	sorts := collectSorts(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rs, sorts)
+		return true
+	})
+}
+
+// checkMapRange inspects one map-range body. Nested non-map loops are
+// inspected too (their bodies still execute once per outer map entry);
+// nested map ranges are skipped here because checkFunc's walk gives
+// each its own independent check.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, sorts []sortPoint) {
+	loopVars := loopVarObjs(pass, rs)
+	// Returns inside function literals (sort comparators, callbacks)
+	// don't exit the loop; record their spans so checkReturn skips them.
+	var funcLits []*ast.FuncLit
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			funcLits = append(funcLits, fl)
+		}
+		return true
+	})
+	inFuncLit := func(pos token.Pos) bool {
+		for _, fl := range funcLits {
+			if pos >= fl.Pos() && pos <= fl.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok {
+			if tv, ok := pass.Info.Types[inner.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, loopVars, sorts)
+		case *ast.IncDecStmt:
+			checkIncDec(pass, rs, n)
+		case *ast.ExprStmt:
+			checkExprStmt(pass, rs, n)
+		case *ast.CallExpr:
+			checkDrawCall(pass, n)
+		case *ast.ReturnStmt:
+			if !inFuncLit(n.Pos()) {
+				checkReturn(pass, n, loopVars)
+			}
+		}
+		return true
+	})
+}
+
+// loopVarObjs returns the objects bound by the range's key/value.
+func loopVarObjs(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, loopVars map[types.Object]bool, sorts []sortPoint) {
+	// x = append(x, ...): order-sensitive unless x is sorted below the
+	// loop.
+	if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+		if len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+				target := rootObj(pass, as.Lhs[0])
+				if target != nil && !declaredInside(target, rs) && !sortedAfter(target, rs.End(), sorts) {
+					pass.Reportf(as.Pos(), "append to %q inside a map range without sorting it afterwards: iteration order leaks into the slice (sort the keys first, or sort the result)", target.Name())
+				}
+				return
+			}
+		}
+	}
+	for _, lhs := range as.Lhs {
+		checkWrite(pass, rs, as, lhs, as.Rhs, loopVars)
+	}
+}
+
+// checkWrite flags a write to state declared outside the loop, with the
+// commutative exemptions described in the package doc.
+func checkWrite(pass *analysis.Pass, rs *ast.RangeStmt, stmt ast.Stmt, lhs ast.Expr, rhs []ast.Expr, loopVars map[types.Object]bool) {
+	obj := rootObj(pass, lhs)
+	if obj == nil || declaredInside(obj, rs) {
+		return
+	}
+	// Per-key writes — an index expression keyed by a loop variable —
+	// touch a distinct element per iteration: commutative.
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && refsAny(pass, ix.Index, loopVars) {
+		return
+	}
+	// Idempotent constant stores (seen[k] = true, found = true) don't
+	// depend on order.
+	if as, ok := stmt.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN && len(rhs) == 1 {
+		if tv, ok := pass.Info.Types[rhs[0]]; ok && tv.Value != nil {
+			return
+		}
+	}
+	// Integer accumulation (n += v) is commutative; float accumulation
+	// is not (rounding depends on order), string += concatenates in map
+	// order.
+	if as, ok := stmt.(*ast.AssignStmt); ok && as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		if isCommutativeAccum(pass, lhs, as.Tok) {
+			return
+		}
+	}
+	pass.Reportf(stmt.Pos(), "write to %q (declared outside the loop) inside a map range: the final value depends on iteration order; sort the keys first", obj.Name())
+}
+
+func checkIncDec(pass *analysis.Pass, rs *ast.RangeStmt, id *ast.IncDecStmt) {
+	obj := rootObj(pass, id.X)
+	if obj == nil || declaredInside(obj, rs) {
+		return
+	}
+	if isIntegerExpr(pass, id.X) {
+		return // counting is commutative
+	}
+	pass.Reportf(id.Pos(), "non-integer increment of %q inside a map range accumulates in iteration order; sort the keys first", obj.Name())
+}
+
+// checkExprStmt flags bare side-effect call statements: machine work
+// executed once per map entry runs in map order.
+func checkExprStmt(pass *analysis.Pass, rs *ast.RangeStmt, es *ast.ExprStmt) {
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if isBuiltin(pass, call.Fun, "delete") {
+		return // deleting distinct keys is commutative
+	}
+	name := "a function value"
+	if fn := analysis.CalleeFunc(pass.Info, call); fn != nil {
+		if drawCallees[fn.Name()] || strings.Contains(strings.ToLower(fn.Name()), "dispatch") {
+			return // checkDrawCall reports these with the sharper message
+		}
+		if fn.Pkg() != nil && sortFuncs[fn.Pkg().Name()+"."+fn.Name()] {
+			return // sorting a per-key value in place is order-neutral
+		}
+		name = fn.Name()
+	}
+	pass.Reportf(es.Pos(), "side-effect call to %s inside a map range executes in iteration order; collect and sort the keys first", name)
+}
+
+// checkDrawCall flags fault draws / clock charges / dispatches anywhere
+// in the body (conditions included): each consumes seeded PRNG or
+// virtual-clock state, so call order is schedule order.
+func checkDrawCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	if drawCallees[fn.Name()] || strings.Contains(strings.ToLower(fn.Name()), "dispatch") {
+		pass.Reportf(call.Pos(), "%s inside a map range draws seeded state in iteration order; sort the keys first", fn.Name())
+	}
+}
+
+// checkReturn flags returning loop-variable-derived values: "first
+// match wins" over a map picks a different winner every run.
+func checkReturn(pass *analysis.Pass, ret *ast.ReturnStmt, loopVars map[types.Object]bool) {
+	for _, res := range ret.Results {
+		if refsAny(pass, res, loopVars) {
+			pass.Reportf(ret.Pos(), "returning a loop-variable-derived value from inside a map range selects in iteration order; sort the keys first")
+			return
+		}
+	}
+}
+
+// --- small helpers -----------------------------------------------------------
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rootObj peels selectors/indexes/derefs down to the base identifier's
+// object, or nil (e.g. the blank identifier, or a call-rooted lvalue).
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredInside reports whether obj is declared within the range
+// statement (loop variables and body locals are order-neutral scratch).
+func declaredInside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+}
+
+func refsAny(pass *analysis.Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[pass.Info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func sortedAfter(obj types.Object, after token.Pos, sorts []sortPoint) bool {
+	for _, s := range sorts {
+		if s.obj == obj && s.pos > after {
+			return true
+		}
+	}
+	return false
+}
+
+func isIntegerExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isCommutativeAccum reports whether tok applied to lhs is a
+// commutative accumulation: integer +=/-=/|=/&=/^=, or boolean-ish
+// bit ops. Float and string accumulation are order-dependent.
+func isCommutativeAccum(pass *analysis.Pass, lhs ast.Expr, tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return isIntegerExpr(pass, lhs)
+	}
+	return false
+}

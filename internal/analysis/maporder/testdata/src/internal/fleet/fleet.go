@@ -1,0 +1,121 @@
+// Package fleet is maporder testdata modeled on the real fleet control
+// plane: the replica-slot re-placement bug class (PR 6) where ranging
+// over the deployments map while planning repairs bakes map iteration
+// order into the placement — caught only probabilistically by same-seed
+// DeepEqual runs, deterministically by this analyzer.
+package fleet
+
+import "sort"
+
+type repair struct {
+	name string
+	dst  int
+}
+
+type injector struct{}
+
+func (in *injector) Check(site string) error { return nil }
+
+type fleet struct {
+	deployments map[string][]int
+	inj         *injector
+	served      map[string]int
+	score       float64
+}
+
+// planRepairsBad is the regression case: the repair plan is assembled
+// directly in map order, so two same-seed runs ship replicas in
+// different orders and the placement diverges.
+func (f *fleet) planRepairsBad(down int) []repair {
+	var plan []repair
+	for name := range f.deployments {
+		plan = append(plan, repair{name: name, dst: down}) // want `append to "plan" inside a map range`
+	}
+	return plan
+}
+
+// planRepairsGood collects the keys, sorts, then decides: the idiom the
+// real planRepairsLocked uses.
+func (f *fleet) planRepairsGood(down int) []repair {
+	names := make([]string, 0, len(f.deployments))
+	for name := range f.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var plan []repair
+	for _, name := range names {
+		plan = append(plan, repair{name: name, dst: down})
+	}
+	return plan
+}
+
+// drawInMapOrder consumes seeded PRNG state per map entry: draw order
+// is schedule order.
+func (f *fleet) drawInMapOrder() {
+	for name := range f.deployments {
+		if f.inj.Check(name) != nil { // want `Check inside a map range draws seeded state`
+			return
+		}
+	}
+}
+
+// firstMatch picks a winner in map iteration order.
+func (f *fleet) firstMatch() string {
+	for name, reps := range f.deployments {
+		if len(reps) == 0 {
+			return name // want `returning a loop-variable-derived value`
+		}
+	}
+	return ""
+}
+
+// sharedWrite overwrites an outer variable per entry: last writer wins,
+// and the last entry differs every run.
+func (f *fleet) sharedWrite() string {
+	var last string
+	for name := range f.deployments {
+		last = name // want `write to "last"`
+	}
+	return last
+}
+
+// floatAccum rounds differently per iteration order.
+func (f *fleet) floatAccum(weights map[string]float64) {
+	for _, w := range weights {
+		f.score += w // want `write to "f"`
+	}
+}
+
+// commutative work passes untouched: per-key copies, counting, set
+// insertion, idempotent stores, deletes.
+func (f *fleet) commutative(src map[string]int) (int, map[string]int) {
+	n := 0
+	out := make(map[string]int, len(src))
+	seen := make(map[string]bool)
+	for k, v := range src {
+		out[k] = v
+		seen[k] = true
+		n++
+		n += v
+		delete(src, k)
+	}
+	return n, out
+}
+
+// perKeySort sorts each map value in place: the sort call and its
+// comparator's returns are order-neutral per-key work.
+func (f *fleet) perKeySort() {
+	for _, reps := range f.deployments {
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	}
+}
+
+// suppressed proves the escape hatch works.
+func (f *fleet) suppressed() []string {
+	var names []string
+	for name := range f.deployments {
+		//lint:allow maporder determinism waived: diagnostic dump ordering is cosmetic here
+		names = append(names, name)
+	}
+	return names
+}

@@ -1,0 +1,18 @@
+// Package other is outside the deterministic set: identical
+// order-sensitive code draws no diagnostics here.
+package other
+
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func First(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

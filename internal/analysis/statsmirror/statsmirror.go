@@ -1,0 +1,161 @@
+// Package statsmirror keeps stats mirrors complete. The public API
+// re-exports internal counters through mirror structs (root FleetStats
+// over internal/fleet.Stats, FailureStats over the platform's failure
+// counters, catalyzerd's per-kind rows over catalyzer.KindStats); a new
+// internal field that is not copied into the mirror silently vanishes
+// from every dashboard and chaos assertion built on the public type.
+// That drift is invisible to the compiler — the mirror still builds —
+// so this analyzer enforces it:
+//
+// whenever a function builds a composite literal of a *Stats-named
+// struct whose elements read fields from a value of a different
+// package's *Stats-named struct, every exported field of that source
+// struct must be read somewhere in the function.
+//
+// Reads anywhere in the function count (a field folded into a computed
+// mirror value, or deliberately discarded with `_ = s.Field`, is
+// "surfaced" for the analyzer's purposes); whole-struct copies
+// (`return f.stats`) involve no literal and are exempt by construction.
+// A mirror that drops a field on purpose carries
+// //lint:allow statsmirror <reason> on the literal.
+package statsmirror
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"catalyzer/internal/analysis"
+)
+
+// Analyzer is the stats-mirror completeness checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsmirror",
+	Doc:  "a composite literal mirroring another package's *Stats struct must surface every exported field of the source struct",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// statsStruct returns the named *Stats struct type behind t (derefing
+// one pointer), or nil.
+func statsStruct(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !strings.HasSuffix(named.Obj().Name(), "Stats") {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// foreignStatsReads collects, under root, every field read off a
+// *Stats struct from a package other than pass.Pkg, keyed by the source
+// type's name object.
+func foreignStatsReads(pass *analysis.Pass, root ast.Node, into map[*types.TypeName]map[string]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		named := statsStruct(selection.Recv())
+		if named == nil {
+			return true
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg() == pass.Pkg {
+			return true
+		}
+		m := into[obj]
+		if m == nil {
+			m = make(map[string]bool)
+			into[obj] = m
+		}
+		m[sel.Sel.Name] = true
+		return true
+	})
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// All foreign-Stats field reads anywhere in the function: reading a
+	// source field outside the literal (computed values, explicit
+	// discards) still surfaces it.
+	funcReads := make(map[*types.TypeName]map[string]bool)
+	foreignStatsReads(pass, fd.Body, funcReads)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[cl]
+		if !ok || statsStruct(tv.Type) == nil {
+			return true
+		}
+		// Which foreign *Stats types feed this literal?
+		litReads := make(map[*types.TypeName]map[string]bool)
+		for _, elt := range cl.Elts {
+			foreignStatsReads(pass, elt, litReads)
+		}
+		for _, srcObj := range sortedTypeNames(litReads) {
+			src := statsStruct(srcObj.Type())
+			st := src.Underlying().(*types.Struct)
+			var missing []string
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() {
+					continue
+				}
+				if !funcReads[srcObj][f.Name()] {
+					missing = append(missing, f.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(cl.Pos(), "stats mirror drops %s field(s) %s: a mirror must surface every exported field of its source (copy them, fold them into a computed value, or discard explicitly)",
+					srcObj.Name(), strings.Join(missing, ", "))
+			}
+		}
+		return true
+	})
+}
+
+// sortedTypeNames returns the map's keys ordered by package path and
+// name, so the analyzer's own output is deterministic.
+func sortedTypeNames(m map[*types.TypeName]map[string]bool) []*types.TypeName {
+	out := make([]*types.TypeName, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && typeNameLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func typeNameLess(a, b *types.TypeName) bool {
+	if a.Pkg().Path() != b.Pkg().Path() {
+		return a.Pkg().Path() < b.Pkg().Path()
+	}
+	return a.Name() < b.Name()
+}

@@ -1,0 +1,12 @@
+package statsmirror_test
+
+import (
+	"testing"
+
+	"catalyzer/internal/analysis/analysistest"
+	"catalyzer/internal/analysis/statsmirror"
+)
+
+func TestStatsMirror(t *testing.T) {
+	analysistest.Run(t, "testdata", statsmirror.Analyzer, "internal/stats", "mirror")
+}

@@ -1,0 +1,16 @@
+// Package stats is statsmirror testdata: the internal counter struct a
+// public mirror re-exports.
+package stats
+
+// KindStats counts boots for one sandbox kind.
+type KindStats struct {
+	Boots  int
+	ColdMS float64
+	// P95MS is the freshly-added field the stale mirror drops.
+	P95MS float64
+
+	hidden int // unexported: mirrors need not surface it
+}
+
+// Touch keeps the unexported field honest.
+func (k *KindStats) Touch() { k.hidden++ }

@@ -1,0 +1,54 @@
+// Package mirror is statsmirror testdata modeled on the real bug
+// class: catalyzerd's per-kind stats row silently dropping a
+// freshly-added internal field.
+package mirror
+
+import "internal/stats"
+
+type kindStats struct {
+	Boots  int
+	ColdMS float64
+}
+
+type fullStats struct {
+	Boots  int
+	ColdMS float64
+	P95MS  float64
+}
+
+// Stale is the regression case: internal KindStats grew P95MS and the
+// mirror was never updated.
+func Stale(ks stats.KindStats) kindStats {
+	return kindStats{Boots: ks.Boots, ColdMS: ks.ColdMS} // want `stats mirror drops KindStats field\(s\) P95MS`
+}
+
+// Complete surfaces every exported source field.
+func Complete(ks stats.KindStats) fullStats {
+	return fullStats{Boots: ks.Boots, ColdMS: ks.ColdMS, P95MS: ks.P95MS}
+}
+
+// Folded reads the missing field outside the literal (a computed
+// mirror value counts as surfacing it).
+func Folded(ks stats.KindStats) kindStats {
+	cold := ks.ColdMS
+	if ks.P95MS > 0 {
+		cold = ks.P95MS
+	}
+	return kindStats{Boots: ks.Boots, ColdMS: cold}
+}
+
+// WholeCopy involves no literal: exempt by construction.
+func WholeCopy(ks stats.KindStats) stats.KindStats {
+	return ks
+}
+
+// NotAMirror reads stats fields without building a Stats literal.
+func NotAMirror(ks stats.KindStats) float64 {
+	return ks.ColdMS
+}
+
+// Waived drops the field on purpose and says why.
+func Waived(ks stats.KindStats) kindStats {
+	//lint:allow statsmirror mirror completeness waived: P95 is display-only and deliberately absent from the compact row
+	return kindStats{Boots: ks.Boots, ColdMS: ks.ColdMS}
+}

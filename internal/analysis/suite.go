@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Suite drives a set of analyzers over many packages and collects their
+// diagnostics, applying //lint:allow suppressions and running Finish
+// hooks once all packages have been seen. It replaces per-package
+// RunAnalyzers calls for drivers (cmd/catalyzer-vet, analysistest) that
+// host whole-module analyzers.
+type Suite struct {
+	Fset      *token.FileSet
+	Analyzers []*Analyzer
+	// Complete marks a whole-module run; see SuiteInfo.Complete.
+	Complete bool
+
+	pkgs  []string
+	sups  []Suppression
+	bad   []Malformed
+	diags []Diagnostic
+	done  bool
+}
+
+// NewSuite returns a suite over the given analyzers. complete should be
+// true only when the caller will feed every package of the module (or
+// of a self-contained testdata tree) through RunPackage.
+func NewSuite(fset *token.FileSet, analyzers []*Analyzer, complete bool) *Suite {
+	return &Suite{Fset: fset, Analyzers: analyzers, Complete: complete}
+}
+
+// RunPackage analyzes one package, accumulating raw diagnostics and the
+// package's suppressions; suppression filtering happens in Finish so
+// Finish-hook diagnostics are suppressible too.
+func (s *Suite) RunPackage(pkg *Package) error {
+	sups, bad := ParseSuppressions(pkg, s.Fset)
+	s.sups = append(s.sups, sups...)
+	s.bad = append(s.bad, bad...)
+	s.pkgs = append(s.pkgs, pkg.Path)
+	for _, a := range s.Analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     s.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			s.diags = append(s.diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish runs every analyzer's Finish hook, filters suppressed
+// diagnostics, and returns the survivors in source order plus any
+// malformed suppression comments. Call it exactly once, after the last
+// RunPackage.
+func (s *Suite) Finish() ([]Diagnostic, []Malformed, error) {
+	if !s.done {
+		s.done = true
+		info := &SuiteInfo{Complete: s.Complete, Packages: s.pkgs}
+		for _, a := range s.Analyzers {
+			if a.Finish == nil {
+				continue
+			}
+			name := a.Name
+			report := func(d Diagnostic) {
+				d.Analyzer = name
+				s.diags = append(s.diags, d)
+			}
+			if err := a.Finish(info, report); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range s.diags {
+		if !Suppressed(s.Fset, d, s.sups) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := s.Fset.Position(out[i].Pos), s.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, s.bad, nil
+}

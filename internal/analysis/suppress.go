@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/token"
-	"sort"
 	"strings"
 )
 
@@ -81,40 +80,15 @@ func Suppressed(fset *token.FileSet, d Diagnostic, sups []Suppression) bool {
 	return false
 }
 
-// RunAnalyzers runs each analyzer over pkg and returns the surviving
-// (unsuppressed) diagnostics in source order, plus any malformed
-// suppression comments.
+// RunAnalyzers runs each analyzer over a single package and returns the
+// surviving (unsuppressed) diagnostics in source order, plus any
+// malformed suppression comments. It is the one-package convenience
+// wrapper around Suite (Finish hooks run with Complete=false, so
+// whole-module absence checks stay quiet).
 func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, []Malformed, error) {
-	sups, bad := ParseSuppressions(pkg, fset)
-	var out []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			PkgPath:  pkg.Path,
-		}
-		pass.Report = func(d Diagnostic) {
-			d.Analyzer = a.Name
-			if !Suppressed(fset, d, sups) {
-				out = append(out, d)
-			}
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, nil, err
-		}
+	suite := NewSuite(fset, analyzers, false)
+	if err := suite.RunPackage(pkg); err != nil {
+		return nil, nil, err
 	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return pi.Column < pj.Column
-	})
-	return out, bad, nil
+	return suite.Finish()
 }

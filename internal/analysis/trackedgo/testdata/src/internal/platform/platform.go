@@ -1,0 +1,32 @@
+// Package platform is trackedgo testdata modeled on the real bug: the
+// rebuild path fired a bare goroutine that only an ad-hoc WaitGroup
+// drained, splitting shutdown into two drain paths.
+package platform
+
+import "sync"
+
+type supervisor struct{ wg sync.WaitGroup }
+
+// Go is the tracked spawn primitive the analyzer wants routed through.
+func (s *supervisor) Go(fn func()) bool {
+	s.wg.Add(1)
+	go fn() // want `bare go statement in a library package`
+	return true
+}
+
+type platform struct {
+	sup *supervisor
+}
+
+func (p *platform) startRebuildBad(fn func()) {
+	go fn() // want `bare go statement in a library package`
+}
+
+func (p *platform) startRebuildGood(fn func()) {
+	p.sup.Go(fn)
+}
+
+func (p *platform) startRebuildWaived(fn func()) {
+	//lint:allow trackedgo goroutine tracking waived: fire-and-forget metrics flush, owns no platform state
+	go fn()
+}

@@ -1,0 +1,8 @@
+// Binaries own their own lifetime: bare goroutines are fine here.
+package main
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

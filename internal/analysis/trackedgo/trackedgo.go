@@ -1,0 +1,53 @@
+// Package trackedgo forbids bare `go` statements in library packages.
+//
+// The platform's shutdown contract is that Close drains every goroutine
+// it started: the supervisor tracks workers via Supervisor.Go, which
+// refuses new work after Close and lets Wait/Close block until the last
+// tracked goroutine exits. A bare `go` statement escapes that
+// accounting — the goroutine can outlive Close, race teardown (unmap
+// image frames, poison the journal mid-write), and under virtual time
+// it never gets scheduled deterministically. PR 7's watchdog arc made
+// this contract load-bearing; this analyzer makes it mechanical.
+//
+// Exempt:
+//
+//   - package main (a binary's top-level loop owns its own lifetime;
+//     cmd/catalyzerd's signal pump has nothing to drain into);
+//   - internal/supervise itself (it implements the tracking machinery,
+//     so its own `go` statements are the primitive being wrapped);
+//   - anything carrying //lint:allow trackedgo <reason>.
+package trackedgo
+
+import (
+	"go/ast"
+	"strings"
+
+	"catalyzer/internal/analysis"
+)
+
+// Analyzer is the tracked-goroutine invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "trackedgo",
+	Doc:  "library packages must not start bare goroutines; route them through the supervisor's tracked Go so Close can drain them",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return nil
+	}
+	if pass.PkgPath == "internal/supervise" || strings.HasSuffix(pass.PkgPath, "/internal/supervise") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "bare go statement in a library package: the goroutine escapes supervisor accounting and can outlive Close; use the supervisor's tracked Go")
+			return true
+		})
+	}
+	return nil
+}

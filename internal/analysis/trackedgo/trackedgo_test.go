@@ -1,0 +1,13 @@
+package trackedgo_test
+
+import (
+	"testing"
+
+	"catalyzer/internal/analysis/analysistest"
+	"catalyzer/internal/analysis/trackedgo"
+)
+
+func TestTrackedGo(t *testing.T) {
+	analysistest.Run(t, "testdata", trackedgo.Analyzer,
+		"internal/platform", "internal/supervise", "mainprog")
+}

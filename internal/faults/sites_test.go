@@ -1,0 +1,70 @@
+package faults
+
+import "testing"
+
+// The old source-parsing drift guard (sites_drift_test.go) is retired:
+// category completeness — every declared Site constant in exactly one
+// of CoreSites/StoreSites/FleetSites, and every declared site drawn
+// somewhere in the module — is now enforced statically by the faultsite
+// analyzer in cmd/catalyzer-vet. What remains here are the runtime
+// contracts the analyzer cannot see.
+
+// TestSitesIsCategoryUnion pins Sites() to the exact duplicate-free
+// union of the three category lists, and ValidSite to membership in it.
+func TestSitesIsCategoryUnion(t *testing.T) {
+	var union []Site
+	union = append(union, CoreSites()...)
+	union = append(union, StoreSites()...)
+	union = append(union, FleetSites()...)
+
+	all := Sites()
+	if len(all) != len(union) {
+		t.Fatalf("Sites() returns %d sites, category union has %d", len(all), len(union))
+	}
+	seen := make(map[Site]bool, len(all))
+	for i, s := range all {
+		if seen[s] {
+			t.Errorf("Sites() lists %q twice", s)
+		}
+		seen[s] = true
+		if s != union[i] {
+			t.Errorf("Sites()[%d] = %q, category union order has %q", i, s, union[i])
+		}
+		if !ValidSite(s) {
+			t.Errorf("ValidSite(%q) = false for a listed site", s)
+		}
+	}
+	if ValidSite(Site("no-such-site")) {
+		t.Error(`ValidSite("no-such-site") = true`)
+	}
+}
+
+// TestUnarmedSitesDrawNoRNG pins the injector invariant the fleet sites
+// rely on: checking an unarmed site consumes no PRNG state, so arming
+// only the old sites yields the same schedule whether or not fleet-site
+// checks are interleaved.
+func TestUnarmedSitesDrawNoRNG(t *testing.T) {
+	plain := New(42)
+	interleaved := New(42)
+	plain.Arm(SiteSfork, 0.5)
+	interleaved.Arm(SiteSfork, 0.5)
+	for i := 0; i < 200; i++ {
+		// Unarmed machine-site checks on one injector only.
+		if err := interleaved.Check(SiteMachineCrash); err != nil {
+			t.Fatalf("unarmed machine-crash check fired: %v", err)
+		}
+		if err := interleaved.Check(SiteMachinePartition); err != nil {
+			t.Fatalf("unarmed machine-partition check fired: %v", err)
+		}
+		a, b := plain.Check(SiteSfork), interleaved.Check(SiteSfork)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("draw %d diverged: plain=%v interleaved=%v", i, a, b)
+		}
+	}
+	counts := interleaved.Counts()
+	for _, s := range FleetSites() {
+		if c, ok := counts[s]; ok {
+			t.Errorf("unarmed fleet site %s recorded counts %+v", s, c)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"catalyzer/internal/guest"
 	"catalyzer/internal/memory"
@@ -391,14 +392,21 @@ func (m *Mapping) ResidentPages() int { return len(m.frames) }
 func (m *Mapping) Pages() uint64 { return m.mem.Pages }
 
 // Close drops the mapping's frame references; pages still mapped by
-// sandboxes stay alive through their own references.
+// sandboxes stay alive through their own references. Frames are
+// released in page order so frame-table free-list state replays
+// identically under one seed.
 func (m *Mapping) Close() {
 	if m.closed {
 		return
 	}
 	m.closed = true
-	for p, f := range m.frames {
-		m.ft.Unref(f)
+	pages := make([]uint64, 0, len(m.frames))
+	for p := range m.frames {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, p := range pages {
+		m.ft.Unref(m.frames[p])
 		delete(m.frames, p)
 	}
 }

@@ -373,7 +373,15 @@ func (s *Store) scrub() error {
 
 	// Pass 2: verify every referenced generation. A bad active rolls
 	// back to last-known-good; a bad last-known-good is dropped.
-	for name, e := range s.entries {
+	// Names are processed in sorted order so quarantine renames and
+	// scrub counters replay identically run to run.
+	entryNames := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		entryNames = append(entryNames, name)
+	}
+	sort.Strings(entryNames)
+	for _, name := range entryNames {
+		e := s.entries[name]
 		if e.active != nil {
 			if !s.verifyGen(name, e.active) {
 				s.quarantineGenFile(name, e.active.n)
@@ -404,7 +412,14 @@ func (s *Store) scrub() error {
 	// the bytes are good). A verified older generation fills an empty
 	// last-known-good slot (the directory-rescan path). Anything else
 	// is debris: stale generations are swept, corrupt ones quarantined.
-	for name, gens := range disk {
+	// Sorted names again: adoption/sweep side effects in stable order.
+	diskNames := make([]string, 0, len(disk))
+	for name := range disk {
+		diskNames = append(diskNames, name)
+	}
+	sort.Strings(diskNames)
+	for _, name := range diskNames {
+		gens := disk[name]
 		sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
 		e := s.entryFor(name)
 		for _, g := range gens {
@@ -703,6 +718,9 @@ func (s *Store) compact() error {
 		}
 		ents = append(ents, m)
 	}
+	// The manifest is durable state: sort so its bytes are a pure
+	// function of store content, not of map iteration order.
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
 	data := encodeManifest(ents)
 	tmp := s.manifestPath() + tmpExt
 	if ferr := s.crash(faults.SiteManifestCompact); ferr != nil {

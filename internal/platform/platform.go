@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"sort"
 	"sync"
 
 	"catalyzer/internal/core"
@@ -97,10 +98,11 @@ type Platform struct {
 
 	// Off-critical-path image rebuilds (after a rollback to the
 	// last-known-good generation). rebuilding dedups in-flight rebuilds
-	// per function; rebuildWG lets Close and tests wait for them.
+	// per function; the goroutines themselves run under the
+	// supervisor's tracked Go, so Close/WaitRebuilds share one drain
+	// path with every other self-healing task.
 	rebuildMu  sync.Mutex
 	rebuilding map[string]bool
-	rebuildWG  sync.WaitGroup
 
 	// rec is the failure-recovery state: fallback accounting, circuit
 	// breakers, template quarantine counters. Guarded by its own mutex
@@ -362,7 +364,9 @@ func (p *Platform) Lookup(name string) (*Function, error) {
 	return f, nil
 }
 
-// registeredFunctions snapshots the current function set.
+// registeredFunctions snapshots the current function set, sorted by
+// name: callers iterate it to probe/rebuild, and that work must happen
+// in the same order every run.
 func (p *Platform) registeredFunctions() []*Function {
 	p.fnsMu.RLock()
 	defer p.fnsMu.RUnlock()
@@ -370,6 +374,7 @@ func (p *Platform) registeredFunctions() []*Function {
 	for _, f := range p.funcs {
 		out = append(out, f)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
 	return out
 }
 
@@ -490,7 +495,9 @@ func (p *Platform) persistImage(img *image.Image) {
 }
 
 // startRebuild kicks off an off-critical-path image rebuild for f,
-// deduplicating concurrent requests per function.
+// deduplicating concurrent requests per function. The rebuild runs as
+// a supervisor-tracked task: it never starts after Close, and Close
+// drains it alongside template regens and pool refills.
 func (p *Platform) startRebuild(f *Function) {
 	name := f.Spec.Name
 	p.rebuildMu.Lock()
@@ -500,8 +507,11 @@ func (p *Platform) startRebuild(f *Function) {
 	}
 	p.rebuilding[name] = true
 	p.rebuildMu.Unlock()
-	p.rebuildWG.Add(1)
-	go p.rebuildImage(f)
+	if !p.sup.Go(func() { p.rebuildImage(f) }) {
+		p.rebuildMu.Lock()
+		delete(p.rebuilding, name)
+		p.rebuildMu.Unlock()
+	}
 }
 
 // rebuildImage rebuilds f's func-image offline and swaps it in under
@@ -511,7 +521,6 @@ func (p *Platform) startRebuild(f *Function) {
 // restore boot.
 func (p *Platform) rebuildImage(f *Function) {
 	name := f.Spec.Name
-	defer p.rebuildWG.Done()
 	defer func() {
 		p.rebuildMu.Lock()
 		delete(p.rebuilding, name)
@@ -534,9 +543,10 @@ func (p *Platform) rebuildImage(f *Function) {
 	p.rec.addStats(func(s *FailureStats) { s.ImageRebuilds++ })
 }
 
-// WaitRebuilds blocks until every in-flight off-critical-path image
-// rebuild has completed (tests and shutdown).
-func (p *Platform) WaitRebuilds() { p.rebuildWG.Wait() }
+// WaitRebuilds blocks until every in-flight supervisor-tracked task —
+// off-critical-path image rebuilds included — has completed (tests and
+// shutdown).
+func (p *Platform) WaitRebuilds() { p.sup.Wait() }
 
 // StoredFunctions lists the function names with a live image in the
 // platform's store (empty without a store) — the set a restarted daemon
@@ -637,7 +647,7 @@ func (r *Result) Total() simtime.Duration { return r.BootLatency + r.ExecLatency
 // does not fit the machine's memory budget triggers reclaim (keep-warm
 // eviction, idle-template retirement) and retries before failing.
 //
-//lint:allow ctxflow machine-layer boots are synchronous virtual-time work; deadline aborts happen above, in BootRecover's fallback chain
+//lint:allow ctxflow context-first-entry waived: machine-layer boots are synchronous virtual-time work; deadline aborts happen above, in BootRecover's fallback chain
 func (p *Platform) Boot(name string, sys System) (*Result, error) {
 	for round := 0; ; round++ {
 		p.mu.Lock()
@@ -755,7 +765,7 @@ func (p *Platform) boot(name string, sys System) (*Result, error) {
 
 // Invoke boots, executes one request, and releases the instance.
 //
-//lint:allow ctxflow machine-layer invoke is synchronous virtual-time work; deadline aborts happen above, in InvokeRecover
+//lint:allow ctxflow context-first-entry waived: machine-layer invoke is synchronous virtual-time work; deadline aborts happen above, in InvokeRecover
 func (p *Platform) Invoke(name string, sys System) (*Result, error) {
 	r, err := p.Boot(name, sys)
 	if err != nil {
@@ -773,7 +783,7 @@ func (p *Platform) Invoke(name string, sys System) (*Result, error) {
 // InvokeKeep boots and executes but keeps the instance running,
 // returning it in the result (concurrency and memory experiments).
 //
-//lint:allow ctxflow machine-layer invoke is synchronous virtual-time work; deadline aborts happen above, in InvokeKeepRecover
+//lint:allow ctxflow context-first-entry waived: machine-layer invoke is synchronous virtual-time work; deadline aborts happen above, in InvokeKeepRecover
 func (p *Platform) InvokeKeep(name string, sys System) (*Result, error) {
 	r, err := p.Boot(name, sys)
 	if err != nil {

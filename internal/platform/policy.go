@@ -140,7 +140,7 @@ func (r *Router) Route(name string) (System, error) {
 // scratch machine for images; template construction happens on the
 // platform machine but off any request's critical path).
 //
-//lint:allow ctxflow policy router drives synchronous virtual-time machine work (experiment harness, not a serving path)
+//lint:allow ctxflow context-first-entry waived: policy router drives synchronous virtual-time machine work (experiment harness, not a serving path)
 func (r *Router) Invoke(name string) (*Result, error) {
 	sys, err := r.Route(name)
 	if err != nil {
@@ -216,7 +216,7 @@ func (c *Cluster) leastLoaded() int {
 // Invoke places one request on the least-loaded machine, routed by that
 // machine's policy engine. It returns the result and the machine index.
 //
-//lint:allow ctxflow cluster simulation drives synchronous virtual-time machine work (experiment harness, not a serving path)
+//lint:allow ctxflow context-first-entry waived: cluster simulation drives synchronous virtual-time machine work (experiment harness, not a serving path)
 func (c *Cluster) Invoke(name string) (*Result, int, error) {
 	i := c.leastLoaded()
 	res, err := c.routers[i].Invoke(name)
@@ -225,7 +225,7 @@ func (c *Cluster) Invoke(name string) (*Result, int, error) {
 
 // Start boots and keeps an instance on the least-loaded machine.
 //
-//lint:allow ctxflow cluster simulation drives synchronous virtual-time machine work (experiment harness, not a serving path)
+//lint:allow ctxflow context-first-entry waived: cluster simulation drives synchronous virtual-time machine work (experiment harness, not a serving path)
 func (c *Cluster) Start(name string, sys System) (*Result, int, error) {
 	i := c.leastLoaded()
 	p := c.platforms[i]

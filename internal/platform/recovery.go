@@ -459,13 +459,11 @@ func (p *Platform) InvokeKeepRecover(ctx context.Context, name string, sys Syste
 // machine reports zero live sandboxes.
 func (p *Platform) Close() {
 	// Stop the supervisor first: after this no probe fires, no new
-	// self-healing task starts, and every in-flight template regen and
-	// pool refill has drained (they take the machine lock, so this must
-	// happen before we do).
+	// self-healing task starts, and every in-flight template regen,
+	// pool refill and off-critical-path image rebuild has drained (all
+	// run under the supervisor's tracked Go and take the machine lock,
+	// so this must happen before we do).
 	p.sup.Close()
-	// Drain off-critical-path image rebuilds too — they take the
-	// machine lock to swap images and may reopen mappings.
-	p.rebuildWG.Wait()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, f := range p.registeredFunctions() {

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"catalyzer/internal/simtime"
@@ -206,7 +207,7 @@ func (c *KeepWarmCache) put(name string, r *Result) {
 // Invoke serves one request: cache hit executes on the idle instance
 // (boot latency zero), miss cold-boots and caches the instance.
 //
-//lint:allow ctxflow keep-warm is the paper's synchronous baseline comparator; it has no deadline semantics
+//lint:allow ctxflow context-first-entry waived: keep-warm is the paper's synchronous baseline comparator; it has no deadline semantics
 func (c *KeepWarmCache) Invoke(name string) (boot, exec simtime.Duration, err error) {
 	if r, ok := c.take(name); ok {
 		d, err := c.p.ExecuteSandbox(r.Sandbox)
@@ -272,13 +273,28 @@ func (c *KeepWarmCache) Reclaim(max int) int {
 	return len(victims)
 }
 
-// Release frees all cached instances.
+// Release frees all cached instances, in insertion (LRU) order so
+// sandbox teardown replays deterministically.
 func (c *KeepWarmCache) Release() {
 	c.mu.Lock()
 	victims := make([]*Result, 0, len(c.idle))
-	for name, r := range c.idle {
-		victims = append(victims, r)
-		delete(c.idle, name)
+	for _, name := range c.order {
+		if r, ok := c.idle[name]; ok {
+			victims = append(victims, r)
+			delete(c.idle, name)
+		}
+	}
+	// c.order is authoritative, but drain any stragglers defensively.
+	if len(c.idle) > 0 {
+		rest := make([]string, 0, len(c.idle))
+		for name := range c.idle {
+			rest = append(rest, name)
+		}
+		sort.Strings(rest)
+		for _, name := range rest {
+			victims = append(victims, c.idle[name])
+			delete(c.idle, name)
+		}
 	}
 	c.order = nil
 	c.mu.Unlock()

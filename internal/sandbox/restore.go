@@ -17,7 +17,7 @@ import (
 // is recovered from the func-image's baseline checkpoint — decompressing
 // and deserializing every object one-by-one, loading all application
 // memory, and re-doing every I/O connection, all on the critical path.
-//lint:allow ctxflow leaf machine work below the recovery layer's abort points; virtual time cannot block on the host
+//lint:allow ctxflow context-first-entry waived: leaf machine work below the recovery layer's abort points; virtual time cannot block on the host
 func BootGVisorRestore(m *Machine, img *image.Image, fs *vfs.FSServer, opts Options) (*Sandbox, *simtime.Timeline, error) {
 	spec, err := specForImage(img)
 	if err != nil {

@@ -228,7 +228,7 @@ func (s *Sandbox) Rebase(delta uint64) {
 // BootCold performs the full from-scratch boot of Figure 2's upper path:
 // every phase is measured on the returned timeline, and the sandbox ends
 // at its func-entry point.
-//lint:allow ctxflow leaf machine work below the recovery layer's abort points; virtual time cannot block on the host
+//lint:allow ctxflow context-first-entry waived: leaf machine work below the recovery layer's abort points; virtual time cannot block on the host
 func BootCold(m *Machine, spec *workload.Spec, fs *vfs.FSServer, opts Options) (*Sandbox, *simtime.Timeline, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err

@@ -416,7 +416,7 @@ func (c *Client) Refresh(name string) error {
 	l := c.fnLock(name)
 	l.Lock()
 	defer l.Unlock()
-	//lint:allow lockdiscipline write-held fn lock is the documented artifact-swap exclusion; the reclaim path takes no fn locks
+	//lint:allow lockdiscipline no-machine-work-under-lock waived: write-held fn lock is the documented artifact-swap exclusion; the reclaim path takes no fn locks
 	_, err := c.p.RefreshImage(name)
 	return err
 }
