@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos chaos-supervision chaos-fleet chaos-gray chaos-fleet-big ci clean
+.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos chaos-supervision chaos-fleet chaos-gray chaos-zone chaos-fleet-big ci clean
 
 build:
 	$(GO) build ./...
@@ -72,9 +72,17 @@ chaos-fleet:
 chaos-gray:
 	$(GO) test -race -count=2 -run 'TestChaosGray|TestGray|TestHedge|TestRetryBudget|TestBudgetBounds|TestAdaptiveTimeout|TestBackoffSaturates|TestEjected|TestMaxEjectFraction|TestKeyed|TestDisarmKeyed|TestRegisterEvery|TestFleetHealthReportsBrownout|TestFleetErrorStatusMapping|TestFleetInvokeBudgetExhausted|TestValidateFlags' ./...
 
-# Scaled opt-in smoke: 50 machines × 1000 synthetic functions in virtual
-# time, with one gray member ejected under load. Minutes of wall clock,
-# so it is not part of ci.
+# Failure-domain suite (zone-aware replica spread, the scripted
+# correlated-failure scenario engine, repair-budget storm control, and
+# same-seed determinism of the whole outage script) under the race
+# detector; mirrors the CI race job.
+chaos-zone:
+	$(GO) test -race -count=2 -run 'TestChaosZone|TestScenario|TestZone|TestDeploySpreads|TestForcedSameZone|TestStructuralDoubleUp|TestMergedRepairPlan|TestInstallScenario|TestRepairBudget|TestRepairDeferred|TestRestartPreservesZone|TestRateOneKeyedDraw|TestFleetZoneDegraded|TestFleetNoSurvivorsOverHTTP' ./...
+
+# Scaled opt-in smoke: 100 machines × 3 zones × 1000 synthetic functions
+# in virtual time, with one gray member ejected under load and one
+# scripted whole-zone outage healed mid-traffic. Minutes of wall clock,
+# so it is not part of ci; CATALYZER_CHAOS_MACHINES overrides the size.
 chaos-fleet-big:
 	CATALYZER_CHAOS_BIG=1 $(GO) test -run 'TestChaosFleetBig' -v .
 

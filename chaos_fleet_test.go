@@ -19,7 +19,8 @@ func fleetTypedError(err error) bool {
 		errors.Is(err, ErrNoSurvivors) ||
 		errors.Is(err, ErrMachineFlaky) ||
 		errors.Is(err, ErrBrownout) ||
-		errors.Is(err, ErrBudgetExhausted)
+		errors.Is(err, ErrBudgetExhausted) ||
+		errors.Is(err, ErrZoneDegraded)
 }
 
 // fleetChaosRun drives the full chaos-fleet scenario with one seed and

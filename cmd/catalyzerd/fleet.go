@@ -126,6 +126,7 @@ func (s *fleetServer) restart(w http.ResponseWriter, r *http.Request) {
 func (s *fleetServer) machines(w http.ResponseWriter, _ *http.Request) {
 	type machineJSON struct {
 		Index   int     `json:"index"`
+		Zone    string  `json:"zone"`
 		State   string  `json:"state"`
 		Crashed bool    `json:"crashed"`
 		Epoch   int     `json:"epoch"`
@@ -139,6 +140,7 @@ func (s *fleetServer) machines(w http.ResponseWriter, _ *http.Request) {
 	for _, m := range s.fleet.Machines() {
 		out = append(out, machineJSON{
 			Index:   m.Index,
+			Zone:    m.Zone,
 			State:   m.State,
 			Crashed: m.Crashed,
 			Epoch:   m.Epoch,
@@ -203,6 +205,17 @@ type fleetMetrics struct {
 	EjectionProbes        int   `json:"ejection_probes"`
 	BrownoutServes        int   `json:"brownout_serves"`
 	EjectedMachines       int   `json:"ejected_machines"`
+	Zones                 int   `json:"zones"`
+	ZonesDown             int   `json:"zones_down"`
+	ZoneSpreadViolations  int   `json:"zone_spread_violations"`
+	ZoneDownDispatches    int   `json:"zone_down_dispatches"`
+	SplitDispatches       int   `json:"split_dispatches"`
+	RollingCrashes        int   `json:"rolling_crashes"`
+	ScenarioSteps         int   `json:"scenario_steps"`
+	ZoneDegradedErrors    int   `json:"zone_degraded_errors"`
+	RepairsDeferred       int   `json:"repairs_deferred"`
+	RepairPeakInFlight    int   `json:"repair_peak_in_flight"`
+	RepairQueueDepth      int   `json:"repair_queue_depth"`
 
 	InvokeP50MS float64 `json:"invoke_p50_ms"`
 	InvokeP99MS float64 `json:"invoke_p99_ms"`
@@ -247,6 +260,17 @@ func fleetMetricsOf(st catalyzer.FleetStats) fleetMetrics {
 		EjectionProbes:        st.EjectionProbes,
 		BrownoutServes:        st.BrownoutServes,
 		EjectedMachines:       st.EjectedMachines,
+		Zones:                 st.Zones,
+		ZonesDown:             st.ZonesDown,
+		ZoneSpreadViolations:  st.ZoneSpreadViolations,
+		ZoneDownDispatches:    st.ZoneDownDispatches,
+		SplitDispatches:       st.SplitDispatches,
+		RollingCrashes:        st.RollingCrashes,
+		ScenarioSteps:         st.ScenarioSteps,
+		ZoneDegradedErrors:    st.ZoneDegradedErrors,
+		RepairsDeferred:       st.RepairsDeferred,
+		RepairPeakInFlight:    st.RepairPeakInFlight,
+		RepairQueueDepth:      st.RepairQueueDepth,
 		InvokeP50MS:           float64(st.InvokeP50) / 1e6,
 		InvokeP99MS:           float64(st.InvokeP99) / 1e6,
 		InvokeMaxMS:           float64(st.InvokeMax) / 1e6,
@@ -291,12 +315,30 @@ func (s *fleetServer) metrics(w http.ResponseWriter, _ *http.Request) {
 func (s *fleetServer) health(w http.ResponseWriter, _ *http.Request) {
 	down := make([]int, 0)
 	ejected := make([]int, 0)
+	zoneUp := map[string]int{}
+	zoneDown := map[string]int{}
 	for _, m := range s.fleet.Machines() {
 		if m.State != "up" {
 			down = append(down, m.Index)
-		} else if m.Ejected {
-			ejected = append(ejected, m.Index)
+			zoneDown[m.Zone]++
+		} else {
+			zoneUp[m.Zone]++
+			if m.Ejected {
+				ejected = append(ejected, m.Index)
+			}
 		}
+	}
+	// Per-zone membership summary, in zone index order: an orchestrator
+	// can tell a correlated whole-zone outage from scattered machine
+	// loss at a glance.
+	type zoneJSON struct {
+		Zone string `json:"zone"`
+		Up   int    `json:"up"`
+		Down int    `json:"down"`
+	}
+	zones := make([]zoneJSON, 0)
+	for _, z := range s.fleet.ZoneNames() {
+		zones = append(zones, zoneJSON{Zone: z, Up: zoneUp[z], Down: zoneDown[z]})
 	}
 	status, code := "ok", http.StatusOK
 	if len(ejected) > 0 {
@@ -312,6 +354,8 @@ func (s *fleetServer) health(w http.ResponseWriter, _ *http.Request) {
 		"up":               st.Up,
 		"down_machines":    down,
 		"ejected_machines": ejected,
+		"zones":            zones,
+		"zones_down":       st.ZonesDown,
 		"live_instances":   s.fleet.Running(),
 		"replicas_lost":    st.ReplicasLost,
 		"crashes":          st.Crashes,

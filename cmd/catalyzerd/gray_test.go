@@ -19,20 +19,25 @@ func TestValidateFlags(t *testing.T) {
 		name          string
 		zygotePool    int
 		fleetMachines int
+		fleetZones    int
 		storeDir      string
 		wantErr       bool
 	}{
-		{"defaults", 4, 0, "", false},
-		{"store only", 4, 0, "/tmp/store", false},
-		{"fleet only", 4, 5, "", false},
-		{"fleet with store", 4, 5, "/tmp/store", true},
-		{"negative zygote pool", -1, 0, "", true},
+		{"defaults", 4, 0, 0, "", false},
+		{"store only", 4, 0, 0, "/tmp/store", false},
+		{"fleet only", 4, 5, 0, "", false},
+		{"fleet with store", 4, 5, 0, "/tmp/store", true},
+		{"negative zygote pool", -1, 0, 0, "", true},
+		{"fleet with zones", 4, 6, 3, "", false},
+		{"zones without fleet", 4, 0, 3, "", true},
+		{"negative zones", 4, 6, -1, "", true},
+		{"more zones than machines", 4, 2, 3, "", true},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.zygotePool, c.fleetMachines, c.storeDir)
+		err := validateFlags(c.zygotePool, c.fleetMachines, c.fleetZones, c.storeDir)
 		if (err != nil) != c.wantErr {
-			t.Errorf("%s: validateFlags(%d, %d, %q) = %v, wantErr=%v",
-				c.name, c.zygotePool, c.fleetMachines, c.storeDir, err, c.wantErr)
+			t.Errorf("%s: validateFlags(%d, %d, %d, %q) = %v, wantErr=%v",
+				c.name, c.zygotePool, c.fleetMachines, c.fleetZones, c.storeDir, err, c.wantErr)
 		}
 	}
 }
@@ -53,6 +58,7 @@ func TestFleetErrorStatusMapping(t *testing.T) {
 		{catalyzer.ErrNoSurvivors, http.StatusServiceUnavailable, true},
 		{catalyzer.ErrMachineDown, http.StatusServiceUnavailable, true},
 		{catalyzer.ErrMachineUnreachable, http.StatusServiceUnavailable, true},
+		{catalyzer.ErrZoneDegraded, http.StatusServiceUnavailable, true},
 		{catalyzer.ErrOverloaded, http.StatusTooManyRequests, true},
 		{catalyzer.ErrNotDeployed, http.StatusNotFound, false},
 		{catalyzer.ErrNotRegistered, http.StatusNotFound, false},

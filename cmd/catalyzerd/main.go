@@ -50,8 +50,16 @@
 // and re-replication counters, per-machine served/live vectors) and
 // /health reports "degraded" with the down machine indices while any
 // member is down. Machine-level failures (ErrMachineDown,
-// ErrMachineUnreachable, ErrNoSurvivors) map to retryable 503s; an
-// undeployed function is 404.
+// ErrMachineUnreachable, ErrNoSurvivors, ErrZoneDegraded) map to
+// retryable 503s with a Retry-After hint; an undeployed function is 404.
+//
+// With -fleet-zones Z the machines stripe across Z failure domains
+// ("z0".."zN-1", machine i in zone i % Z) and /deploy spreads each
+// replica set across distinct zones, so a whole-zone outage cannot take
+// every copy of a function. -fleet-repair-budget caps concurrent
+// re-replications after machine losses; the excess queues
+// deterministically. /machines reports each member's zone and /health
+// summarizes membership per zone.
 //
 // The daemon serves real HTTP over net/http; the sandboxes behind it run
 // on the simulated machine, so responses carry virtual-time latencies.
@@ -119,10 +127,12 @@ func statusOf(err error) int {
 		errors.Is(err, catalyzer.ErrMachineUnreachable),
 		errors.Is(err, catalyzer.ErrMachineFlaky),
 		errors.Is(err, catalyzer.ErrBrownout),
-		errors.Is(err, catalyzer.ErrBudgetExhausted):
+		errors.Is(err, catalyzer.ErrBudgetExhausted),
+		errors.Is(err, catalyzer.ErrZoneDegraded):
 		// Machine-level fleet failures are retryable: survivors heal,
 		// partitions clear, crashed machines restart, ejected gray
-		// members are re-admitted, and the retry/hedge budget refills.
+		// members are re-admitted, downed zones rejoin as repairs drain,
+		// and the retry/hedge budget refills.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -492,12 +502,21 @@ func Handler(c *catalyzer.Client) http.Handler {
 // from R-way replication across members, and silently ignoring a
 // -store-dir would let an operator believe their functions survive a
 // full-fleet restart when they do not.
-func validateFlags(zygotePool, fleetMachines int, storeDir string) error {
+func validateFlags(zygotePool, fleetMachines, fleetZones int, storeDir string) error {
 	if zygotePool < 0 {
 		return fmt.Errorf("-zygote-pool must be >= 0, got %d", zygotePool)
 	}
 	if fleetMachines > 0 && storeDir != "" {
 		return fmt.Errorf("-fleet-machines and -store-dir are mutually exclusive: fleet durability comes from %d-way replication, not an on-disk store", fleetMachines)
+	}
+	if fleetZones < 0 {
+		return fmt.Errorf("-fleet-zones must be >= 0, got %d", fleetZones)
+	}
+	if fleetZones > 0 && fleetMachines == 0 {
+		return fmt.Errorf("-fleet-zones requires fleet mode: set -fleet-machines > 0")
+	}
+	if fleetZones > fleetMachines {
+		return fmt.Errorf("-fleet-zones %d exceeds -fleet-machines %d: a zone needs at least one machine", fleetZones, fleetMachines)
 	}
 	return nil
 }
@@ -514,13 +533,15 @@ func main() {
 	storeDir := flag.String("store-dir", "", "directory for the crash-consistent func-image store; deployed functions are recovered from it on restart (empty = in-memory only)")
 	fleetMachines := flag.Int("fleet-machines", 0, "run a fleet of N machines behind placement/failover instead of a single machine (0 = single-machine mode)")
 	fleetReplication := flag.Int("fleet-replication", 0, "func-image replication factor in fleet mode (0 = default 2)")
+	fleetZones := flag.Int("fleet-zones", 0, "failure-domain count in fleet mode: machines stripe across zones and replicas spread over distinct zones (0 = default 1, a single zone)")
+	fleetRepairBudget := flag.Int("fleet-repair-budget", 0, "cap on concurrent re-replications after machine losses; excess repairs queue deterministically (0 = default 4)")
 	fleetEjectFactor := flag.Float64("fleet-eject-factor", 0, "outlier-ejection threshold as a multiple of the fleet's healthy median latency score (0 = default 4)")
 	fleetHedgeFactor := flag.Float64("fleet-hedge-factor", 0, "hedge delay as a multiple of the healthy median latency score; slower primaries race a second attempt (0 = default 2)")
 	fleetBudgetRatio := flag.Float64("fleet-budget-ratio", 0, "retry/hedge tokens earned per admitted invocation, bounding extra attempts to roughly this fraction of traffic (0 = default 0.1)")
 	fleetBudgetBurst := flag.Int("fleet-budget-burst", 0, "retry/hedge token bucket size (0 = default 32)")
 	fleetMaxEjectFraction := flag.Float64("fleet-max-eject-fraction", 0, "largest share of up machines that may be soft-ejected at once; beyond it the fleet serves browned-out (0 = default 1/3)")
 	flag.Parse()
-	if err := validateFlags(*zygotePool, *fleetMachines, *storeDir); err != nil {
+	if err := validateFlags(*zygotePool, *fleetMachines, *fleetZones, *storeDir); err != nil {
 		log.Fatal(err)
 	}
 
@@ -549,6 +570,8 @@ func main() {
 		f, err := catalyzer.NewFleet(catalyzer.FleetConfig{
 			Machines:         *fleetMachines,
 			Replication:      *fleetReplication,
+			Zones:            *fleetZones,
+			RepairBudget:     *fleetRepairBudget,
 			EjectFactor:      *fleetEjectFactor,
 			HedgeFactor:      *fleetHedgeFactor,
 			BudgetRatio:      *fleetBudgetRatio,

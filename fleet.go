@@ -33,7 +33,25 @@ var (
 	// so the invocation was not replayed further; retryable — the bucket
 	// refills as admitted traffic flows.
 	ErrBudgetExhausted = fleet.ErrBudgetExhausted
+	// ErrZoneDegraded: every machine that could serve is inside a
+	// downed-but-healing failure domain (a scenario outage in effect, or
+	// repairs still queued); retryable — healing rejoins the zone and
+	// the repair queue drains.
+	ErrZoneDegraded = fleet.ErrZoneDegraded
 )
+
+// Scenario is a deterministic virtual-time fault timeline: an outage
+// script of correlated failures (zone losses, rolling crashes, network
+// splits) that a fleet replays identically on every same-seed run.
+// Build one with NewScenario and install it with Fleet.InstallScenario.
+type Scenario = faults.Scenario
+
+// NewScenario returns an empty fault timeline. Add steps fluently:
+//
+//	sc := catalyzer.NewScenario()
+//	sc.At(2 * time.Second).ZoneDown("z1")
+//	sc.At(6 * time.Second).Heal()
+func NewScenario() *Scenario { return faults.NewScenario() }
 
 // FleetConfig sizes a fleet. Zero values take defaults (replication 2,
 // 16 virtual ring nodes per machine, bounded-load factor 1.25, probe
@@ -45,6 +63,16 @@ type FleetConfig struct {
 	// artifacts to R machines so k < R machine losses cannot lose a
 	// function.
 	Replication int
+	// Zones is the number of failure domains machines stripe across
+	// (machine i lives in zone i % Zones, labelled "z0".."zN-1"):
+	// replica sets spread across distinct zones when survivors allow,
+	// so a whole-zone outage cannot take every copy of a function.
+	// Default 1 — a single zone, identical to the pre-zone fleet.
+	Zones int
+	// RepairBudget caps concurrent re-replications after machine
+	// losses: a mass outage's repair plan drains through a
+	// deterministic queue in batches of at most this many (default 4).
+	RepairBudget int
 	// LoadFactor is the bounded-load factor: a machine over this multiple
 	// of its fair share of live instances spills placements clockwise.
 	LoadFactor float64
@@ -131,6 +159,8 @@ func NewFleet(cfg FleetConfig, opts ...Option) (*Fleet, error) {
 	fcfg := fleet.Config{
 		Machines:           cfg.Machines,
 		Replication:        cfg.Replication,
+		Zones:              cfg.Zones,
+		RepairBudget:       cfg.RepairBudget,
 		LoadFactor:         cfg.LoadFactor,
 		VirtualNodes:       cfg.VirtualNodes,
 		ProbeInterval:      cfg.ProbeInterval,
@@ -226,8 +256,10 @@ func (f *Fleet) Now() Duration { return f.fl.Now() }
 
 // MachineInfo is one machine's membership snapshot.
 type MachineInfo struct {
-	// Index is the machine's fleet index; State is "up" or "down".
+	// Index is the machine's fleet index; Zone its failure-domain label
+	// ("z0".."zN-1"); State is "up" or "down".
 	Index int
+	Zone  string
 	State string
 	// Crashed reports a down machine lost its state (needs
 	// RestartMachine); Epoch counts its restarts.
@@ -250,6 +282,7 @@ func (f *Fleet) Machines() []MachineInfo {
 	for i, m := range ms {
 		out[i] = MachineInfo{
 			Index:   m.Index,
+			Zone:    m.Zone,
 			State:   m.State.String(),
 			Crashed: m.Crashed,
 			Epoch:   m.Epoch,
@@ -272,6 +305,16 @@ func (f *Fleet) KillMachine(idx int) error { return f.fl.Kill(idx) }
 // empty on a fresh machine (remote forks repopulate it on demand); a
 // partitioned one rejoins with state intact. No-op if already up.
 func (f *Fleet) RestartMachine(idx int) error { return f.fl.Restart(idx) }
+
+// InstallScenario anchors a fault timeline at the current fleet clock:
+// each step fires once the virtual clock passes its offset, checked on
+// every dispatch and membership probe, so same-seed runs replay the
+// identical outage script. Installing replaces any prior scenario. The
+// scenario must compile and may only name configured zones.
+func (f *Fleet) InstallScenario(sc *Scenario) error { return f.fl.InstallScenario(sc) }
+
+// ZoneNames lists the fleet's configured zone labels in index order.
+func (f *Fleet) ZoneNames() []string { return f.fl.ZoneNames() }
 
 // ArmFault arms a fault-injection site (see FaultSites) on the fleet's
 // shared injector: machine sites are drawn by the control plane, every
@@ -383,6 +426,30 @@ type FleetStats struct {
 	BrownoutServes int
 	// EjectedMachines is the current soft-ejected gauge.
 	EjectedMachines int
+	// Zones is the configured failure-domain count; ZonesDown the gauge
+	// of zones currently downed or split by an installed scenario.
+	Zones     int
+	ZonesDown int
+	// ZoneSpreadViolations counts replica placements forced to double
+	// up inside a covered zone while a configured zone sat uncovered.
+	ZoneSpreadViolations int
+	// ZoneDownDispatches counts dispatches refused by a zone-down draw;
+	// SplitDispatches counts dispatches lost to a partition split.
+	ZoneDownDispatches int
+	SplitDispatches    int
+	// RollingCrashes counts machines crashed by rolling-crash sweeps;
+	// ScenarioSteps counts timeline steps applied.
+	RollingCrashes int
+	ScenarioSteps  int
+	// ZoneDegradedErrors counts invocations failed with the retryable
+	// ErrZoneDegraded while the fleet was healing.
+	ZoneDegradedErrors int
+	// RepairsDeferred counts re-replications held past a pump round by
+	// the repair budget; RepairPeakInFlight is the largest concurrent
+	// repair batch observed; RepairQueueDepth the current queue gauge.
+	RepairsDeferred    int
+	RepairPeakInFlight int
+	RepairQueueDepth   int
 	// InvokeP50 / InvokeP99 / InvokeMax summarize the effective
 	// virtual-time invoke latency distribution (hedge winners count at
 	// their winning latency).
@@ -433,6 +500,17 @@ func (f *Fleet) FleetStats() FleetStats {
 		EjectionProbes:        st.EjectionProbes,
 		BrownoutServes:        st.BrownoutServes,
 		EjectedMachines:       st.EjectedMachines,
+		Zones:                 st.Zones,
+		ZonesDown:             st.ZonesDown,
+		ZoneSpreadViolations:  st.ZoneSpreadViolations,
+		ZoneDownDispatches:    st.ZoneDownDispatches,
+		SplitDispatches:       st.SplitDispatches,
+		RollingCrashes:        st.RollingCrashes,
+		ScenarioSteps:         st.ScenarioSteps,
+		ZoneDegradedErrors:    st.ZoneDegradedErrors,
+		RepairsDeferred:       st.RepairsDeferred,
+		RepairPeakInFlight:    st.RepairPeakInFlight,
+		RepairQueueDepth:      st.RepairQueueDepth,
 		InvokeP50:             st.InvokeP50,
 		InvokeP99:             st.InvokeP99,
 		InvokeMax:             st.InvokeMax,

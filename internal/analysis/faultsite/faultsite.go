@@ -5,9 +5,9 @@
 //
 //  1. Every faults.Site constant declared in internal/faults must be
 //     listed in exactly one of the category functions CoreSites,
-//     StoreSites or FleetSites — a site in no category is invisible to
-//     chaos sweeps that arm "all store sites"; a site in two is swept
-//     twice.
+//     StoreSites, FleetSites or ScenarioSites — a site in no category is
+//     invisible to chaos sweeps that arm "all store sites"; a site in
+//     two is swept twice.
 //  2. Every Site value reaching a draw — any call argument whose type
 //     is faults.Site, which covers Injector.Check/CheckKeyed/Arm/
 //     ArmKeyed as well as helpers like the store's crash(site) — must
@@ -39,7 +39,7 @@ import (
 
 // categoryFuncs are the site-list functions in internal/faults whose
 // composite literals define category membership.
-var categoryFuncs = []string{"CoreSites", "StoreSites", "FleetSites"}
+var categoryFuncs = []string{"CoreSites", "StoreSites", "FleetSites", "ScenarioSites"}
 
 type siteDecl struct {
 	pos        token.Pos
@@ -174,11 +174,11 @@ func (c *checker) checkCategories(pass *analysis.Pass) {
 	for name, d := range c.declared {
 		switch len(d.categories) {
 		case 0:
-			pass.Reportf(d.pos, "site %s (%q) is listed in no category; add it to exactly one of CoreSites/StoreSites/FleetSites so chaos sweeps can arm it", name, d.value)
+			pass.Reportf(d.pos, "site %s (%q) is listed in no category; add it to exactly one of %s so chaos sweeps can arm it", name, d.value, strings.Join(categoryFuncs, "/"))
 		case 1:
 			// exactly one category: the invariant.
 		default:
-			pass.Reportf(d.pos, "site %s (%q) is listed in multiple categories (%s); a site must belong to exactly one of CoreSites/StoreSites/FleetSites", name, d.value, strings.Join(d.categories, ", "))
+			pass.Reportf(d.pos, "site %s (%q) is listed in multiple categories (%s); a site must belong to exactly one of %s", name, d.value, strings.Join(d.categories, ", "), strings.Join(categoryFuncs, "/"))
 		}
 	}
 }
@@ -264,7 +264,7 @@ func (c *checker) finish(info *analysis.SuiteInfo, report func(analysis.Diagnost
 		}
 		report(analysis.Diagnostic{
 			Pos:     lu.pos,
-			Message: fmt.Sprintf("Site %q is not a declared injection site; declare a constant in internal/faults and list it in exactly one of CoreSites/StoreSites/FleetSites", lu.value),
+			Message: fmt.Sprintf("Site %q is not a declared injection site; declare a constant in internal/faults and list it in exactly one of %s", lu.value, strings.Join(categoryFuncs, "/")),
 		})
 	}
 	if !info.Complete {

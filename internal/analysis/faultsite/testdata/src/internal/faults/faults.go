@@ -14,6 +14,10 @@ const (
 	SiteDouble Site = "double" // want `site SiteDouble \("double"\) is listed in multiple categories \(CoreSites, StoreSites\)`
 	// SiteUndrawn is categorized but nothing ever draws it.
 	SiteUndrawn Site = "undrawn" // want `site SiteUndrawn \("undrawn"\) is declared but never drawn`
+	// SiteScen lives in the scenario category: ScenarioSites membership
+	// counts like any other, so it must be flagged neither as
+	// uncategorized nor as double-listed.
+	SiteScen Site = "scen"
 )
 
 // CoreSites lists the core injection points.
@@ -24,6 +28,9 @@ func StoreSites() []Site { return []Site{SiteBeta, SiteDouble} }
 
 // FleetSites lists machine-granularity sites.
 func FleetSites() []Site { return nil }
+
+// ScenarioSites lists the correlated-failure timeline sites.
+func ScenarioSites() []Site { return []Site{SiteScen} }
 
 // Injector is the draw surface.
 type Injector struct{}

@@ -123,6 +123,31 @@ const (
 	// invocation: firing makes the abandoned attempt linger, charging the
 	// loser machine extra virtual time for work it will throw away.
 	SiteHedgeLoserLingers Site = "hedge-loser-lingers"
+
+	// The scenario sites model *correlated* failures: whole failure
+	// domains dying together on a scripted timeline rather than machines
+	// failing i.i.d. per draw. A Scenario arms them keyed per machine
+	// (usually at rate 1) when a timeline step fires and disarms them on
+	// Heal, so the outage window is a deterministic function of the
+	// virtual clock, not of per-draw RNG.
+
+	// SiteZoneDown is armed on every machine of a failed zone (power
+	// loss, cooling failure): a firing draw downs the machine immediately
+	// with its state intact, and the machine rejoins when the zone heals.
+	SiteZoneDown Site = "zone-down"
+	// SiteRollingCrash is armed one machine at a time by a rolling-crash
+	// sweep (a bad config push walking the fleet): a firing draw crashes
+	// the machine — state lost — and the arming is consumed (one-shot).
+	SiteRollingCrash Site = "rolling-crash"
+	// SitePartitionSplit is armed on the minority side of a network
+	// split: dispatches and probes to those machines fail as unreachable
+	// (misses accrue, state intact) until the split heals.
+	SitePartitionSplit Site = "partition-split"
+	// SiteRepairDeferred is drawn once per re-replication the repair
+	// engine is about to execute: firing pushes the repair back onto the
+	// queue, modelling contention for repair bandwidth during a mass
+	// outage.
+	SiteRepairDeferred Site = "repair-deferred"
 )
 
 // CoreSites lists the single-machine injection points: the boot pipeline
@@ -145,12 +170,19 @@ func FleetSites() []Site {
 		SiteMachineGraySlow, SiteMachineFlaky, SiteHedgeLoserLingers}
 }
 
-// Sites lists every injection point: the union of CoreSites, StoreSites
-// and FleetSites.
+// ScenarioSites lists the correlated-failure sites armed and disarmed
+// by scenario timelines rather than per-draw rates.
+func ScenarioSites() []Site {
+	return []Site{SiteZoneDown, SiteRollingCrash, SitePartitionSplit, SiteRepairDeferred}
+}
+
+// Sites lists every injection point: the union of CoreSites, StoreSites,
+// FleetSites and ScenarioSites.
 func Sites() []Site {
 	out := CoreSites()
 	out = append(out, StoreSites()...)
 	out = append(out, FleetSites()...)
+	out = append(out, ScenarioSites()...)
 	return out
 }
 
@@ -323,7 +355,10 @@ func (in *Injector) CheckKeyed(site Site, key string) error {
 		in.counts[site] = c
 	}
 	c.Checks++
-	if in.rng.Float64() >= rate {
+	// A certain failure (rate 1) needs no randomness: skipping the draw
+	// keeps a scenario's rate-1 outage window from perturbing the seeded
+	// schedule of every other armed site.
+	if rate < 1 && in.rng.Float64() >= rate {
 		return nil
 	}
 	c.Injected++

@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"catalyzer/internal/simtime"
+)
+
+// StepKind names one kind of scenario timeline step.
+type StepKind string
+
+const (
+	// StepZoneDown downs every machine in the named zones at once, state
+	// intact (the zone lost power, not its disks).
+	StepZoneDown StepKind = "zone-down"
+	// StepHeal ends every outage in effect: downed zones power back on,
+	// partitions reconnect, and pending rolling-crash steps are cancelled.
+	StepHeal StepKind = "heal"
+	// StepRollingCrash crashes one machine (state lost). A RollingCrash
+	// sweep compiles into count of these, interval apart, Seq 0..count-1.
+	StepRollingCrash StepKind = "rolling-crash"
+	// StepSplitPartition makes the named zones unreachable (misses
+	// accrue, state intact) until the next Heal.
+	StepSplitPartition StepKind = "split-partition"
+)
+
+// Step is one compiled entry of a scenario timeline: at virtual time At,
+// apply Kind to Zones. Seq orders steps that share the same At (builder
+// insertion order; for a rolling crash it is the sweep index, which the
+// executor also uses to pick the next victim deterministically).
+type Step struct {
+	At    simtime.Duration
+	Kind  StepKind
+	Zones []string
+	Seq   int
+}
+
+// Scenario is a deterministic fault timeline: an ordered script of
+// correlated outages expressed in virtual time. Unlike per-draw rates,
+// a scenario replays the identical outage window on every same-seed
+// run — the executor (the fleet) arms and disarms keyed scenario sites
+// when each step's time arrives, so *when* machines fail is a function
+// of the clock, not of RNG.
+//
+// Build one fluently, then hand it to the executor:
+//
+//	sc := faults.NewScenario()
+//	sc.At(2 * time.Second).ZoneDown("z1")
+//	sc.At(6 * time.Second).Heal()
+//
+// Scenario is not safe for concurrent mutation; build it before
+// installing it.
+type Scenario struct {
+	steps []Step
+	next  int // builder insertion counter, tie-breaks equal At
+	err   error
+}
+
+// NewScenario returns an empty timeline.
+func NewScenario() *Scenario {
+	return &Scenario{}
+}
+
+// StepAdder scopes the step verbs to the instant fixed by Scenario.At.
+type StepAdder struct {
+	s  *Scenario
+	at simtime.Duration
+}
+
+// At fixes the virtual-time instant the next step verb applies to.
+// Times are offsets from the moment the scenario is installed.
+func (s *Scenario) At(t simtime.Duration) StepAdder {
+	if t < 0 && s.err == nil {
+		s.err = fmt.Errorf("faults: scenario step at negative time %v", t)
+	}
+	return StepAdder{s: s, at: t}
+}
+
+func (s *Scenario) add(at simtime.Duration, kind StepKind, zones []string) {
+	s.steps = append(s.steps, Step{At: at, Kind: kind, Zones: zones, Seq: s.next})
+	s.next++
+}
+
+// ZoneDown schedules a whole-zone outage: every machine in the named
+// zones goes down simultaneously, state intact, until the next Heal.
+func (a StepAdder) ZoneDown(zones ...string) StepAdder {
+	if len(zones) == 0 && a.s.err == nil {
+		a.s.err = fmt.Errorf("faults: ZoneDown at %v names no zones", a.at)
+	}
+	a.s.add(a.at, StepZoneDown, append([]string(nil), zones...))
+	return a
+}
+
+// Heal schedules the end of every outage in effect at that instant:
+// downed zones rejoin, partitions reconnect, and any rolling-crash
+// steps scheduled after the heal are cancelled.
+func (a StepAdder) Heal() StepAdder {
+	a.s.add(a.at, StepHeal, nil)
+	return a
+}
+
+// RollingCrash schedules a sweep that crashes count machines one at a
+// time, interval apart, starting at the adder's instant — a bad config
+// push walking the fleet. Each crash loses the machine's state. The
+// sweep compiles into count separate steps so Steps() exposes the full
+// expanded timeline.
+func (a StepAdder) RollingCrash(interval simtime.Duration, count int) StepAdder {
+	if a.s.err == nil {
+		if count <= 0 {
+			a.s.err = fmt.Errorf("faults: RollingCrash at %v with count %d", a.at, count)
+		} else if interval < 0 {
+			a.s.err = fmt.Errorf("faults: RollingCrash at %v with negative interval %v", a.at, interval)
+		}
+	}
+	for k := 0; k < count; k++ {
+		a.s.steps = append(a.s.steps, Step{
+			At:   a.at + simtime.Duration(k)*interval,
+			Kind: StepRollingCrash,
+			Seq:  k,
+		})
+	}
+	a.s.next += count
+	return a
+}
+
+// SplitPartition schedules a network split that isolates the named
+// zones: dispatches and probes to their machines fail as unreachable
+// (state intact, misses accrue) until the next Heal.
+func (a StepAdder) SplitPartition(zones ...string) StepAdder {
+	if len(zones) == 0 && a.s.err == nil {
+		a.s.err = fmt.Errorf("faults: SplitPartition at %v names no zones", a.at)
+	}
+	a.s.add(a.at, StepSplitPartition, append([]string(nil), zones...))
+	return a
+}
+
+// Steps compiles the timeline: steps sorted by At, ties broken by
+// builder insertion order (Seq within a rolling sweep, otherwise the
+// order the verbs were called). The returned slice is a copy; mutating
+// it does not affect the scenario. A builder error (negative time,
+// empty zone list, non-positive sweep count) is reported here so the
+// executor can reject the scenario before installing it.
+func (s *Scenario) Steps() ([]Step, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	out := make([]Step, len(s.steps))
+	copy(out, s.steps)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+// Len reports the number of compiled steps (rolling sweeps expanded).
+func (s *Scenario) Len() int { return len(s.steps) }

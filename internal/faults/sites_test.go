@@ -4,18 +4,20 @@ import "testing"
 
 // The old source-parsing drift guard (sites_drift_test.go) is retired:
 // category completeness — every declared Site constant in exactly one
-// of CoreSites/StoreSites/FleetSites, and every declared site drawn
+// of CoreSites/StoreSites/FleetSites/ScenarioSites, and every declared
+// site drawn
 // somewhere in the module — is now enforced statically by the faultsite
 // analyzer in cmd/catalyzer-vet. What remains here are the runtime
 // contracts the analyzer cannot see.
 
 // TestSitesIsCategoryUnion pins Sites() to the exact duplicate-free
-// union of the three category lists, and ValidSite to membership in it.
+// union of the four category lists, and ValidSite to membership in it.
 func TestSitesIsCategoryUnion(t *testing.T) {
 	var union []Site
 	union = append(union, CoreSites()...)
 	union = append(union, StoreSites()...)
 	union = append(union, FleetSites()...)
+	union = append(union, ScenarioSites()...)
 
 	all := Sites()
 	if len(all) != len(union) {

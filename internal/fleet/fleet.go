@@ -99,6 +99,16 @@ type Config struct {
 	// Replication is the func-image replication factor R: Deploy writes
 	// artifacts to R machines (clamped to Machines; default 2).
 	Replication int
+	// Zones is the number of failure domains machines stripe across
+	// (machine i lives in zone i % Zones, labelled "z0".."zN-1").
+	// Replica selection spreads each function across distinct zones
+	// when survivors allow (see zones.go). Default 1 — a single zone,
+	// byte-identical to the pre-zone fleet (clamped to Machines).
+	Zones int
+	// RepairBudget caps concurrent re-replications: a mass outage's
+	// repair plan drains through a deterministic queue in batches of at
+	// most this many, excess counted in RepairsDeferred (default 4).
+	RepairBudget int
 	// VirtualNodes is the number of ring points per machine (default 16).
 	VirtualNodes int
 	// LoadFactor is the bounded-load factor c: a machine holding more
@@ -194,6 +204,15 @@ func (c Config) withDefaults() Config {
 	if c.Replication > c.Machines {
 		c.Replication = c.Machines
 	}
+	if c.Zones <= 0 {
+		c.Zones = 1
+	}
+	if c.Zones > c.Machines {
+		c.Zones = c.Machines
+	}
+	if c.RepairBudget <= 0 {
+		c.RepairBudget = 4
+	}
 	if c.VirtualNodes <= 0 {
 		c.VirtualNodes = 16
 	}
@@ -281,6 +300,12 @@ func (c Config) Validate() error {
 	}
 	if c.Replication < 0 {
 		return fmt.Errorf("%w: negative replication factor %d", ErrBadConfig, c.Replication)
+	}
+	if c.Zones < 0 {
+		return fmt.Errorf("%w: negative zone count %d", ErrBadConfig, c.Zones)
+	}
+	if c.RepairBudget < 0 {
+		return fmt.Errorf("%w: negative repair budget %d", ErrBadConfig, c.RepairBudget)
 	}
 	if c.ProbeInterval < 0 || c.FailoverBackoff < 0 || c.PullPageCost < 0 ||
 		c.TemplateForkPageCost < 0 || c.SlowPenalty < 0 ||
@@ -383,6 +408,32 @@ type Stats struct {
 	// soft-ejected gauge.
 	BrownoutServes  int
 	EjectedMachines int
+	// Zones is the configured failure-domain count; ZonesDown is the
+	// gauge of zones currently downed or split by a scenario.
+	Zones     int
+	ZonesDown int
+	// ZoneSpreadViolations counts replica placements forced to double
+	// up inside a covered zone while a configured zone sat uncovered
+	// (survivor pressure, not R > Zones structure).
+	ZoneSpreadViolations int
+	// ZoneDownDispatches counts dispatches refused by a zone-down draw;
+	// SplitDispatches counts dispatches lost to a partition-split draw.
+	ZoneDownDispatches int
+	SplitDispatches    int
+	// RollingCrashes counts machines crashed by rolling-crash sweep
+	// steps; ScenarioSteps counts timeline steps applied.
+	RollingCrashes int
+	ScenarioSteps  int
+	// ZoneDegradedErrors counts invocations that failed with the
+	// retryable ErrZoneDegraded while the fleet was healing.
+	ZoneDegradedErrors int
+	// RepairsDeferred counts re-replications held past a pump round by
+	// the repair budget (or pushed back by the repair-deferred site);
+	// RepairPeakInFlight is the largest concurrent repair batch
+	// observed; RepairQueueDepth is the current queue gauge.
+	RepairsDeferred    int
+	RepairPeakInFlight int
+	RepairQueueDepth   int
 	// InvokeP50/InvokeP99/InvokeMax digest the effective per-invocation
 	// latency (hedge-adjusted: a winning hedge caps the invocation at
 	// delay + hedge latency) across everything served.
@@ -398,6 +449,7 @@ type Stats struct {
 // member is one machine's membership record.
 type member struct {
 	idx     int
+	zone    int // failure domain (idx % cfg.Zones); survives Restart
 	node    platform.Node
 	state   State
 	crashed bool // down due to crash: state lost, needs Restart
@@ -443,6 +495,22 @@ type Fleet struct {
 	samplesTotal int
 	tokens       float64
 	lat          *platform.Metrics
+
+	// Scenario state (guarded by mu): the compiled timeline, its anchor
+	// on the fleet clock, the next-step cursor, and the zones currently
+	// downed/split (see zones.go).
+	scenario   []faults.Step
+	scenBase   simtime.Duration
+	scenCursor int
+	downZones  map[string]bool
+	splitZones map[string]bool
+
+	// Repair storm control (guarded by mu): the deterministic repair
+	// queue, the active pump's batch occupancy, and the single-pump
+	// latch (see zones.go).
+	repairQ        []repair
+	repairInFlight int
+	repairPumping  bool
 }
 
 // New builds a fleet of cfg.Machines nodes from the build factory
@@ -462,6 +530,8 @@ func New(cfg Config, build func() platform.Node) (*Fleet, error) {
 		build:       build,
 		inj:         faults.New(cfg.Seed),
 		deployments: make(map[string][]int),
+		downZones:   make(map[string]bool),
+		splitZones:  make(map[string]bool),
 	}
 	for i := 0; i < cfg.Machines; i++ {
 		n := build()
@@ -469,7 +539,7 @@ func New(cfg Config, build func() platform.Node) (*Fleet, error) {
 			return nil, fmt.Errorf("%w: machine factory returned nil", ErrBadConfig)
 		}
 		n.InstallFaults(f.inj)
-		f.members = append(f.members, &member{idx: i, node: n, state: StateUp})
+		f.members = append(f.members, &member{idx: i, zone: i % cfg.Zones, node: n, state: StateUp})
 	}
 	f.rebuildRingLocked()
 	f.stats.Served = make([]int, cfg.Machines)
@@ -486,6 +556,10 @@ func New(cfg Config, build func() platform.Node) (*Fleet, error) {
 func (f *Fleet) now() simtime.Duration {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.nowLocked()
+}
+
+func (f *Fleet) nowLocked() simtime.Duration {
 	var max simtime.Duration
 	for _, m := range f.members {
 		if t := m.node.Now(); t > max {
@@ -546,20 +620,22 @@ func (f *Fleet) Deploy(ctx context.Context, name string) error {
 		return cerr
 	}
 	defer f.sup.Poll()
+	f.tickScenario()
 	f.mu.Lock()
-	order := f.ring.walk(name)
+	targets := f.selectReplicasLocked(name, f.cfg.Replication)
 	f.mu.Unlock()
-	if len(order) == 0 {
+	if len(targets) == 0 {
+		if f.zoneDegraded(name) {
+			f.mu.Lock()
+			f.stats.ZoneDegradedErrors++
+			f.mu.Unlock()
+			return fmt.Errorf("%w: deploy %s", ErrZoneDegraded, name)
+		}
 		if f.anyEjected() {
 			return fmt.Errorf("%w: deploy %s", ErrBrownout, name)
 		}
 		return ErrNoSurvivors
 	}
-	want := f.cfg.Replication
-	if want > len(order) {
-		want = len(order)
-	}
-	targets := order[:want]
 	primary := f.memberAt(targets[0])
 	if _, err := primary.node.PrepareTemplate(name); err != nil {
 		return err
@@ -691,6 +767,7 @@ func (f *Fleet) Invoke(ctx context.Context, name string, sys platform.System) (*
 		return nil, -1, fmt.Errorf("%w: %q", ErrNotDeployed, name)
 	}
 	defer f.sup.Poll()
+	f.tickScenario()
 	tried := make(map[int]bool)
 	var lastErr error
 	for failovers := 0; ; failovers++ {
@@ -702,7 +779,13 @@ func (f *Fleet) Invoke(ctx context.Context, name string, sys platform.System) (*
 		f.mu.Unlock()
 		if !ok {
 			base := ErrNoSurvivors
-			if f.anyEjected() {
+			switch {
+			case f.zoneDegraded(name):
+				base = ErrZoneDegraded
+				f.mu.Lock()
+				f.stats.ZoneDegradedErrors++
+				f.mu.Unlock()
+			case f.anyEjected():
 				base = ErrBrownout
 			}
 			if lastErr != nil {
@@ -767,6 +850,23 @@ func (f *Fleet) dispatchFaults(m *member) error {
 	if down {
 		return fmt.Errorf("%w: machine %d", ErrMachineDown, m.idx)
 	}
+	// The scenario sites are keyed per machine and armed at rate 1 by
+	// timeline steps (no RNG consumed), so a dispatch racing the step
+	// application sees the outage too.
+	if ferr := f.inj.CheckKeyed(faults.SiteZoneDown, machineKey(m.idx)); ferr != nil {
+		f.mu.Lock()
+		f.stats.ZoneDownDispatches++
+		f.mu.Unlock()
+		f.markDown(m, false)
+		return fmt.Errorf("%w: machine %d: %w", ErrMachineDown, m.idx, ferr)
+	}
+	if ferr := f.inj.CheckKeyed(faults.SitePartitionSplit, machineKey(m.idx)); ferr != nil {
+		f.mu.Lock()
+		f.stats.SplitDispatches++
+		f.mu.Unlock()
+		f.noteMiss(m)
+		return fmt.Errorf("%w: machine %d: %w", ErrUnreachable, m.idx, ferr)
+	}
 	if ferr := f.inj.Check(faults.SiteMachineCrash); ferr != nil {
 		f.markDown(m, true)
 		return fmt.Errorf("%w: machine %d: %w", ErrMachineDown, m.idx, ferr)
@@ -821,37 +921,57 @@ func (f *Fleet) noteMiss(m *member) {
 // the replication factor of every function that held a replica on m.
 // A crash while already partitioned upgrades to crashed (state lost).
 func (f *Fleet) markDown(m *member, crashed bool) {
+	f.markDownBatch([]*member{m}, crashed)
+}
+
+// markDownBatch downs several members in one transition — a zone
+// outage kills its machines together — producing a single merged
+// repair plan so replica slots are never double-assigned across the
+// individual losses. Already-down members are skipped (a crash while
+// already partitioned still upgrades to crashed, state lost).
+func (f *Fleet) markDownBatch(ms []*member, crashed bool) {
 	f.mu.Lock()
-	if m.state == StateDown {
-		if crashed && !m.crashed {
-			m.crashed = true
+	var downed []int
+	for _, m := range ms {
+		if m.state == StateDown {
+			if crashed && !m.crashed {
+				m.crashed = true
+			}
+			continue
 		}
+		m.state = StateDown
+		m.crashed = crashed
+		m.misses = 0
+		// A hard down-transition supersedes a soft ejection: the member
+		// is out of the ring either way, and rejoin re-evaluates from
+		// scratch.
+		m.ejected = false
+		m.cleanProbes = 0
+		if crashed {
+			f.stats.Crashes++
+		} else {
+			f.stats.Partitions++
+		}
+		downed = append(downed, m.idx)
+	}
+	if len(downed) == 0 {
 		f.mu.Unlock()
 		return
 	}
-	m.state = StateDown
-	m.crashed = crashed
-	m.misses = 0
-	// A hard down-transition supersedes a soft ejection: the member is
-	// out of the ring either way, and rejoin re-evaluates from scratch.
-	m.ejected = false
-	m.cleanProbes = 0
-	if crashed {
-		f.stats.Crashes++
-	} else {
-		f.stats.Partitions++
-	}
 	f.rebuildRingLocked()
-	plan := f.planRepairsLocked(m.idx)
+	f.enqueueRepairsLocked(f.planRepairsLocked(downed))
 	f.mu.Unlock()
-	f.executeRepairs(plan)
+	f.pumpRepairs()
 }
 
-// planRepairsLocked removes downIdx from every replica set and plans
-// the image ships that restore each function's replication factor
-// (mu held). Deployments are visited in sorted order so same-seed runs
-// repair identically.
-func (f *Fleet) planRepairsLocked(downIdx int) []repair {
+// planRepairsLocked removes every machine in downIdxs from every
+// replica set and plans the image ships that restore each function's
+// replication factor — one merged plan per batch, so two machines lost
+// in the same transition never race for the same replica slot
+// (mu held). Deployments are visited in sorted order and replacements
+// picked zone-aware (see pickReplicaLocked), so same-seed runs repair
+// identically.
+func (f *Fleet) planRepairsLocked(downIdxs []int) []repair {
 	names := make([]string, 0, len(f.deployments))
 	for name := range f.deployments {
 		names = append(names, name)
@@ -860,14 +980,14 @@ func (f *Fleet) planRepairsLocked(downIdx int) []repair {
 	var plan []repair
 	for _, name := range names {
 		reps := f.deployments[name]
-		if !contains(reps, downIdx) {
-			continue
-		}
 		keep := make([]int, 0, len(reps))
 		for _, r := range reps {
-			if r != downIdx {
+			if !contains(downIdxs, r) {
 				keep = append(keep, r)
 			}
+		}
+		if len(keep) == len(reps) {
+			continue
 		}
 		if len(keep) == 0 {
 			f.stats.ReplicasLost++
@@ -877,14 +997,8 @@ func (f *Fleet) planRepairsLocked(downIdx int) []repair {
 			want = up
 		}
 		for len(keep) < want {
-			cand := -1
-			for _, c := range f.ring.walk(name) {
-				if !contains(keep, c) {
-					cand = c
-					break
-				}
-			}
-			if cand < 0 {
+			cand, ok := f.pickReplicaLocked(name, keep)
+			if !ok {
 				break
 			}
 			plan = append(plan, repair{fn: name, srcs: append([]int(nil), keep...), dst: cand})
@@ -893,49 +1007,6 @@ func (f *Fleet) planRepairsLocked(downIdx int) []repair {
 		f.deployments[name] = keep
 	}
 	return plan
-}
-
-// executeRepairs ships images to restore replication (no fleet locks
-// held — image export/import is machine work).
-func (f *Fleet) executeRepairs(plan []repair) {
-	for _, r := range plan {
-		dst := f.memberAt(r.dst)
-		if dst.node.HasImage(r.fn) {
-			// A healed partition kept its state: re-admitting it to the
-			// replica set needs no shipping.
-			continue
-		}
-		shipped := false
-		for _, srcIdx := range r.srcs {
-			src := f.memberAt(srcIdx)
-			img, err := src.node.ExportImage(r.fn)
-			if err != nil {
-				continue
-			}
-			dst.node.Charge(simtime.Duration(img.Mem.Pages) * f.cfg.PullPageCost)
-			if err := dst.node.ImportImage(img); err != nil {
-				continue
-			}
-			shipped = true
-			break
-		}
-		if !shipped {
-			// No surviving replica could ship: rebuild locally from
-			// scratch (degraded, but the function stays available).
-			if _, err := dst.node.PrepareImage(r.fn); err != nil {
-				f.mu.Lock()
-				f.stats.RepairFailures++
-				f.mu.Unlock()
-				continue
-			}
-			f.mu.Lock()
-			f.stats.LocalBuilds++
-			f.mu.Unlock()
-		}
-		f.mu.Lock()
-		f.stats.Rereplications++
-		f.mu.Unlock()
-	}
 }
 
 // ensureArtifacts makes sure m can boot name with sys: a machine
@@ -1037,6 +1108,7 @@ func (f *Fleet) remoteFork(m *member, name string) error {
 // healing, re-admitting them on the first clean probe. Crashed members
 // are not probed — they stay down until Restart.
 func (f *Fleet) probeMembership() (checked, evicted int) {
+	f.tickScenario()
 	f.mu.Lock()
 	f.stats.MembershipProbes++
 	members := append([]*member(nil), f.members...)
@@ -1045,9 +1117,28 @@ func (f *Fleet) probeMembership() (checked, evicted int) {
 		f.mu.Lock()
 		state, crashed := m.state, m.crashed
 		f.mu.Unlock()
+		key := machineKey(m.idx)
 		switch {
 		case state == StateUp:
 			checked++
+			// Scenario outages first: a downed zone takes the member out
+			// immediately (state intact); a split accrues misses like a
+			// transient partition. Both keyed, rate 1, no RNG drawn.
+			if ferr := f.inj.CheckKeyed(faults.SiteZoneDown, key); ferr != nil {
+				f.markDown(m, false)
+				evicted++
+				continue
+			}
+			if ferr := f.inj.CheckKeyed(faults.SitePartitionSplit, key); ferr != nil {
+				f.noteMiss(m)
+				f.mu.Lock()
+				down := m.state == StateDown
+				f.mu.Unlock()
+				if down {
+					evicted++
+				}
+				continue
+			}
 			if ferr := f.inj.Check(faults.SiteMachineCrash); ferr != nil {
 				f.markDown(m, true)
 				evicted++
@@ -1068,11 +1159,19 @@ func (f *Fleet) probeMembership() (checked, evicted int) {
 			}
 		case !crashed:
 			checked++
+			// A member inside a still-downed zone or active split must
+			// not rejoin on a clean transient-partition draw: its outage
+			// site stays armed until the scenario heals.
+			if f.inj.CheckKeyed(faults.SiteZoneDown, key) != nil ||
+				f.inj.CheckKeyed(faults.SitePartitionSplit, key) != nil {
+				continue
+			}
 			if f.inj.Check(faults.SiteMachinePartition) == nil {
 				f.rejoin(m)
 			}
 		}
 	}
+	f.pumpRepairs()
 	return checked, evicted
 }
 
@@ -1093,15 +1192,17 @@ func (f *Fleet) rejoin(m *member) {
 	m.misses = 0
 	f.stats.Rejoins++
 	f.rebuildRingLocked()
-	plan := f.planTopUpLocked()
+	f.enqueueRepairsLocked(f.planTopUpLocked())
 	f.mu.Unlock()
-	f.executeRepairs(plan)
+	f.pumpRepairs()
 }
 
 // planTopUpLocked refills under-replicated deployments after a member
 // rejoins: while the fleet ran below R machines, repairs could only
 // restore min(R, up) replicas, so every re-admission tops replica sets
-// back up toward R (mu held; sorted names so same-seed runs repair
+// back up toward R — and, with zones configured, migrates replicas
+// that were forced to double up inside a surviving zone back onto
+// distinct zones (mu held; sorted names so same-seed runs repair
 // identically).
 func (f *Fleet) planTopUpLocked() []repair {
 	want := f.cfg.Replication
@@ -1117,18 +1218,15 @@ func (f *Fleet) planTopUpLocked() []repair {
 	for _, name := range names {
 		keep := append([]int(nil), f.deployments[name]...)
 		for len(keep) < want {
-			cand := -1
-			for _, c := range f.ring.walk(name) {
-				if !contains(keep, c) {
-					cand = c
-					break
-				}
-			}
-			if cand < 0 {
+			cand, ok := f.pickReplicaLocked(name, keep)
+			if !ok {
 				break
 			}
 			plan = append(plan, repair{fn: name, srcs: append([]int(nil), keep...), dst: cand})
 			keep = append(keep, cand)
+		}
+		if f.cfg.Zones > 1 {
+			keep = f.rebalanceZonesLocked(name, keep, &plan)
 		}
 		f.deployments[name] = keep
 	}
@@ -1194,6 +1292,7 @@ func (f *Fleet) checkedMember(idx int) (*member, error) {
 // MemberInfo is one machine's membership snapshot.
 type MemberInfo struct {
 	Index   int
+	Zone    string
 	State   State
 	Crashed bool
 	Epoch   int
@@ -1214,6 +1313,7 @@ func (f *Fleet) Members() []MemberInfo {
 	for i, m := range f.members {
 		out[i] = MemberInfo{
 			Index:   m.idx,
+			Zone:    zoneName(m.zone),
 			State:   m.state,
 			Crashed: m.crashed,
 			Epoch:   m.epoch,
@@ -1252,6 +1352,16 @@ func (f *Fleet) Stats() Stats {
 	out.Served = append([]int(nil), f.stats.Served...)
 	out.Machines = len(f.members)
 	out.Deployed = len(f.deployments)
+	out.Zones = f.cfg.Zones
+	outage := make(map[string]bool, len(f.downZones)+len(f.splitZones))
+	for z := range f.downZones {
+		outage[z] = true
+	}
+	for z := range f.splitZones {
+		outage[z] = true
+	}
+	out.ZonesDown = len(outage)
+	out.RepairQueueDepth = len(f.repairQ)
 	out.Live = make([]int, len(f.members))
 	for i, m := range f.members {
 		out.Live[i] = m.node.LiveInstances()
