@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos chaos-supervision chaos-fleet chaos-gray chaos-zone chaos-fleet-big ci clean
+.PHONY: build test short race vet lint staticcheck fuzz-smoke stress chaos chaos-supervision chaos-fleet chaos-gray chaos-zone chaos-restart chaos-fleet-big ci clean
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,13 @@ chaos-gray:
 # detector; mirrors the CI race job.
 chaos-zone:
 	$(GO) test -race -count=2 -run 'TestChaosZone|TestScenario|TestZone|TestDeploySpreads|TestForcedSameZone|TestStructuralDoubleUp|TestMergedRepairPlan|TestInstallScenario|TestRepairBudget|TestRepairDeferred|TestRestartPreservesZone|TestRateOneKeyedDraw|TestFleetZoneDegraded|TestFleetNoSurvivorsOverHTTP' ./...
+
+# Fleet durability suite (per-machine crash-consistent stores, durable
+# replica pulls, whole-fleet cold restart with torn stores, divergence
+# reconciliation, and same-seed determinism of the entire restart
+# pipeline) under the race detector; mirrors the CI race job.
+chaos-restart:
+	$(GO) test -race -count=2 -run 'TestChaosRestart|TestRecover|TestImportTornWrite|TestImportWriteSite|TestReplaceImageQuarantines|TestImportImageKeepsLocalState|TestValidateFlags' ./...
 
 # Scaled opt-in smoke: 100 machines × 3 zones × 1000 synthetic functions
 # in virtual time, with one gray member ejected under load and one

@@ -1,0 +1,222 @@
+package catalyzer
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"catalyzer/internal/fleet"
+)
+
+// Restart-chaos geometry: 5 machines with per-machine stores, R=3 so
+// losing two stores (one deleted on disk, one torn by the fault site)
+// still leaves every function at least one surviving replica copy, and
+// a repair budget small enough that the post-restart top-up must queue.
+const (
+	restartChaosMachines = 5
+	restartChaosR        = 3
+	restartChaosBudget   = 2
+)
+
+var restartChaosFuncs = []string{"c-hello", "java-hello", "nodejs-hello", "python-hello"}
+
+// restartChaosState is everything a scripted restart run observes, so
+// determinism is assertable with one DeepEqual per run pair.
+type restartChaosState struct {
+	Placements []int
+	Recovered  []string
+	Failed     map[string]string
+	Versions   map[string]map[int]fleet.ImageVersion
+	Stats      FleetStats
+}
+
+// restartChaosRun drives the scripted whole-fleet restart with one seed:
+// deploy over per-machine stores, serve traffic, stop the whole fleet,
+// tear two stores (m0 deleted outright, m1 torn by the armed fault
+// site), rebuild the fleet over the same store root, Recover, and
+// converge under traffic. Placements record -1 for typed errors.
+func restartChaosRun(t *testing.T, seed int64, rounds int) restartChaosState {
+	t.Helper()
+	dir := t.TempDir()
+	ctx := context.Background()
+	cfg := FleetConfig{
+		Machines:     restartChaosMachines,
+		Replication:  restartChaosR,
+		RepairBudget: restartChaosBudget,
+		StoreDir:     dir,
+	}
+	kinds := []BootKind{ColdBoot, WarmBoot, ForkBoot}
+	st := restartChaosState{
+		Versions: make(map[string]map[int]fleet.ImageVersion),
+	}
+
+	// Phase 1: the original fleet deploys and serves, every replica copy
+	// landing in a per-machine store.
+	f1, err := NewFleet(cfg, WithFaultSeed(seed))
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	for _, fn := range restartChaosFuncs {
+		if err := f1.Deploy(ctx, fn); err != nil {
+			t.Fatalf("Deploy(%s): %v", fn, err)
+		}
+		if got := len(f1.Replicas(fn)); got != restartChaosR {
+			t.Fatalf("deploy %s placed %d replicas, want %d", fn, got, restartChaosR)
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		fn, kind := restartChaosFuncs[i%len(restartChaosFuncs)], kinds[i%len(kinds)]
+		inv, err := f1.Invoke(ctx, fn, kind)
+		if err != nil {
+			t.Fatalf("pre-restart Invoke(%s, %s): %v", fn, kind, err)
+		}
+		st.Placements = append(st.Placements, inv.Machine)
+	}
+	// Whole-fleet stop: every machine halts; only the stores survive.
+	f1.Close()
+
+	// Tear k = R-1 = 2 stores: machine 0's directory is deleted outright
+	// (total loss — the restarted m0 comes back with an empty store) and
+	// machine 1's store is discarded by the restart-torn-store site armed
+	// below.
+	if err := os.RemoveAll(filepath.Join(dir, "m0")); err != nil {
+		t.Fatalf("tear m0 store: %v", err)
+	}
+
+	// Phase 2: cold restart from disk.
+	f2, err := NewFleet(cfg, WithFaultSeed(seed))
+	if err != nil {
+		t.Fatalf("restart NewFleet: %v", err)
+	}
+	defer f2.Close()
+	if err := f2.ArmMachineFault(1, "restart-torn-store", 1); err != nil {
+		t.Fatalf("ArmMachineFault: %v", err)
+	}
+	rep, err := f2.Recover(ctx)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	f2.DisarmFaults()
+	st.Recovered = rep.Recovered
+	st.Failed = rep.Failed
+	if len(rep.Failed) != 0 {
+		t.Fatalf("recovery failed functions: %v", rep.Failed)
+	}
+	if len(rep.Recovered) != len(restartChaosFuncs) {
+		t.Fatalf("recovered %v, want all of %v", rep.Recovered, restartChaosFuncs)
+	}
+	mid := f2.FleetStats()
+	if mid.TornStores != 1 {
+		t.Fatalf("TornStores = %d, want 1 (the armed site on m1): %+v", mid.TornStores, mid)
+	}
+	if mid.StoresRecovered == 0 {
+		t.Fatalf("no store recovered anything: %+v", mid)
+	}
+	if mid.FunctionsRecovered != len(restartChaosFuncs) {
+		t.Fatalf("FunctionsRecovered = %d, want %d", mid.FunctionsRecovered, len(restartChaosFuncs))
+	}
+
+	// Phase 3: converge under traffic. Only typed errors may surface
+	// while replica sets top back up.
+	for i := 0; i < rounds; i++ {
+		fn, kind := restartChaosFuncs[i%len(restartChaosFuncs)], kinds[i%len(kinds)]
+		inv, err := f2.Invoke(ctx, fn, kind)
+		if err != nil {
+			if !fleetTypedError(err) {
+				t.Fatalf("untyped error during convergence (%s, %s): %v", fn, kind, err)
+			}
+			st.Placements = append(st.Placements, -1)
+			continue
+		}
+		st.Placements = append(st.Placements, inv.Machine)
+	}
+
+	// Every function serves, its replica set is back to R, and every
+	// replica's stored copy holds byte-identical content (equal checksums
+	// across the set — generation numbers may differ, they are per-store
+	// counters).
+	for _, fn := range restartChaosFuncs {
+		if _, err := f2.Invoke(ctx, fn, ColdBoot); err != nil {
+			t.Fatalf("deployed function %s lost across restart: %v", fn, err)
+		}
+		reps := f2.Replicas(fn)
+		if len(reps) != restartChaosR {
+			t.Fatalf("%s has %d replicas after recovery, want %d: %v", fn, len(reps), restartChaosR, reps)
+		}
+		vs := f2.fl.ImageVersions(fn)
+		var sum uint64
+		for idx, v := range vs {
+			if v.Gen == 0 || v.Sum == 0 {
+				t.Fatalf("%s replica on machine %d has no journaled copy: %+v", fn, idx, vs)
+			}
+			if sum == 0 {
+				sum = v.Sum
+			} else if v.Sum != sum {
+				t.Fatalf("%s replicas diverge at the byte level after recovery: %+v", fn, vs)
+			}
+		}
+		st.Versions[fn] = vs
+	}
+
+	st.Stats = f2.FleetStats()
+	if st.Stats.RepairQueueDepth != 0 {
+		t.Fatalf("repair queue not drained after convergence: %+v", st.Stats)
+	}
+	if st.Stats.RepairPeakInFlight > restartChaosBudget {
+		t.Fatalf("repair concurrency %d exceeded budget %d", st.Stats.RepairPeakInFlight, restartChaosBudget)
+	}
+	return st
+}
+
+func TestChaosRestartRecoversFleet(t *testing.T) {
+	rounds := 90
+	if testing.Short() {
+		rounds = 24
+	}
+	st := restartChaosRun(t, 4242, rounds)
+
+	served := 0
+	for _, p := range st.Placements {
+		if p >= 0 {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no invocation succeeded across the restart")
+	}
+	// The torn stores forced real repair work: machine 0 (empty store)
+	// and machine 1 (site-torn) both re-pull their lost copies, through
+	// restart reconciliation or the top-up pass.
+	if st.Stats.StaleRepulls+st.Stats.Rereplications == 0 {
+		t.Fatalf("two torn stores triggered no re-pulls or re-replications: %+v", st.Stats)
+	}
+}
+
+// TestChaosRestartDeterministic pins the whole restart pipeline — fault
+// schedule, survey order, reconciliation, top-up repairs, placement —
+// to the seed: two identical scripted runs must agree on every
+// placement, every stored generation and checksum, and the full stats
+// snapshot.
+func TestChaosRestartDeterministic(t *testing.T) {
+	rounds := 45
+	if testing.Short() {
+		rounds = 15
+	}
+	a := restartChaosRun(t, 7, rounds)
+	b := restartChaosRun(t, 7, rounds)
+	if !reflect.DeepEqual(a.Placements, b.Placements) {
+		t.Fatalf("same seed produced different placements:\nA=%v\nB=%v", a.Placements, b.Placements)
+	}
+	if !reflect.DeepEqual(a.Recovered, b.Recovered) || !reflect.DeepEqual(a.Failed, b.Failed) {
+		t.Fatalf("same seed produced different recovery reports:\nA=%v/%v\nB=%v/%v",
+			a.Recovered, a.Failed, b.Recovered, b.Failed)
+	}
+	if !reflect.DeepEqual(a.Versions, b.Versions) {
+		t.Fatalf("same seed produced different stored generations:\nA=%+v\nB=%+v", a.Versions, b.Versions)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Fatalf("same seed produced different fleet stats:\nA=%+v\nB=%+v", a.Stats, b.Stats)
+	}
+}

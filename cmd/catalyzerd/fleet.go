@@ -216,6 +216,12 @@ type fleetMetrics struct {
 	RepairsDeferred       int   `json:"repairs_deferred"`
 	RepairPeakInFlight    int   `json:"repair_peak_in_flight"`
 	RepairQueueDepth      int   `json:"repair_queue_depth"`
+	StoresRecovered       int   `json:"stores_recovered"`
+	TornStores            int   `json:"torn_stores"`
+	FunctionsRecovered    int   `json:"functions_recovered"`
+	StaleRepulls          int   `json:"stale_repulls"`
+	DivergentQuarantined  int   `json:"divergent_quarantined"`
+	RecoverFailures       int   `json:"recover_failures"`
 
 	InvokeP50MS float64 `json:"invoke_p50_ms"`
 	InvokeP99MS float64 `json:"invoke_p99_ms"`
@@ -271,6 +277,12 @@ func fleetMetricsOf(st catalyzer.FleetStats) fleetMetrics {
 		RepairsDeferred:       st.RepairsDeferred,
 		RepairPeakInFlight:    st.RepairPeakInFlight,
 		RepairQueueDepth:      st.RepairQueueDepth,
+		StoresRecovered:       st.StoresRecovered,
+		TornStores:            st.TornStores,
+		FunctionsRecovered:    st.FunctionsRecovered,
+		StaleRepulls:          st.StaleRepulls,
+		DivergentQuarantined:  st.DivergentQuarantined,
+		RecoverFailures:       st.RecoverFailures,
 		InvokeP50MS:           float64(st.InvokeP50) / 1e6,
 		InvokeP99MS:           float64(st.InvokeP99) / 1e6,
 		InvokeMaxMS:           float64(st.InvokeMax) / 1e6,
@@ -360,6 +372,12 @@ func (s *fleetServer) health(w http.ResponseWriter, _ *http.Request) {
 		"replicas_lost":    st.ReplicasLost,
 		"crashes":          st.Crashes,
 		"rejoins":          st.Rejoins,
+		// Restart-recovery outcome: how much the per-machine stores brought
+		// back at the last fleet cold start, and what was torn or failed.
+		"functions_recovered": st.FunctionsRecovered,
+		"stores_recovered":    st.StoresRecovered,
+		"torn_stores":         st.TornStores,
+		"recover_failures":    st.RecoverFailures,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

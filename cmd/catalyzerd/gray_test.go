@@ -11,9 +11,11 @@ import (
 	"catalyzer"
 )
 
-// TestValidateFlags pins the daemon's flag validation: fleet mode and
-// the on-disk image store are mutually exclusive, and a negative zygote
-// pool is rejected before any machine is built.
+// TestValidateFlags pins the daemon's flag validation: the
+// single-machine -store-dir is rejected in fleet mode (per-machine
+// stores live under -fleet-store-dir), -fleet-store-dir must be an
+// absolute path and requires fleet mode, and a negative zygote pool is
+// rejected before any machine is built.
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		name          string
@@ -21,23 +23,27 @@ func TestValidateFlags(t *testing.T) {
 		fleetMachines int
 		fleetZones    int
 		storeDir      string
+		fleetStoreDir string
 		wantErr       bool
 	}{
-		{"defaults", 4, 0, 0, "", false},
-		{"store only", 4, 0, 0, "/tmp/store", false},
-		{"fleet only", 4, 5, 0, "", false},
-		{"fleet with store", 4, 5, 0, "/tmp/store", true},
-		{"negative zygote pool", -1, 0, 0, "", true},
-		{"fleet with zones", 4, 6, 3, "", false},
-		{"zones without fleet", 4, 0, 3, "", true},
-		{"negative zones", 4, 6, -1, "", true},
-		{"more zones than machines", 4, 2, 3, "", true},
+		{"defaults", 4, 0, 0, "", "", false},
+		{"store only", 4, 0, 0, "/tmp/store", "", false},
+		{"fleet only", 4, 5, 0, "", "", false},
+		{"fleet with single-machine store", 4, 5, 0, "/tmp/store", "", true},
+		{"fleet with fleet store", 4, 5, 0, "", "/tmp/fleet", false},
+		{"fleet store without fleet", 4, 0, 0, "", "/tmp/fleet", true},
+		{"relative fleet store", 4, 5, 0, "", "fleet-store", true},
+		{"negative zygote pool", -1, 0, 0, "", "", true},
+		{"fleet with zones", 4, 6, 3, "", "", false},
+		{"zones without fleet", 4, 0, 3, "", "", true},
+		{"negative zones", 4, 6, -1, "", "", true},
+		{"more zones than machines", 4, 2, 3, "", "", true},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.zygotePool, c.fleetMachines, c.fleetZones, c.storeDir)
+		err := validateFlags(c.zygotePool, c.fleetMachines, c.fleetZones, c.storeDir, c.fleetStoreDir)
 		if (err != nil) != c.wantErr {
-			t.Errorf("%s: validateFlags(%d, %d, %d, %q) = %v, wantErr=%v",
-				c.name, c.zygotePool, c.fleetMachines, c.fleetZones, c.storeDir, err, c.wantErr)
+			t.Errorf("%s: validateFlags(%d, %d, %d, %q, %q) = %v, wantErr=%v",
+				c.name, c.zygotePool, c.fleetMachines, c.fleetZones, c.storeDir, c.fleetStoreDir, err, c.wantErr)
 		}
 	}
 }

@@ -61,6 +61,18 @@
 // deterministically. /machines reports each member's zone and /health
 // summarizes membership per zone.
 //
+// With -fleet-store-dir every fleet machine owns a crash-consistent
+// store in a per-machine subdirectory (m0..mN-1 under the given root),
+// replica pulls are acknowledged only after a journaled fsync, and a
+// daemon restarted over the same root recovers the whole fleet from
+// disk: each store scrubs and rehydrates, a deterministic
+// reconciliation pass settles replica divergence (highest verified
+// generation wins, stale copies re-pull, byte-divergent ones are
+// quarantined and re-pulled), placement re-derives, and replica sets
+// top back up to R under the repair budget. /metrics and /health carry
+// the recovery counters (stores/functions recovered, torn stores,
+// stale re-pulls, divergent quarantines).
+//
 // The daemon serves real HTTP over net/http; the sandboxes behind it run
 // on the simulated machine, so responses carry virtual-time latencies.
 // SIGINT/SIGTERM shut the daemon down gracefully: admission stops
@@ -78,6 +90,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"syscall"
@@ -498,16 +511,22 @@ func Handler(c *catalyzer.Client) http.Handler {
 }
 
 // validateFlags rejects flag combinations the daemon cannot honor. In
-// particular, fleet mode has no on-disk image store: durability comes
-// from R-way replication across members, and silently ignoring a
-// -store-dir would let an operator believe their functions survive a
-// full-fleet restart when they do not.
-func validateFlags(zygotePool, fleetMachines, fleetZones int, storeDir string) error {
+// particular, -store-dir is the single-machine store: in fleet mode
+// each machine owns its own store under -fleet-store-dir, and silently
+// accepting a -store-dir would let an operator believe one shared store
+// backs the fleet when it backs nothing.
+func validateFlags(zygotePool, fleetMachines, fleetZones int, storeDir, fleetStoreDir string) error {
 	if zygotePool < 0 {
 		return fmt.Errorf("-zygote-pool must be >= 0, got %d", zygotePool)
 	}
 	if fleetMachines > 0 && storeDir != "" {
-		return fmt.Errorf("-fleet-machines and -store-dir are mutually exclusive: fleet durability comes from %d-way replication, not an on-disk store", fleetMachines)
+		return fmt.Errorf("-store-dir is the single-machine store; fleet machines keep per-machine stores under -fleet-store-dir")
+	}
+	if fleetStoreDir != "" && fleetMachines == 0 {
+		return fmt.Errorf("-fleet-store-dir requires fleet mode: set -fleet-machines > 0")
+	}
+	if fleetStoreDir != "" && !filepath.IsAbs(fleetStoreDir) {
+		return fmt.Errorf("-fleet-store-dir must be an absolute path, got %q", fleetStoreDir)
 	}
 	if fleetZones < 0 {
 		return fmt.Errorf("-fleet-zones must be >= 0, got %d", fleetZones)
@@ -532,6 +551,7 @@ func main() {
 	zygotePool := flag.Int("zygote-pool", 4, "Zygote pool target size: pre-booted sandboxes kept ready for warm boots and refilled by the supervisor (0 = disabled)")
 	storeDir := flag.String("store-dir", "", "directory for the crash-consistent func-image store; deployed functions are recovered from it on restart (empty = in-memory only)")
 	fleetMachines := flag.Int("fleet-machines", 0, "run a fleet of N machines behind placement/failover instead of a single machine (0 = single-machine mode)")
+	fleetStoreDir := flag.String("fleet-store-dir", "", "absolute root for per-machine crash-consistent stores (m0..mN-1); a daemon restarted over the same root recovers the whole fleet from disk (empty = in-memory machines)")
 	fleetReplication := flag.Int("fleet-replication", 0, "func-image replication factor in fleet mode (0 = default 2)")
 	fleetZones := flag.Int("fleet-zones", 0, "failure-domain count in fleet mode: machines stripe across zones and replicas spread over distinct zones (0 = default 1, a single zone)")
 	fleetRepairBudget := flag.Int("fleet-repair-budget", 0, "cap on concurrent re-replications after machine losses; excess repairs queue deterministically (0 = default 4)")
@@ -541,7 +561,7 @@ func main() {
 	fleetBudgetBurst := flag.Int("fleet-budget-burst", 0, "retry/hedge token bucket size (0 = default 32)")
 	fleetMaxEjectFraction := flag.Float64("fleet-max-eject-fraction", 0, "largest share of up machines that may be soft-ejected at once; beyond it the fleet serves browned-out (0 = default 1/3)")
 	flag.Parse()
-	if err := validateFlags(*zygotePool, *fleetMachines, *fleetZones, *storeDir); err != nil {
+	if err := validateFlags(*zygotePool, *fleetMachines, *fleetZones, *storeDir, *fleetStoreDir); err != nil {
 		log.Fatal(err)
 	}
 
@@ -577,11 +597,25 @@ func main() {
 			BudgetRatio:      *fleetBudgetRatio,
 			BudgetBurst:      *fleetBudgetBurst,
 			MaxEjectFraction: *fleetMaxEjectFraction,
+			StoreDir:         *fleetStoreDir,
 		}, opts...)
 		if err != nil {
 			log.Fatalf("build fleet: %v", err)
 		}
 		log.Printf("fleet mode: %d machines", f.Size())
+		if *fleetStoreDir != "" {
+			// Rebuild the fleet's serving state from the per-machine stores:
+			// functions deployed before a restart serve again without a
+			// fresh /deploy.
+			rep, err := f.Recover(context.Background())
+			if err != nil {
+				log.Fatalf("recover fleet from %s: %v", *fleetStoreDir, err)
+			}
+			log.Printf("recovered %d function(s) from %s: %v", len(rep.Recovered), *fleetStoreDir, rep.Recovered)
+			for fn, cause := range rep.Failed {
+				log.Printf("could not recover %s: %s", fn, cause)
+			}
+		}
 		handler = FleetHandler(f)
 		closeFn = f.Close
 		running = f.Running

@@ -3,10 +3,12 @@ package catalyzer
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 
 	"catalyzer/internal/costmodel"
 	"catalyzer/internal/faults"
 	"catalyzer/internal/fleet"
+	"catalyzer/internal/image"
 	"catalyzer/internal/platform"
 )
 
@@ -133,6 +135,17 @@ type FleetConfig struct {
 	// EjectProbeInterval is the recovery-probe cadence for ejected
 	// members (default: ProbeInterval).
 	EjectProbeInterval Duration
+
+	// StoreDir, when set, gives every machine its own crash-consistent
+	// func-image store in a per-machine subdirectory StoreDir/m0 …
+	// StoreDir/mN-1 (journaled manifest + generations, like the
+	// single-machine NewClientWithStore). Replica pulls are then
+	// fsync-acknowledged through the durable import path, a crashed
+	// machine restarts over its surviving on-disk state, and a whole
+	// fleet rebuilt over the same StoreDir recovers every deployed
+	// function with Fleet.Recover. Empty = in-memory machines (the
+	// pre-store fleet, byte-identical schedules).
+	StoreDir string
 }
 
 // Fleet is a handle to N simulated machines behind the fleet control
@@ -185,8 +198,22 @@ func NewFleet(cfg FleetConfig, opts ...Option) (*Fleet, error) {
 	if c.faultSeed != nil {
 		fcfg.Seed = *c.faultSeed
 	}
-	fl, err := fleet.New(fcfg, func() platform.Node {
-		p, perr := platform.NewWithConfig(c.cost, pcfg)
+	fl, err := fleet.New(fcfg, func(idx int) (platform.Node, error) {
+		var p *platform.Platform
+		var perr error
+		if cfg.StoreDir != "" {
+			// Each machine owns the store under its per-machine subdir;
+			// opening it replays the journal and scrubs, so a machine
+			// rebuilt after a crash (or a whole-fleet restart) comes back
+			// with its durable state.
+			st, serr := image.NewStore(filepath.Join(cfg.StoreDir, fmt.Sprintf("m%d", idx)))
+			if serr != nil {
+				return nil, fmt.Errorf("open machine %d store: %w", idx, serr)
+			}
+			p, perr = platform.NewWithStoreConfig(c.cost, st, pcfg)
+		} else {
+			p, perr = platform.NewWithConfig(c.cost, pcfg)
+		}
 		if perr != nil {
 			// Options sanitize their inputs; an invalid platform config
 			// here is a programming error, not a user error.
@@ -195,7 +222,7 @@ func NewFleet(cfg FleetConfig, opts ...Option) (*Fleet, error) {
 		if c.memPages > 0 {
 			p.SetMemoryBudget(c.memPages)
 		}
-		return p
+		return p, nil
 	})
 	if err != nil {
 		return nil, err
@@ -305,6 +332,31 @@ func (f *Fleet) KillMachine(idx int) error { return f.fl.Kill(idx) }
 // empty on a fresh machine (remote forks repopulate it on demand); a
 // partitioned one rejoins with state intact. No-op if already up.
 func (f *Fleet) RestartMachine(idx int) error { return f.fl.Restart(idx) }
+
+// FleetRecovery summarizes one whole-fleet cold restart: the functions
+// restored to service (sorted) and, per unrecoverable function, why.
+type FleetRecovery struct {
+	Recovered []string
+	Failed    map[string]string
+}
+
+// Recover rebuilds the fleet's serving state from the machines'
+// per-machine stores after a whole-fleet restart — the fleet analogue
+// of Client.Recover. Call it once on a freshly constructed fleet whose
+// FleetConfig.StoreDir points at the previous fleet's store root: each
+// machine's store has already scrubbed and rehydrated itself at open, so
+// Recover runs the deterministic reconciliation pass (highest verified
+// generation wins, stale replicas re-pull, byte-divergent ones
+// quarantine and re-pull), re-derives ring placement, and tops replica
+// sets back toward R under the repair budget. Without per-machine
+// stores there is nothing on disk to recover and the report is empty.
+func (f *Fleet) Recover(ctx context.Context) (*FleetRecovery, error) {
+	rep, err := f.fl.Recover(ctx)
+	if rep == nil {
+		return nil, err
+	}
+	return &FleetRecovery{Recovered: rep.Recovered, Failed: rep.Failed}, err
+}
 
 // InstallScenario anchors a fault timeline at the current fleet clock:
 // each step fires once the virtual clock passes its offset, checked on
@@ -450,6 +502,21 @@ type FleetStats struct {
 	RepairsDeferred    int
 	RepairPeakInFlight int
 	RepairQueueDepth   int
+	// StoresRecovered counts per-machine stores that brought back ≥ 1
+	// function at fleet restart; TornStores counts stores discarded
+	// wholesale (torn by the restart-torn-store site or unreadable).
+	StoresRecovered int
+	TornStores      int
+	// FunctionsRecovered counts functions restored to service by restart
+	// reconciliation; StaleRepulls counts lower-generation replica copies
+	// re-pulled from the winner; DivergentQuarantined counts
+	// same-generation byte-divergent copies quarantined and re-pulled;
+	// RecoverFailures counts replica restorations that failed (left for
+	// the top-up pass).
+	FunctionsRecovered   int
+	StaleRepulls         int
+	DivergentQuarantined int
+	RecoverFailures      int
 	// InvokeP50 / InvokeP99 / InvokeMax summarize the effective
 	// virtual-time invoke latency distribution (hedge winners count at
 	// their winning latency).
@@ -511,6 +578,12 @@ func (f *Fleet) FleetStats() FleetStats {
 		RepairsDeferred:       st.RepairsDeferred,
 		RepairPeakInFlight:    st.RepairPeakInFlight,
 		RepairQueueDepth:      st.RepairQueueDepth,
+		StoresRecovered:       st.StoresRecovered,
+		TornStores:            st.TornStores,
+		FunctionsRecovered:    st.FunctionsRecovered,
+		StaleRepulls:          st.StaleRepulls,
+		DivergentQuarantined:  st.DivergentQuarantined,
+		RecoverFailures:       st.RecoverFailures,
 		InvokeP50:             st.InvokeP50,
 		InvokeP99:             st.InvokeP99,
 		InvokeMax:             st.InvokeMax,

@@ -5,7 +5,8 @@
 //
 //  1. Every faults.Site constant declared in internal/faults must be
 //     listed in exactly one of the category functions CoreSites,
-//     StoreSites, FleetSites or ScenarioSites — a site in no category is
+//     StoreSites, FleetSites, ScenarioSites or RestartSites — a site in
+//     no category is
 //     invisible to chaos sweeps that arm "all store sites"; a site in
 //     two is swept twice.
 //  2. Every Site value reaching a draw — any call argument whose type
@@ -39,7 +40,7 @@ import (
 
 // categoryFuncs are the site-list functions in internal/faults whose
 // composite literals define category membership.
-var categoryFuncs = []string{"CoreSites", "StoreSites", "FleetSites", "ScenarioSites"}
+var categoryFuncs = []string{"CoreSites", "StoreSites", "FleetSites", "ScenarioSites", "RestartSites"}
 
 type siteDecl struct {
 	pos        token.Pos

@@ -18,6 +18,9 @@ const (
 	// counts like any other, so it must be flagged neither as
 	// uncategorized nor as double-listed.
 	SiteScen Site = "scen"
+	// SiteRestart lives in the restart category: RestartSites membership
+	// counts like any other.
+	SiteRestart Site = "restart"
 )
 
 // CoreSites lists the core injection points.
@@ -31,6 +34,9 @@ func FleetSites() []Site { return nil }
 
 // ScenarioSites lists the correlated-failure timeline sites.
 func ScenarioSites() []Site { return []Site{SiteScen} }
+
+// RestartSites lists the fleet-durability restart sites.
+func RestartSites() []Site { return []Site{SiteRestart} }
 
 // Injector is the draw surface.
 type Injector struct{}

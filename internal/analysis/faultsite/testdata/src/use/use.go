@@ -16,6 +16,7 @@ func Drive(in *faults.Injector) {
 	_ = in.Check(faults.SiteOrphan)
 	_ = in.Check(faults.SiteDouble)
 	_ = in.Check(faults.SiteScen)
+	_ = in.Check(faults.SiteRestart)
 	_ = in.Check("typo")                // want `Site "typo" is not a declared injection site`
 	_ = in.Check(faults.Site("imge"))   // want `Site "imge" is not a declared injection site`
 	_ = in.Check(faults.Site("alpha"))  // a raw literal matching a declared value is allowed

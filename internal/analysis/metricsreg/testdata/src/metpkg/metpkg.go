@@ -109,3 +109,40 @@ func projectSuperviseComplete(st SuperviseStats) superviseMetrics {
 		parked:  st.CrashLoopsParked,
 	}
 }
+
+// RecoveryStats is the fleet cold-restart accounting: dropping one of
+// these hides torn stores or quarantined divergent replicas — exactly
+// the events an operator must see after a whole-fleet restart.
+type RecoveryStats struct {
+	StoresRecovered      int
+	TornStores           int
+	FunctionsRecovered   int
+	StaleRepulls         int
+	DivergentQuarantined int
+}
+
+type recoveryMetrics struct {
+	stores      int
+	torn        int
+	functions   int
+	stale       int
+	quarantined int
+}
+
+func projectDropsRecovery(st RecoveryStats) recoveryMetrics { // want `metrics projection projectDropsRecovery drops RecoveryStats field\(s\) DivergentQuarantined, TornStores`
+	return recoveryMetrics{
+		stores:    st.StoresRecovered,
+		functions: st.FunctionsRecovered,
+		stale:     st.StaleRepulls,
+	}
+}
+
+func projectRecoveryComplete(st RecoveryStats) recoveryMetrics {
+	return recoveryMetrics{
+		stores:      st.StoresRecovered,
+		torn:        st.TornStores,
+		functions:   st.FunctionsRecovered,
+		stale:       st.StaleRepulls,
+		quarantined: st.DivergentQuarantined,
+	}
+}

@@ -148,6 +148,28 @@ const (
 	// queue, modelling contention for repair bandwidth during a mass
 	// outage.
 	SiteRepairDeferred Site = "repair-deferred"
+
+	// The restart sites model whole-fleet durability failures: a fleet
+	// where every machine owns a crash-consistent store must survive a
+	// full power loss, so these are drawn while machines reopen their
+	// stores and while the reconciliation pass converges replica sets.
+
+	// SiteRestartTornStore is drawn once per machine (keyed by machine)
+	// at the start of fleet cold-restart recovery: firing means the
+	// machine's on-disk store came back unusable — torn past what the
+	// scrub could repair — so its contents are ignored and every replica
+	// it held must be re-pulled from surviving copies.
+	SiteRestartTornStore Site = "restart-torn-store"
+	// SiteRecoverStaleReplica is drawn once per stale or divergent
+	// replica the reconciliation pass is about to re-pull up to the
+	// winning generation: firing fails that re-pull, leaving the replica
+	// set degraded for the post-recovery top-up to repair.
+	SiteRecoverStaleReplica Site = "recover-stale-replica"
+	// SiteImportWrite is drawn in the durable import path before a
+	// pulled replica copy is saved to the importing machine's store:
+	// firing fails the import *before* any bytes are written, so a crash
+	// mid-pull can never acknowledge a replica that is not journaled.
+	SiteImportWrite Site = "import-write"
 )
 
 // CoreSites lists the single-machine injection points: the boot pipeline
@@ -176,13 +198,20 @@ func ScenarioSites() []Site {
 	return []Site{SiteZoneDown, SiteRollingCrash, SitePartitionSplit, SiteRepairDeferred}
 }
 
+// RestartSites lists the fleet-durability sites drawn during durable
+// imports and whole-fleet cold-restart recovery.
+func RestartSites() []Site {
+	return []Site{SiteRestartTornStore, SiteRecoverStaleReplica, SiteImportWrite}
+}
+
 // Sites lists every injection point: the union of CoreSites, StoreSites,
-// FleetSites and ScenarioSites.
+// FleetSites, ScenarioSites and RestartSites.
 func Sites() []Site {
 	out := CoreSites()
 	out = append(out, StoreSites()...)
 	out = append(out, FleetSites()...)
 	out = append(out, ScenarioSites()...)
+	out = append(out, RestartSites()...)
 	return out
 }
 

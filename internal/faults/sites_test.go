@@ -4,20 +4,21 @@ import "testing"
 
 // The old source-parsing drift guard (sites_drift_test.go) is retired:
 // category completeness — every declared Site constant in exactly one
-// of CoreSites/StoreSites/FleetSites/ScenarioSites, and every declared
-// site drawn
+// of CoreSites/StoreSites/FleetSites/ScenarioSites/RestartSites, and
+// every declared site drawn
 // somewhere in the module — is now enforced statically by the faultsite
 // analyzer in cmd/catalyzer-vet. What remains here are the runtime
 // contracts the analyzer cannot see.
 
 // TestSitesIsCategoryUnion pins Sites() to the exact duplicate-free
-// union of the four category lists, and ValidSite to membership in it.
+// union of the five category lists, and ValidSite to membership in it.
 func TestSitesIsCategoryUnion(t *testing.T) {
 	var union []Site
 	union = append(union, CoreSites()...)
 	union = append(union, StoreSites()...)
 	union = append(union, FleetSites()...)
 	union = append(union, ScenarioSites()...)
+	union = append(union, RestartSites()...)
 
 	all := Sites()
 	if len(all) != len(union) {

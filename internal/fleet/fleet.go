@@ -434,6 +434,24 @@ type Stats struct {
 	RepairsDeferred    int
 	RepairPeakInFlight int
 	RepairQueueDepth   int
+	// Fleet cold-restart recovery accounting (Recover). StoresRecovered
+	// counts machine stores that reopened at restart with stored
+	// functions intact; TornStores counts stores treated as torn at
+	// restart (the restart-torn-store site or an unreadable manifest):
+	// their contents are ignored and every replica they held re-pulls.
+	StoresRecovered int
+	TornStores      int
+	// FunctionsRecovered counts functions restored to service by the
+	// reconciliation pass; StaleRepulls counts replica copies re-pulled
+	// up to the winning generation; DivergentQuarantined counts
+	// same-generation copies whose bytes diverged from the winner,
+	// quarantined as evidence and repaired; RecoverFailures counts
+	// replica restorations that failed (left for the post-recovery
+	// top-up).
+	FunctionsRecovered   int
+	StaleRepulls         int
+	DivergentQuarantined int
+	RecoverFailures      int
 	// InvokeP50/InvokeP99/InvokeMax digest the effective per-invocation
 	// latency (hedge-adjusted: a winning hedge caps the invocation at
 	// delay + hedge latency) across everything served.
@@ -474,7 +492,7 @@ type repair struct {
 // Fleet is the control plane over N platform machines.
 type Fleet struct {
 	cfg   Config
-	build func() platform.Node
+	build func(idx int) (platform.Node, error)
 	inj   *faults.Injector
 	sup   *supervise.Supervisor
 
@@ -514,10 +532,13 @@ type Fleet struct {
 }
 
 // New builds a fleet of cfg.Machines nodes from the build factory
-// (called once per machine, and again for each Restart after a crash).
-// The fleet's seeded injector is installed on every node so a single
-// seed determines the whole fault schedule.
-func New(cfg Config, build func() platform.Node) (*Fleet, error) {
+// (called with the machine index once per machine, and again for each
+// Restart after a crash — a factory backed by per-machine stores
+// reopens machine idx's store on every call, so crashed machines come
+// back with their durable state). The fleet's seeded injector is
+// installed on every node so a single seed determines the whole fault
+// schedule.
+func New(cfg Config, build func(idx int) (platform.Node, error)) (*Fleet, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -534,7 +555,13 @@ func New(cfg Config, build func() platform.Node) (*Fleet, error) {
 		splitZones:  make(map[string]bool),
 	}
 	for i := 0; i < cfg.Machines; i++ {
-		n := build()
+		n, err := build(i)
+		if err != nil {
+			for _, m := range f.members {
+				m.node.Close()
+			}
+			return nil, fmt.Errorf("fleet: build machine %d: %w", i, err)
+		}
 		if n == nil {
 			return nil, fmt.Errorf("%w: machine factory returned nil", ErrBadConfig)
 		}
@@ -1260,7 +1287,10 @@ func (f *Fleet) Restart(idx int) error {
 		return nil
 	}
 	if crashed {
-		n := f.build()
+		n, err := f.build(m.idx)
+		if err != nil {
+			return fmt.Errorf("fleet: rebuild machine %d: %w", m.idx, err)
+		}
 		if n == nil {
 			return fmt.Errorf("%w: machine factory returned nil", ErrBadConfig)
 		}

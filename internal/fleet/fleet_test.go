@@ -14,13 +14,9 @@ import (
 
 func newTestFleet(t *testing.T, cfg Config) *Fleet {
 	t.Helper()
-	f, err := New(cfg, func() platform.Node {
+	f, err := New(cfg, func(int) (platform.Node, error) {
 		// Small zygote pools keep the per-machine setup cheap in tests.
-		p, err := platform.NewWithConfig(costmodel.Default(), platform.Config{ZygotePoolSize: 1})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return p
+		return platform.NewWithConfig(costmodel.Default(), platform.Config{ZygotePoolSize: 1})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +32,7 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Machines: 2}, nil); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("nil factory: %v", err)
 	}
-	if _, err := New(Config{Machines: 2, Replication: -1}, func() platform.Node { return nil }); !errors.Is(err, ErrBadConfig) {
+	if _, err := New(Config{Machines: 2, Replication: -1}, func(int) (platform.Node, error) { return nil, nil }); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("negative replication: %v", err)
 	}
 }

@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/faults"
+	"catalyzer/internal/image"
+	"catalyzer/internal/platform"
+)
+
+// storeFleet builds a fleet whose machines own per-machine stores under
+// dir/m0..mN-1 — the durable-fleet factory the root package wires up.
+// The caller closes it.
+func storeFleet(t *testing.T, dir string, machines, replication int) *Fleet {
+	t.Helper()
+	f, err := New(Config{Machines: machines, Replication: replication}, func(idx int) (platform.Node, error) {
+		st, err := image.NewStore(filepath.Join(dir, fmt.Sprintf("m%d", idx)))
+		if err != nil {
+			return nil, err
+		}
+		return platform.NewWithStoreConfig(costmodel.Default(), st, platform.Config{ZygotePoolSize: 1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// doctoredImage returns a byte-divergent copy of name: a different
+// function's image carrying name's identity, the simulation's stand-in
+// for a replica whose stored bytes silently rotted or forked.
+func doctoredImage(t *testing.T, name string) *image.Image {
+	t.Helper()
+	scratch := platform.New(costmodel.Default())
+	defer scratch.Close()
+	if _, err := scratch.PrepareImage("c-nginx"); err != nil {
+		t.Fatal(err)
+	}
+	src, err := scratch.ExportImage("c-nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := *src
+	img.Name = name
+	return &img
+}
+
+// resaveActive loads name's active generation in the store at dir and
+// saves it again, bumping the generation number without changing a byte
+// — how a repaired or refreshed replica runs ahead of its peers.
+func resaveActive(t *testing.T, dir, name string) {
+	t.Helper()
+	st, err := image.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := st.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(img); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverChecksumMatchRehydratesInPlace pins the checksum-primary
+// reconciliation rule: a copy whose bytes already match the winner's
+// rehydrates in place even at a lower generation number — generation
+// counters are per-store and drift, identical bytes need no re-pull.
+func TestRecoverChecksumMatchRehydratesInPlace(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	f1 := storeFleet(t, dir, 3, 3)
+	if err := f1.Deploy(ctx, "c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	f1.Close()
+
+	// Machine 0 re-saved its copy before the restart: generation 2, same
+	// bytes. Machines 1 and 2 sit at generation 1.
+	resaveActive(t, filepath.Join(dir, "m0"), "c-hello")
+
+	f2 := storeFleet(t, dir, 3, 3)
+	defer f2.Close()
+	rep, err := f2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 1 || rep.Recovered[0] != "c-hello" || len(rep.Failed) != 0 {
+		t.Fatalf("recovery report = %+v", rep)
+	}
+	st := f2.Stats()
+	if st.StaleRepulls != 0 || st.DivergentQuarantined != 0 || st.RecoverFailures != 0 {
+		t.Fatalf("byte-identical replicas triggered repairs: %+v", st)
+	}
+	if st.StoresRecovered != 3 || st.FunctionsRecovered != 1 || st.TornStores != 0 {
+		t.Fatalf("survey counters off: %+v", st)
+	}
+	// The highest-generation copy won and serves as placement primary.
+	if reps := f2.Replicas("c-hello"); len(reps) != 3 || reps[0] != 0 {
+		t.Fatalf("replicas = %v, want winner m0 first of 3", reps)
+	}
+	vs := f2.ImageVersions("c-hello")
+	if vs[0].Gen != 2 || vs[1].Gen != 1 || vs[2].Gen != 1 {
+		t.Fatalf("generations disturbed by in-place rehydration: %+v", vs)
+	}
+	if vs[0].Sum != vs[1].Sum || vs[1].Sum != vs[2].Sum || vs[0].Sum == 0 {
+		t.Fatalf("checksums diverge: %+v", vs)
+	}
+}
+
+// TestRecoverRepairsStaleAndDivergentReplicas pins the other two
+// reconciliation rules at once. Winner m0 holds generation 2 of the
+// true bytes; m1 holds generation 2 of *different* bytes (divergent —
+// quarantined as evidence, then re-pulled); m2 holds generation 1 of
+// different bytes (stale — plainly re-pulled). Afterwards every replica
+// must hold the winner's bytes.
+func TestRecoverRepairsStaleAndDivergentReplicas(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	f1 := storeFleet(t, dir, 3, 3)
+	if err := f1.Deploy(ctx, "c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	f1.Close()
+
+	resaveActive(t, filepath.Join(dir, "m0"), "c-hello")
+	bad := doctoredImage(t, "c-hello")
+	for _, d := range []struct{ idx, saves int }{{1, 2}, {2, 1}} {
+		mdir := filepath.Join(dir, fmt.Sprintf("m%d", d.idx))
+		if err := os.RemoveAll(mdir); err != nil {
+			t.Fatal(err)
+		}
+		st, err := image.NewStore(mdir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < d.saves; i++ {
+			if err := st.Save(bad); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	f2 := storeFleet(t, dir, 3, 3)
+	defer f2.Close()
+	rep, err := f2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("recovery failed: %+v", rep.Failed)
+	}
+	st := f2.Stats()
+	if st.DivergentQuarantined != 1 || st.StaleRepulls != 1 || st.RecoverFailures != 0 {
+		t.Fatalf("reconciliation counters = %+v, want 1 divergent + 1 stale", st)
+	}
+	vs := f2.ImageVersions("c-hello")
+	if len(vs) != 3 {
+		t.Fatalf("replica set after recovery: %+v", vs)
+	}
+	for idx, v := range vs {
+		if v.Sum != vs[0].Sum || v.Sum == 0 {
+			t.Fatalf("machine %d did not converge to the winner's bytes: %+v", idx, vs)
+		}
+	}
+	// The divergent copy was moved aside as evidence, not destroyed.
+	quarantined, err := filepath.Glob(filepath.Join(dir, "m1", "*.cimg.quarantined"))
+	if err != nil || len(quarantined) == 0 {
+		t.Fatalf("no quarantined generation on the divergent machine: %v, %v", quarantined, err)
+	}
+}
+
+// TestRecoverStaleReplicaSiteLeavesRepairToTopUp arms the
+// recover-stale-replica site on one machine: its restoration fails and
+// is counted, and the top-up pass — not reconciliation — brings the
+// replica set back to R through the ordinary repair path.
+func TestRecoverStaleReplicaSiteLeavesRepairToTopUp(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	f1 := storeFleet(t, dir, 3, 3)
+	if err := f1.Deploy(ctx, "c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	f1.Close()
+
+	resaveActive(t, filepath.Join(dir, "m0"), "c-hello")
+	bad := doctoredImage(t, "c-hello")
+	mdir := filepath.Join(dir, "m1")
+	if err := os.RemoveAll(mdir); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := image.NewStore(mdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Save(bad); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := storeFleet(t, dir, 3, 3)
+	defer f2.Close()
+	if err := f2.ArmFaultOn(1, faults.SiteRecoverStaleReplica, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("recovery failed: %+v", rep.Failed)
+	}
+	st := f2.Stats()
+	if st.RecoverFailures != 1 || st.StaleRepulls != 0 {
+		t.Fatalf("stats = %+v, want the stale re-pull killed by the site", st)
+	}
+	// The top-up pass repaired the set back to R, durably.
+	if reps := f2.Replicas("c-hello"); len(reps) != 3 {
+		t.Fatalf("replicas after top-up = %v, want 3", reps)
+	}
+	if st.Rereplications == 0 {
+		t.Fatalf("no top-up repair ran: %+v", st)
+	}
+	vs := f2.ImageVersions("c-hello")
+	for idx, v := range vs {
+		if v.Sum != vs[0].Sum || v.Sum == 0 {
+			t.Fatalf("machine %d did not converge after top-up: %+v", idx, vs)
+		}
+	}
+}
+
+// TestRecoverTornStoreSiteDiscardsStore arms restart-torn-store on one
+// machine: its store's contents are ignored wholesale, the survivors
+// reconcile, and the torn machine is repopulated by the top-up pass.
+func TestRecoverTornStoreSiteDiscardsStore(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	f1 := storeFleet(t, dir, 3, 3)
+	if err := f1.Deploy(ctx, "c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	f1.Close()
+
+	f2 := storeFleet(t, dir, 3, 3)
+	defer f2.Close()
+	if err := f2.ArmFaultOn(2, faults.SiteRestartTornStore, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 1 || len(rep.Failed) != 0 {
+		t.Fatalf("recovery report = %+v", rep)
+	}
+	st := f2.Stats()
+	if st.TornStores != 1 || st.StoresRecovered != 2 {
+		t.Fatalf("torn-store accounting off: %+v", st)
+	}
+	if reps := f2.Replicas("c-hello"); len(reps) != 3 {
+		t.Fatalf("replicas after top-up = %v, want 3", reps)
+	}
+}
+
+// TestRecoverEmptyStores: a store-backed fleet with nothing deployed
+// recovers to an empty report, and a storeless fleet recovers trivially.
+func TestRecoverEmptyStores(t *testing.T) {
+	f := storeFleet(t, t.TempDir(), 2, 2)
+	defer f.Close()
+	rep, err := f.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 0 || len(rep.Failed) != 0 {
+		t.Fatalf("empty fleet recovered something: %+v", rep)
+	}
+	memOnly := newTestFleet(t, Config{Machines: 2})
+	rep, err = memOnly.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 0 {
+		t.Fatalf("storeless fleet recovered something: %+v", rep)
+	}
+}

@@ -843,6 +843,19 @@ func (s *Store) ActiveGen(name string) uint64 {
 	return 0
 }
 
+// ActiveSum returns the content checksum of an image's active
+// generation, 0 if none. Two replicas holding the same generation with
+// different sums have diverged at the byte level: the fleet's restart
+// reconciliation quarantines the losing copy and re-pulls it.
+func (s *Store) ActiveSum(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.entries[name]; e != nil && e.active != nil {
+		return e.active.sum
+	}
+	return 0
+}
+
 // LastKnownGood returns an image's retained previous generation number,
 // 0 if none.
 func (s *Store) LastKnownGood(name string) uint64 {

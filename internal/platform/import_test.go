@@ -1,0 +1,180 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"catalyzer/internal/costmodel"
+	"catalyzer/internal/faults"
+	"catalyzer/internal/image"
+)
+
+// Durable-import regression tests: a replica pull is acknowledged only
+// after the destination store has journaled the copy, so a crash at any
+// point mid-pull can never leave an installed-but-unjournaled
+// generation.
+
+// TestImportTornWriteLeavesNoUnjournaledGeneration kills the pull at the
+// store-write crash point: the import must fail, nothing may be
+// installed in memory, and a store reopened over the same directory must
+// converge to empty (the torn temp file swept, no manifest entry).
+func TestImportTornWriteLeavesNoUnjournaledGeneration(t *testing.T) {
+	src := New(costmodel.Default())
+	defer src.Close()
+	if _, err := src.PrepareImage("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	img, err := src.ExportImage("c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	store, err := image.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewWithStore(costmodel.Default(), store)
+	defer dst.Close()
+	inj := faults.New(7)
+	inj.Arm(faults.SiteStoreWrite, 1)
+	dst.InstallFaults(inj)
+
+	if err := dst.ImportImage(img); err == nil {
+		t.Fatal("import acknowledged despite a torn store write")
+	}
+	if dst.HasImage("c-hello") {
+		t.Fatal("torn pull left an in-memory image installed")
+	}
+	if st := dst.FailureStats(); st.ImageSaveFailures != 1 {
+		t.Fatalf("ImageSaveFailures = %d, want 1: %+v", st.ImageSaveFailures, st)
+	}
+
+	// The crashed machine restarts: its store must hold no trace of the
+	// unacknowledged pull.
+	store2, err := image.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, err := store2.List(); err != nil || len(names) != 0 {
+		t.Fatalf("unacknowledged pull surfaced on reopen: %v, %v", names, err)
+	}
+
+	// Disarmed, the retried pull succeeds and is durable.
+	inj.Disarm(faults.SiteStoreWrite)
+	if err := dst.ImportImage(img); err != nil {
+		t.Fatalf("retried import failed: %v", err)
+	}
+	if !dst.HasImage("c-hello") {
+		t.Fatal("retried import installed nothing")
+	}
+	store3, err := image.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, err := store3.List(); err != nil || len(names) != 1 || names[0] != "c-hello" {
+		t.Fatalf("retried import not journaled: %v, %v", names, err)
+	}
+}
+
+// TestImportWriteSiteFailsPullBeforeSave pins the import-write site: it
+// fires before any store work, the pull fails with the injected fault,
+// and neither memory nor disk changes.
+func TestImportWriteSiteFailsPullBeforeSave(t *testing.T) {
+	src := New(costmodel.Default())
+	defer src.Close()
+	if _, err := src.PrepareImage("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	img, err := src.ExportImage("c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	store, err := image.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewWithStore(costmodel.Default(), store)
+	defer dst.Close()
+	inj := faults.New(11)
+	inj.Arm(faults.SiteImportWrite, 1)
+	dst.InstallFaults(inj)
+
+	err = dst.ImportImage(img)
+	var fault *faults.Fault
+	if !errors.As(err, &fault) || fault.Site != faults.SiteImportWrite {
+		t.Fatalf("import under import-write = %v, want injected import-write fault", err)
+	}
+	if dst.HasImage("c-hello") {
+		t.Fatal("failed pull installed an image")
+	}
+	if names, lerr := store.List(); lerr != nil || len(names) != 0 {
+		t.Fatalf("failed pull reached the store: %v, %v", names, lerr)
+	}
+
+	inj.Disarm(faults.SiteImportWrite)
+	if err := dst.ImportImage(img); err != nil {
+		t.Fatalf("retried import failed: %v", err)
+	}
+	if gen, sum := dst.ImageVersion("c-hello"); gen == 0 || sum == 0 {
+		t.Fatalf("ImageVersion after import = (%d, %d), want journaled generation", gen, sum)
+	}
+}
+
+// TestReplaceImageQuarantinesAndSupersedes pins the restart
+// reconciliation's repair primitive: ReplaceImage with quarantine moves
+// the stored copy aside as evidence and journals the replacement as a
+// new generation; without quarantine the old generation is simply
+// superseded.
+func TestReplaceImageQuarantinesAndSupersedes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := image.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewWithStore(costmodel.Default(), store)
+	defer p.Close()
+	if _, err := p.PrepareImage("c-hello"); err != nil {
+		t.Fatal(err)
+	}
+	img, err := p.ExportImage("c-hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1, sum1 := p.ImageVersion("c-hello")
+	if gen1 == 0 {
+		t.Fatal("prepared image not journaled")
+	}
+
+	// Stale-copy path: supersede without quarantine.
+	if err := p.ReplaceImage(img, false); err != nil {
+		t.Fatal(err)
+	}
+	gen2, sum2 := p.ImageVersion("c-hello")
+	if gen2 <= gen1 || sum2 != sum1 {
+		t.Fatalf("supersede: version (%d, %d) after (%d, %d), want higher gen, same bytes",
+			gen2, sum2, gen1, sum1)
+	}
+	if st := p.FailureStats(); st.ImagesQuarantined != 0 {
+		t.Fatalf("plain supersede quarantined: %+v", st)
+	}
+
+	// Divergent-copy path: quarantine the stored generation as evidence,
+	// then install the replacement.
+	if err := p.ReplaceImage(img, true); err != nil {
+		t.Fatal(err)
+	}
+	gen3, _ := p.ImageVersion("c-hello")
+	if gen3 <= gen2 {
+		t.Fatalf("quarantining replace did not journal a new generation: %d after %d", gen3, gen2)
+	}
+	if st := p.FailureStats(); st.ImagesQuarantined != 1 {
+		t.Fatalf("ImagesQuarantined = %d, want 1: %+v", st.ImagesQuarantined, st)
+	}
+	// The function still serves off the replacement.
+	if _, err := p.Invoke("c-hello", CatalyzerRestore); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,9 @@ type Node interface {
 	HasTemplate(name string) bool
 	ExportImage(name string) (*image.Image, error)
 	ImportImage(img *image.Image) error
+	ReplaceImage(img *image.Image, quarantine bool) error
+	StoredFunctions() ([]string, error)
+	ImageVersion(name string) (gen, sum uint64)
 	InstallFaults(inj *faults.Injector)
 	Charge(d simtime.Duration)
 	LiveInstances() int
@@ -75,9 +78,17 @@ func (p *Platform) ExportImage(name string) (*image.Image, error) {
 
 // ImportImage installs a func-image shipped from a peer machine (the
 // pull half of a remote fork): the function is registered if needed, the
-// image and its I/O cache are swapped in under the machine lock, and the
-// image is persisted to this machine's store. A machine that already has
-// an image keeps it — imports never clobber local state.
+// copy is durably saved to this machine's store, and only then are the
+// image and its I/O cache swapped in under the machine lock. A machine
+// that already has an image keeps it — imports never clobber local
+// state.
+//
+// Unlike the best-effort save of a locally built image, an import is
+// acknowledged only after the store has fsynced its journal record
+// (drawing the import-write site plus the store's own crash sites), so
+// a crash mid-pull can never leave a replica copy the manifest does not
+// know about: either the pull failed — the fleet counts a repair
+// failure and retries — or the generation is journaled.
 func (p *Platform) ImportImage(img *image.Image) error {
 	if img == nil {
 		return fmt.Errorf("%w: nil image", ErrNoImage)
@@ -87,17 +98,87 @@ func (p *Platform) ImportImage(img *image.Image) error {
 		return err
 	}
 	p.mu.Lock()
-	installed := false
+	if f.Image != nil {
+		p.mu.Unlock()
+		return nil
+	}
+	inj := p.M.Faults
+	p.mu.Unlock()
+	if ferr := inj.Check(faults.SiteImportWrite); ferr != nil {
+		return fmt.Errorf("platform: import %s: %w", img.Name, ferr)
+	}
+	if err := p.persistImport(img); err != nil {
+		return err
+	}
+	p.mu.Lock()
 	if f.Image == nil {
 		f.Image = img
 		f.Cache = img.IOCache
-		installed = true
 	}
 	p.mu.Unlock()
-	if installed {
-		p.persistImage(img)
+	return nil
+}
+
+// persistImport durably saves a replica copy pulled from a peer. The
+// save failure is counted like persistImage's, but also returned: a
+// replica set's durability claim rests on every copy being journaled,
+// so an unsaved pull must fail the import rather than acknowledge it.
+func (p *Platform) persistImport(img *image.Image) error {
+	if p.store == nil {
+		return nil
+	}
+	if err := p.store.Save(img); err != nil {
+		p.rec.addStats(func(s *FailureStats) { s.ImageSaveFailures++ })
+		return fmt.Errorf("platform: import %s: %w", img.Name, err)
 	}
 	return nil
+}
+
+// ReplaceImage durably installs a replacement func-image pulled from a
+// peer, clobbering any local copy: the fleet's restart reconciliation
+// uses it to bring stale or divergent replicas up to the winning
+// generation. With quarantine set the stored copy is first moved aside
+// as evidence (the divergent-bytes case); without it the old generation
+// is simply superseded and retained as last-known-good (the stale
+// case). The in-memory swap happens only after the durable save.
+func (p *Platform) ReplaceImage(img *image.Image, quarantine bool) error {
+	if img == nil {
+		return fmt.Errorf("%w: nil image", ErrNoImage)
+	}
+	f, err := p.Register(img.Name)
+	if err != nil {
+		return err
+	}
+	if quarantine && p.store != nil {
+		if _, qerr := p.store.Quarantine(img.Name); qerr == nil {
+			p.rec.addStats(func(s *FailureStats) { s.ImagesQuarantined++ })
+		}
+	}
+	if err := p.persistImport(img); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if f.Mapping != nil && (f.Image == nil || f.Image.Mem != img.Mem) {
+		f.Mapping.Close()
+		f.Mapping = nil
+	}
+	f.Image = img
+	f.Cache = img.IOCache
+	p.mu.Unlock()
+	return nil
+}
+
+// ImageVersion reports the active generation number and content
+// checksum of name's stored func-image (0, 0 without a store or stored
+// copy). Restart reconciliation compares versions across a replica set:
+// the highest generation wins, copies whose checksum already matches
+// the winner stay put, and same-generation copies with differing sums
+// have diverged at the byte level.
+func (p *Platform) ImageVersion(name string) (gen, sum uint64) {
+	if p.store == nil {
+		return 0, 0
+	}
+	return p.store.ActiveGen(name), p.store.ActiveSum(name)
 }
 
 // Charge advances the machine's virtual clock by d under the machine

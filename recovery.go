@@ -101,7 +101,13 @@ func DefaultRecoveryConfig() RecoveryConfig { return platform.DefaultRecoveryCon
 // machine-slow, machine-gray-slow, machine-flaky, hedge-loser-lingers),
 // drawn only by a Fleet's control plane — arming them on a
 // single-machine client is a no-op. The gray sites are usually armed on
-// a single member via Fleet.ArmMachineFault.
+// a single member via Fleet.ArmMachineFault. The fleet-durability sites
+// (restart-torn-store, recover-stale-replica, import-write) cover the
+// whole-fleet cold-restart path and durable replica pulls:
+// restart-torn-store discards one machine's store at Fleet.Recover,
+// recover-stale-replica fails one replica's restoration, and
+// import-write kills a replica pull before its store save — all three
+// are usually armed per machine via ArmMachineFault.
 func FaultSites() []string {
 	sites := faults.Sites()
 	out := make([]string, len(sites))
